@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper via the drivers
+in :mod:`repro.eval.experiments` and prints the resulting rows/series, so the
+captured output of ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction report. pytest-benchmark provides the timing wrapper; the
+numbers of interest are the printed experiment results rather than the
+wall-clock of the driver itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.reporting import render_result
+
+
+def run_and_report(benchmark, driver, **kwargs):
+    """Run ``driver`` once under pytest-benchmark and print its result."""
+    result = benchmark.pedantic(lambda: driver(**kwargs), rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(render_result(result))
+    return result
+
+
+@pytest.fixture
+def report(capsys):
+    """Let benchmarks print their tables even under output capture."""
+    with capsys.disabled():
+        yield

@@ -1,0 +1,26 @@
+"""Figure 3: speedup and instruction reduction of an ideal indexing scheme.
+
+The motivation experiment of the paper: a CSR implementation whose position
+discovery is free of charge, compared against the real CSR implementation for
+Sparse Matrix Addition, SpMV and SpMM.
+"""
+
+from repro.eval.experiments import experiment_fig3
+
+from conftest import run_and_report
+
+
+def test_fig03_ideal_indexing(benchmark, report):
+    result = run_and_report(benchmark, experiment_fig3, spmm_dim=64)
+    for kernel in ("spadd", "spmv", "spmm"):
+        metrics = result["results"][kernel]
+        # The paper reports 2.21x / 2.13x / 2.81x; the reproduction must show
+        # a clear speedup and a clear instruction reduction for every kernel.
+        assert metrics["ideal_speedup"] > 1.2
+        assert metrics["ideal_normalized_instructions"] < 0.9
+    # SpMM has the heaviest indexing (index matching), so removing it should
+    # reduce instructions at least as much as it does for SpMV.
+    assert (
+        result["results"]["spmm"]["ideal_normalized_instructions"]
+        <= result["results"]["spmv"]["ideal_normalized_instructions"] + 0.05
+    )

@@ -1,0 +1,20 @@
+"""Figures 12 and 13: SpMM speedup and executed instructions per matrix.
+
+Regenerates the paper's main SpMM result with the inner-product formulation:
+index matching makes indexing twice as frequent as in SpMV, so SMASH's
+benefit grows accordingly.
+"""
+
+from repro.eval.experiments import experiment_fig12_13
+
+from conftest import run_and_report
+
+
+def test_fig12_13_spmm(benchmark, report):
+    result = run_and_report(benchmark, experiment_fig12_13)
+    averages = result["average"]
+    assert averages["speedup"]["smash_hw"] > 1.2
+    assert averages["speedup"]["smash_hw"] > averages["speedup"]["taco_bcsr"] * 0.9
+    assert averages["normalized_instructions"]["smash_hw"] < 0.9
+    for label, metrics in result["per_matrix"].items():
+        assert metrics["speedup"]["smash_hw"] > 1.0, label

@@ -1,0 +1,30 @@
+"""Figures 14 and 15: sensitivity to the Bitmap-0 compression ratio.
+
+Sweeps the Bitmap-0 (NZA block) compression ratio over 2:1, 4:1 and 8:1 for
+SpMV and SpMM, normalizing to the 2:1 configuration as the paper does.
+"""
+
+from repro.eval.comparison import geometric_mean
+from repro.eval.experiments import experiment_fig14_15
+
+from conftest import run_and_report
+
+
+def test_fig14_sensitivity_spmv(benchmark, report):
+    result = run_and_report(benchmark, experiment_fig14_15, kernel="spmv")
+    averages = result["average"]
+    # Section 7.2.2: 2:1 is the best default; larger blocks lose a few
+    # percent on average because of the extra zero-element computation.
+    assert averages["B0-2:1"] == 1.0
+    assert averages["B0-8:1"] < 1.10
+    # Clustered matrices (M12, M14 analogues) can still benefit from larger
+    # blocks, so the per-matrix maxima exceed the average.
+    best_8 = max(metrics["B0-8:1"] for metrics in result["per_matrix"].values())
+    assert best_8 >= averages["B0-8:1"]
+
+
+def test_fig15_sensitivity_spmm(benchmark, report):
+    result = run_and_report(benchmark, experiment_fig14_15, kernel="spmm")
+    averages = result["average"]
+    assert averages["B0-2:1"] == 1.0
+    assert geometric_mean(list(averages.values())) > 0

@@ -1,0 +1,31 @@
+"""Figures 16 and 17: sensitivity to the locality of sparsity.
+
+Sweeps the locality-of-sparsity metric from 12.5% (one non-zero per 8-element
+NZA block) to 100% (completely full blocks) for the M2/M8/M13 analogues,
+normalizing each series to its 12.5% point as the paper does.
+"""
+
+from repro.eval.experiments import experiment_fig16_17
+
+from conftest import run_and_report
+
+
+def test_fig16_locality_spmv(benchmark, report):
+    result = run_and_report(benchmark, experiment_fig16_17, kernel="spmv")
+    for label, series in result["per_matrix"].items():
+        # Speedup must rise (or at worst stay flat) as locality grows: fuller
+        # NZA blocks mean fewer wasted computations and shorter bitmap scans.
+        assert series["100%"] >= series["12.5%"] - 0.02, label
+    # The densest matrix (M13 analogue) benefits the most, as in the paper.
+    m13_label = next(label for label in result["per_matrix"] if label.startswith("M13"))
+    m2_label = next(label for label in result["per_matrix"] if label.startswith("M2"))
+    assert (
+        result["per_matrix"][m13_label]["100%"]
+        >= result["per_matrix"][m2_label]["100%"] - 0.15
+    )
+
+
+def test_fig17_locality_spmm(benchmark, report):
+    result = run_and_report(benchmark, experiment_fig16_17, kernel="spmm", dim=64)
+    for label, series in result["per_matrix"].items():
+        assert series["100%"] >= series["12.5%"] - 0.05, label

@@ -1,0 +1,25 @@
+"""Figure 18: PageRank and Betweenness Centrality with SMASH vs CSR.
+
+Runs both Ligra-style applications (expressed as iterative SpMV) on the four
+synthetic graph analogues of Table 4, comparing the SMASH-based and CSR-based
+implementations in speed and executed instructions.
+"""
+
+from repro.eval.experiments import experiment_fig18
+
+from conftest import run_and_report
+
+
+def test_fig18_graph_applications(benchmark, report):
+    result = run_and_report(benchmark, experiment_fig18)
+    averages = result["average"]
+    # The paper reports 1.27x (PageRank) and 1.31x (BC). The scaled-down
+    # synthetic graphs have lower locality than the SNAP originals, so the
+    # reproduction requires a net win on average rather than the exact
+    # magnitudes (see EXPERIMENTS.md for the measured values).
+    assert averages["pagerank"]["speedup"] > 1.0
+    assert averages["bc"]["speedup"] > 1.0
+    # Every graph must at least be competitive (no large slowdown).
+    for key, entry in result["per_graph"].items():
+        assert entry["pagerank"]["speedup"] > 0.9, key
+        assert entry["bc"]["speedup"] > 0.9, key

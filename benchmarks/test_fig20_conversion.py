@@ -1,0 +1,28 @@
+"""Figure 20: end-to-end execution breakdown with CSR<->SMASH conversion.
+
+Measures how much of the end-to-end execution time is spent converting a
+CSR-resident matrix to the hierarchical bitmap encoding (and back) when the
+kernel itself runs with SMASH, for a short-running kernel (SpMV), a
+long-running kernel (SpMM) and an iterative application (PageRank).
+"""
+
+from repro.eval.experiments import experiment_fig20
+
+from conftest import run_and_report
+
+
+def test_fig20_conversion_overhead(benchmark, report):
+    result = run_and_report(benchmark, experiment_fig20)
+    breakdown = result["breakdown"]
+
+    def conversion_share(entry):
+        return entry["csr_to_smash_percent"] + entry["smash_to_csr_percent"]
+
+    # The paper's qualitative result: conversion is a large share of the
+    # short-running SpMV, a modest share of SpMM, and negligible for the
+    # iterative PageRank.
+    assert conversion_share(breakdown["spmv"]) > conversion_share(breakdown["spmm"])
+    assert conversion_share(breakdown["spmm"]) > conversion_share(breakdown["pagerank"])
+    assert conversion_share(breakdown["pagerank"]) < 15.0
+    for entry in breakdown.values():
+        assert sum(entry.values()) == __import__("pytest").approx(100.0)

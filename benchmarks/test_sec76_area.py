@@ -1,0 +1,27 @@
+"""Section 7.6: BMU area overhead.
+
+Estimates the silicon area of the default BMU configuration (4 groups of
+three 256-byte SRAM buffers plus registers) and compares it against a
+Xeon-class core, reproducing the paper's claim that the overhead is a small
+fraction of a percent.
+"""
+
+from repro.eval.experiments import experiment_area
+
+from conftest import run_and_report
+
+
+def test_sec76_area_overhead(benchmark, report):
+    result = run_and_report(benchmark, experiment_area)
+    # Paper: 3 KiB of SRAM, ~140 bytes of registers, at most 0.076% of a core.
+    assert result["sram_bytes"] == 3 * 1024
+    assert result["overhead_percent"] < 0.1
+
+
+def test_sec76_area_scaling_with_groups(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: [experiment_area(n_groups=n)["overhead_percent"] for n in (1, 2, 4, 8)],
+        rounds=1,
+        iterations=1,
+    )
+    assert result == sorted(result)

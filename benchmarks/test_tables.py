@@ -1,0 +1,35 @@
+"""Benchmarks regenerating Tables 2-5 of the paper.
+
+These tables describe the simulated system, the workloads, and the real
+system; regenerating them verifies that the reproduction's configuration
+objects and workload generators match what the paper evaluates.
+"""
+
+from repro.eval.experiments import (
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+)
+
+from conftest import run_and_report
+
+
+def test_table2_simulated_system(benchmark, report):
+    result = run_and_report(benchmark, experiment_table2)
+    assert "CPU" in result["rows"]
+
+
+def test_table3_matrix_suite(benchmark, report):
+    result = run_and_report(benchmark, experiment_table3)
+    assert len(result["rows"]) == 15
+
+
+def test_table4_graph_inputs(benchmark, report):
+    result = run_and_report(benchmark, experiment_table4)
+    assert len(result["rows"]) == 4
+
+
+def test_table5_real_system(benchmark, report):
+    result = run_and_report(benchmark, experiment_table5)
+    assert "Xeon" in result["rows"]["CPU"]

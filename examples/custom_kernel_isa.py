@@ -1,0 +1,82 @@
+"""Building a custom sparse kernel directly on the SMASH ISA.
+
+Section 5.2.1 of the paper argues that the five SMASH instructions are
+expressive enough to accelerate *any* sparse matrix computation, not just the
+SpMV/SpMM kernels shipped with the library. This example demonstrates that by
+writing two custom kernels straight against the ISA model:
+
+* ``column_sums`` — the per-column sum of a sparse matrix (the reduction used
+  by degree computations and by Jacobi-style preconditioners);
+* ``frobenius_norm`` — the Frobenius norm of the matrix.
+
+Both kernels follow the same pattern as Algorithm 1 of the paper:
+MATINFO/BMAPINFO/RDBMAP to configure a BMU group, then a PBMAP/RDIND loop
+that yields the position of every non-zero block while the CPU performs only
+the arithmetic.
+
+Run with::
+
+    python examples/custom_kernel_isa.py
+"""
+
+import numpy as np
+
+from repro.core import SMASHConfig, SMASHMatrix
+from repro.hardware import BitmapManagementUnit, SMASHISA
+from repro.workloads import power_law_matrix
+
+
+def column_sums(matrix: SMASHMatrix, isa: SMASHISA, group: int = 0) -> np.ndarray:
+    """Sum of every column, computed through the SMASH ISA."""
+    sums = np.zeros(matrix.cols)
+    total = matrix.rows * matrix.cols
+
+    isa.setup_matrix(matrix, group)
+    while isa.pbmap(group):
+        row, col = isa.rdind(group)
+        block = matrix.nza.block(isa.current_nza_block(group))
+        base = row * matrix.cols + col
+        for offset, value in enumerate(block):
+            linear = base + offset
+            if linear >= total:
+                break
+            sums[linear % matrix.cols] += value
+    return sums
+
+
+def frobenius_norm(matrix: SMASHMatrix, isa: SMASHISA, group: int = 1) -> float:
+    """Frobenius norm computed through the SMASH ISA (second BMU group)."""
+    accumulator = 0.0
+    isa.setup_matrix(matrix, group)
+    while isa.pbmap(group):
+        block = matrix.nza.block(isa.current_nza_block(group))
+        accumulator += float(np.dot(block, block))
+    return float(np.sqrt(accumulator))
+
+
+def main() -> None:
+    coo = power_law_matrix(192, 192, density=0.03, seed=11)
+    dense = coo.to_dense()
+    matrix = SMASHMatrix.from_dense(dense, SMASHConfig.from_label_ratios(16, 4, 2))
+
+    isa = SMASHISA(BitmapManagementUnit())
+    sums = column_sums(matrix, isa, group=0)
+    norm = frobenius_norm(matrix, isa, group=1)
+
+    np.testing.assert_allclose(sums, dense.sum(axis=0))
+    np.testing.assert_allclose(norm, np.linalg.norm(dense))
+
+    print(f"Matrix: 192x192, {matrix.nnz} non-zeros, config {matrix.config.label()}")
+    print(f"Column sums match numpy: True (max column sum = {sums.max():.3f})")
+    print(f"Frobenius norm matches numpy: True ({norm:.3f})")
+    print()
+    print("SMASH ISA instructions executed:")
+    for name, count in sorted(isa.trace.counts.items()):
+        print(f"  {name:9s} {count}")
+    print()
+    print("Both kernels only needed the five SMASH instructions to discover")
+    print("non-zero positions - no CSR-style pointer chasing was involved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Comparing sparse formats across matrices with different structure.
+
+The paper motivates SMASH by the limitations of existing formats: general
+formats (CSR/BCSR) pay heavy indexing costs, while specialized formats (DIA)
+only work when the sparsity has the structure they assume. This example
+builds four matrices with very different structure — scattered, clustered,
+banded and diagonal — and compares CSR, BCSR, DIA and SMASH on storage and on
+modeled SpMV cost, showing where each format shines and that SMASH stays
+competitive everywhere.
+
+Run with::
+
+    python examples/format_comparison.py
+"""
+
+import numpy as np
+
+from repro.core import SMASHConfig, SMASHMatrix
+from repro.formats import BCSRMatrix, CSRMatrix, DIAMatrix
+from repro.kernels import (
+    spmv_bcsr_instrumented,
+    spmv_csr_instrumented,
+    spmv_smash_hardware_instrumented,
+)
+from repro.sim import SimConfig
+from repro.workloads import (
+    banded_matrix,
+    clustered_matrix,
+    diagonal_matrix,
+    uniform_random_matrix,
+)
+
+
+def build_workloads() -> dict:
+    """Four 192x192 matrices covering the structural spectrum."""
+    return {
+        "scattered (0.5%)": uniform_random_matrix(192, 192, 0.005, seed=1),
+        "clustered (2%)": clustered_matrix(192, 192, 0.02, cluster_size=6, cluster_height=3, seed=2),
+        "banded (bw=2)": banded_matrix(192, 192, bandwidth=2, seed=3),
+        "diagonal": diagonal_matrix(192, seed=4),
+    }
+
+
+def main() -> None:
+    sim = SimConfig.scaled(16)
+    x = np.random.default_rng(0).uniform(size=192)
+
+    print(f"{'matrix':18s} {'format':8s} {'storage B':>10s} {'SpMV cycles':>12s}")
+    print("-" * 52)
+    for name, coo in build_workloads().items():
+        dense = coo.to_dense()
+        config = SMASHConfig.choose_for_matrix(coo.density, coo.nnz and 0.6)
+        rows = []
+
+        csr = CSRMatrix.from_dense(dense)
+        _, csr_report = spmv_csr_instrumented(csr, x, sim)
+        rows.append(("CSR", csr.storage_bytes(), csr_report.cycles))
+
+        bcsr = BCSRMatrix.from_dense(dense, (4, 4))
+        _, bcsr_report = spmv_bcsr_instrumented(bcsr, x, sim)
+        rows.append(("BCSR", bcsr.storage_bytes(), bcsr_report.cycles))
+
+        dia = DIAMatrix.from_dense(dense)
+        rows.append(("DIA", dia.storage_bytes(), float("nan")))
+
+        smash = SMASHMatrix.from_dense(dense, config)
+        _, smash_report = spmv_smash_hardware_instrumented(smash, x, sim)
+        rows.append((f"SMASH", smash.storage_bytes(), smash_report.cycles))
+
+        for fmt, storage, cycles in rows:
+            cycles_text = f"{cycles:12.0f}" if cycles == cycles else "           -"
+            print(f"{name:18s} {fmt:8s} {storage:>10d} {cycles_text}")
+        print("-" * 52)
+
+    print()
+    print("DIA stores the diagonal matrix almost for free but explodes on")
+    print("scattered sparsity; CSR/BCSR are general but pay indexing costs;")
+    print("SMASH adapts its block size per matrix and stays efficient across")
+    print("all four structures - the generality argument of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Quickstart: encode a sparse matrix with SMASH and run SpMV three ways.
+
+This example walks through the core workflow of the library:
+
+1. build a sparse matrix (here: the 4x4 example of Figure 1 in the paper,
+   then a larger synthetic matrix),
+2. compress it with CSR (the baseline) and with SMASH's hierarchical bitmap
+   encoding,
+3. run SpMV with the CSR kernel, the software-only SMASH kernel, and the
+   BMU-accelerated SMASH kernel,
+4. compare the modeled instruction counts and cycles.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import SMASHConfig, SMASHMatrix
+from repro.formats import CSRMatrix
+from repro.kernels import (
+    spmv_csr_instrumented,
+    spmv_smash_hardware_instrumented,
+    spmv_smash_software_instrumented,
+)
+from repro.sim import SimConfig
+from repro.workloads import clustered_matrix
+
+
+def figure1_example() -> None:
+    """Encode the paper's Figure 1 matrix and show both representations."""
+    dense = np.array(
+        [
+            [3.2, 0.0, 0.0, 0.0],
+            [1.2, 0.0, 4.2, 0.0],
+            [0.0, 0.0, 0.0, 5.1],
+            [5.3, 3.3, 0.0, 0.0],
+        ]
+    )
+    csr = CSRMatrix.from_dense(dense)
+    smash = SMASHMatrix.from_dense(dense, SMASHConfig((2,)))
+
+    print("=== Figure 1 example (4x4, 6 non-zeros) ===")
+    print(f"CSR   : row_ptr={csr.row_ptr.tolist()}, col_ind={csr.col_ind.tolist()}")
+    print(f"        values={csr.values.tolist()}")
+    print(f"        storage = {csr.storage_bytes()} bytes")
+    print("SMASH :")
+    print(smash.describe())
+    print()
+
+
+def spmv_comparison() -> None:
+    """Compare the three SpMV schemes on a larger synthetic matrix."""
+    coo = clustered_matrix(256, 256, density=0.02, cluster_size=6, cluster_height=3, seed=42)
+    dense = coo.to_dense()
+    x = np.random.default_rng(0).uniform(0.1, 1.0, size=256)
+    expected = dense @ x
+
+    config = SMASHConfig.from_label_ratios(16, 4, 2)
+    csr = CSRMatrix.from_dense(dense)
+    smash = SMASHMatrix.from_dense(dense, config)
+    sim = SimConfig.scaled(16)
+
+    print("=== SpMV on a 256x256 clustered matrix "
+          f"({coo.nnz} non-zeros, locality {smash.locality_of_sparsity():.0f}%) ===")
+    results = {
+        "TACO-CSR": spmv_csr_instrumented(csr, x, sim),
+        "Software-only SMASH": spmv_smash_software_instrumented(smash, x, sim),
+        "SMASH (BMU)": spmv_smash_hardware_instrumented(smash, x, sim),
+    }
+    baseline = results["TACO-CSR"][1]
+    print(f"{'scheme':24s} {'instructions':>14s} {'cycles':>12s} {'speedup':>9s}")
+    for name, (y, report) in results.items():
+        assert np.allclose(y, expected), f"{name} produced a wrong result"
+        print(
+            f"{name:24s} {report.total_instructions:14d} {report.cycles:12.0f} "
+            f"{report.speedup_over(baseline):8.2f}x"
+        )
+    print()
+    print("All three schemes produce identical results; SMASH needs fewer")
+    print("instructions because the BMU discovers the non-zero positions.")
+
+
+if __name__ == "__main__":
+    figure1_example()
+    spmv_comparison()

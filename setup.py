@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-build-isolation`` can fall back to the legacy
+``setup.py develop`` path on offline machines where PEP 660 editable wheels
+cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

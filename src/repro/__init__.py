@@ -1,0 +1,42 @@
+"""Reproduction of SMASH (MICRO 2019): hierarchical-bitmap sparse compression
+with hardware-accelerated indexing.
+
+Public API overview
+-------------------
+
+* :mod:`repro.formats` — baseline sparse formats (CSR, CSC, COO, BCSR, DIA).
+* :mod:`repro.core` — the SMASH encoding: bitmap hierarchy, NZA,
+  :class:`~repro.core.smash_matrix.SMASHMatrix`, configuration and conversion.
+* :mod:`repro.hardware` — the Bitmap Management Unit, the SMASH ISA and the
+  area model.
+* :mod:`repro.sim` — the analytic performance model (cache hierarchy,
+  instruction accounting, cost reports).
+* :mod:`repro.kernels` — SpMV / SpMM / sparse-add kernels for every scheme,
+  with functional and instrumented execution paths.
+* :mod:`repro.graphs` — PageRank and Betweenness Centrality on top of the
+  sparse kernels, plus synthetic graph workloads.
+* :mod:`repro.workloads` — synthetic matrix generators and the paper's
+  M1–M15 evaluation suite.
+* :mod:`repro.eval` — experiment drivers that regenerate every table and
+  figure of the paper's evaluation section.
+"""
+
+from repro.core import SMASHConfig, SMASHMatrix
+from repro.formats import CSRMatrix, CSCMatrix, COOMatrix, BCSRMatrix
+from repro.hardware import BitmapManagementUnit, SMASHISA
+from repro.sim import SimConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SMASHConfig",
+    "SMASHMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "COOMatrix",
+    "BCSRMatrix",
+    "BitmapManagementUnit",
+    "SMASHISA",
+    "SimConfig",
+    "__version__",
+]

@@ -1,0 +1,132 @@
+"""Empirical autotuning of the SMASH bitmap configuration.
+
+The paper configures the bitmap hierarchy per matrix (the ``Mi.b2.b1.b0``
+labels of its figures) and gives qualitative guidance: 2:1 is the robust
+Bitmap-0 default, while matrices with clustered non-zeros benefit from larger
+blocks (Section 7.2.2). :class:`ConfigAutotuner` turns that guidance into a
+procedure: it evaluates a set of candidate configurations with the analytic
+cost model on the target matrix (or on a sampled sub-matrix for very large
+inputs) and returns the cheapest one, together with the full ranking so the
+caller can inspect the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SMASHConfig
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.coo import COOMatrix
+from repro.kernels.spmv import spmv_smash_hardware_instrumented
+from repro.sim.config import SimConfig
+
+#: Candidate Bitmap-0 block sizes explored by default.
+DEFAULT_BLOCK_SIZES = (2, 4, 8)
+#: Candidate upper-level ratio stacks explored by default.
+DEFAULT_UPPER_RATIOS = ((4, 16), (8,), ())
+
+
+@dataclass(frozen=True)
+class TuningCandidate:
+    """One evaluated configuration and its modeled cost."""
+
+    config: SMASHConfig
+    cycles: float
+    instructions: int
+    storage_bytes: int
+    locality_percent: float
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of an autotuning run."""
+
+    best: TuningCandidate
+    ranking: Tuple[TuningCandidate, ...]
+
+    @property
+    def best_config(self) -> SMASHConfig:
+        """The selected configuration."""
+        return self.best.config
+
+
+class ConfigAutotuner:
+    """Selects a bitmap configuration for a matrix by modeled SpMV cost."""
+
+    def __init__(
+        self,
+        sim_config: Optional[SimConfig] = None,
+        block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+        upper_ratios: Sequence[Sequence[int]] = DEFAULT_UPPER_RATIOS,
+        storage_weight: float = 0.0,
+    ) -> None:
+        if not block_sizes:
+            raise ValueError("at least one candidate block size is required")
+        if storage_weight < 0.0:
+            raise ValueError("storage_weight must be non-negative")
+        self.sim_config = sim_config or SimConfig.scaled(16)
+        self.block_sizes = tuple(int(b) for b in block_sizes)
+        self.upper_ratios = tuple(tuple(int(r) for r in stack) for stack in upper_ratios)
+        self.storage_weight = storage_weight
+
+    def candidates(self) -> List[SMASHConfig]:
+        """Enumerate the candidate configurations (deduplicated)."""
+        seen = set()
+        result = []
+        for block in self.block_sizes:
+            for stack in self.upper_ratios:
+                ratios = (block,) + stack
+                if ratios not in seen:
+                    seen.add(ratios)
+                    result.append(SMASHConfig(ratios))
+        return result
+
+    def tune(
+        self,
+        matrix: COOMatrix,
+        x: Optional[np.ndarray] = None,
+        sample_dim: Optional[int] = None,
+        seed: int = 0,
+    ) -> TuningResult:
+        """Evaluate every candidate on ``matrix`` and return the ranking.
+
+        ``sample_dim`` restricts the evaluation to the leading principal
+        sub-matrix of that size, which keeps tuning cheap for large inputs
+        while preserving the local non-zero structure the choice depends on.
+        """
+        target = _principal_submatrix(matrix, sample_dim) if sample_dim else matrix
+        if target.nnz == 0:
+            raise ValueError("cannot autotune an empty matrix")
+        dense = target.to_dense()
+        if x is None:
+            x = np.random.default_rng(seed).uniform(0.1, 1.0, size=target.cols)
+
+        evaluated = []
+        for config in self.candidates():
+            smash = SMASHMatrix.from_dense(dense, config)
+            _, report = spmv_smash_hardware_instrumented(smash, x, self.sim_config)
+            evaluated.append(
+                TuningCandidate(
+                    config=config,
+                    cycles=report.cycles,
+                    instructions=report.total_instructions,
+                    storage_bytes=smash.storage_bytes(),
+                    locality_percent=smash.locality_of_sparsity(),
+                )
+            )
+        ranking = tuple(sorted(evaluated, key=self._score))
+        return TuningResult(best=ranking[0], ranking=ranking)
+
+    def _score(self, candidate: TuningCandidate) -> float:
+        """Cost function: modeled cycles, optionally weighted by storage."""
+        return candidate.cycles + self.storage_weight * candidate.storage_bytes
+
+
+def _principal_submatrix(matrix: COOMatrix, dim: int) -> COOMatrix:
+    """The leading ``dim x dim`` principal sub-matrix of ``matrix``."""
+    dim = min(dim, matrix.rows, matrix.cols)
+    keep = (matrix.row < dim) & (matrix.col < dim)
+    return COOMatrix((dim, dim), matrix.row[keep], matrix.col[keep], matrix.values[keep])

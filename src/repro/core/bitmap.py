@@ -1,0 +1,167 @@
+"""Packed bitmap with the scan primitives used by SMASH.
+
+A :class:`Bitmap` stores one bit per region of the matrix (the region size is
+set by the level's compression ratio). It is stored as a numpy array of
+64-bit words, which matches both the software-only indexing cost model (one
+load per 64-bit word, one CLZ per set bit found, one AND to clear it —
+Section 4.4 of the paper) and the BMU's SRAM-buffer blocks on the hardware
+side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+WORD_BITS = 64
+
+
+class Bitmap:
+    """A fixed-length bitset packed into 64-bit words."""
+
+    def __init__(self, n_bits: int, words: np.ndarray | None = None) -> None:
+        if n_bits < 0:
+            raise ValueError("bitmap length must be non-negative")
+        self.n_bits = int(n_bits)
+        n_words = -(-self.n_bits // WORD_BITS) if self.n_bits else 0
+        if words is None:
+            self.words = np.zeros(n_words, dtype=np.uint64)
+        else:
+            words = np.ascontiguousarray(words, dtype=np.uint64)
+            if words.size != n_words:
+                raise ValueError(f"expected {n_words} words for {n_bits} bits, got {words.size}")
+            self.words = words.copy()
+            self._mask_tail()
+
+    def _mask_tail(self) -> None:
+        """Clear any bits beyond ``n_bits`` in the last word."""
+        if self.n_bits == 0 or self.n_bits % WORD_BITS == 0:
+            return
+        valid = self.n_bits % WORD_BITS
+        mask = np.uint64((1 << valid) - 1)
+        self.words[-1] &= mask
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_bools(cls, bits: Iterable[bool]) -> "Bitmap":
+        """Build a bitmap from an iterable of booleans."""
+        bits = np.asarray(list(bits), dtype=bool)
+        bitmap = cls(bits.size)
+        for index in np.nonzero(bits)[0]:
+            bitmap.set(int(index))
+        return bitmap
+
+    @classmethod
+    def from_indices(cls, n_bits: int, indices: Iterable[int]) -> "Bitmap":
+        """Build a bitmap of length ``n_bits`` with the given bits set."""
+        bitmap = cls(n_bits)
+        for index in indices:
+            bitmap.set(int(index))
+        return bitmap
+
+    # ------------------------------------------------------------------ #
+    # Bit access
+    # ------------------------------------------------------------------ #
+    def set(self, index: int) -> None:
+        """Set bit ``index``."""
+        self._check_index(index)
+        word, bit = divmod(index, WORD_BITS)
+        self.words[word] |= np.uint64(1) << np.uint64(bit)
+
+    def clear(self, index: int) -> None:
+        """Clear bit ``index``."""
+        self._check_index(index)
+        word, bit = divmod(index, WORD_BITS)
+        self.words[word] &= ~(np.uint64(1) << np.uint64(bit))
+
+    def get(self, index: int) -> bool:
+        """Return True if bit ``index`` is set."""
+        self._check_index(index)
+        word, bit = divmod(index, WORD_BITS)
+        return bool((self.words[word] >> np.uint64(bit)) & np.uint64(1))
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_bits:
+            raise IndexError(f"bit index {index} out of range [0, {self.n_bits})")
+
+    def __len__(self) -> int:
+        return self.n_bits
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Bitmap):
+            return self.n_bits == other.n_bits and np.array_equal(self.words, other.words)
+        return NotImplemented
+
+    def __hash__(self) -> None:  # pragma: no cover - mutable container
+        raise TypeError("Bitmap is mutable and unhashable")
+
+    # ------------------------------------------------------------------ #
+    # Scanning
+    # ------------------------------------------------------------------ #
+    def popcount(self) -> int:
+        """Number of set bits."""
+        return int(sum(int(word).bit_count() for word in self.words))
+
+    def iter_set_bits(self) -> Iterator[int]:
+        """Yield the indices of set bits in ascending order."""
+        for word_index, word in enumerate(self.words):
+            value = int(word)
+            base = word_index * WORD_BITS
+            while value:
+                lsb = value & -value
+                yield base + lsb.bit_length() - 1
+                value ^= lsb
+
+    def set_bit_indices(self) -> List[int]:
+        """All set-bit indices as a list."""
+        return list(self.iter_set_bits())
+
+    def next_set_bit(self, start: int) -> int | None:
+        """Index of the first set bit at or after ``start`` (None if absent)."""
+        if start < 0:
+            start = 0
+        if start >= self.n_bits:
+            return None
+        word_index, bit = divmod(start, WORD_BITS)
+        word = int(self.words[word_index]) >> bit << bit
+        while True:
+            if word:
+                lsb = word & -word
+                index = word_index * WORD_BITS + lsb.bit_length() - 1
+                return index if index < self.n_bits else None
+            word_index += 1
+            if word_index >= self.words.size:
+                return None
+            word = int(self.words[word_index])
+
+    def to_bool_array(self) -> np.ndarray:
+        """Expand to a boolean numpy array of length ``n_bits``."""
+        result = np.zeros(self.n_bits, dtype=bool)
+        for index in self.iter_set_bits():
+            result[index] = True
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Storage accounting
+    # ------------------------------------------------------------------ #
+    def storage_bytes(self) -> int:
+        """Bytes occupied by the packed words."""
+        return int(self.words.size * (WORD_BITS // 8))
+
+    def word(self, index: int) -> int:
+        """Return the 64-bit word at position ``index`` as a Python int."""
+        return int(self.words[index])
+
+    @property
+    def n_words(self) -> int:
+        """Number of 64-bit words backing the bitmap."""
+        return int(self.words.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Bitmap(n_bits={self.n_bits}, set={self.popcount()})"

@@ -1,0 +1,123 @@
+"""Configuration of the SMASH hierarchical bitmap encoding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+#: Maximum number of bitmap levels supported by the encoding and the BMU.
+#: The paper's examples use up to three levels; we allow one extra.
+MAX_LEVELS = 4
+
+#: Size of one BMU SRAM bitmap buffer in bytes (Section 4.2.1).
+BITMAP_BUFFER_BYTES = 256
+
+#: Maximum compression ratio supported at any level: with a 256-byte buffer
+#: a single buffered block can cover at most 256 * 8 = 2048 regions.
+MAX_COMPRESSION_RATIO = BITMAP_BUFFER_BYTES * 8
+
+
+@dataclass(frozen=True)
+class SMASHConfig:
+    """Per-level compression ratios of a bitmap hierarchy.
+
+    ``ratios`` is ordered from Bitmap-0 (the level closest to the NZA) to the
+    highest level. ``ratios[0]`` is the number of consecutive matrix elements
+    covered by one Bitmap-0 bit, i.e. the NZA block size; ``ratios[i]`` for
+    ``i > 0`` is the number of Bitmap-(i-1) bits covered by one Bitmap-i bit.
+
+    The paper labels each evaluated matrix configuration ``Mi.b2.b1.b0``; use
+    :meth:`from_label_ratios` to build a config from that notation.
+    """
+
+    ratios: Tuple[int, ...] = (2, 4, 16)
+
+    def __post_init__(self) -> None:
+        if not self.ratios:
+            raise ValueError("at least one bitmap level is required")
+        if len(self.ratios) > MAX_LEVELS:
+            raise ValueError(f"at most {MAX_LEVELS} bitmap levels are supported")
+        for ratio in self.ratios:
+            if int(ratio) != ratio or ratio < 1:
+                raise ValueError(f"compression ratios must be positive integers, got {ratio}")
+            if ratio > MAX_COMPRESSION_RATIO:
+                raise ValueError(
+                    f"compression ratio {ratio} exceeds the BMU buffer limit "
+                    f"({MAX_COMPRESSION_RATIO}:1)"
+                )
+        object.__setattr__(self, "ratios", tuple(int(r) for r in self.ratios))
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_label_ratios(cls, *top_down: int) -> "SMASHConfig":
+        """Build a config from the paper's top-down ``b2.b1.b0`` notation.
+
+        ``SMASHConfig.from_label_ratios(16, 4, 2)`` corresponds to the label
+        ``Mi.16.4.2``: Bitmap-2 ratio 16, Bitmap-1 ratio 4, Bitmap-0 ratio 2.
+        """
+        return cls(tuple(reversed([int(r) for r in top_down])))
+
+    @classmethod
+    def single_level(cls, block_size: int) -> "SMASHConfig":
+        """A one-level hierarchy with the given NZA block size."""
+        return cls((int(block_size),))
+
+    def with_block_size(self, block_size: int) -> "SMASHConfig":
+        """Return a copy with a different Bitmap-0 (NZA block) ratio."""
+        return SMASHConfig((int(block_size),) + self.ratios[1:])
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def levels(self) -> int:
+        """Number of bitmap levels."""
+        return len(self.ratios)
+
+    @property
+    def block_size(self) -> int:
+        """NZA block size (elements covered by one Bitmap-0 bit)."""
+        return self.ratios[0]
+
+    def elements_per_bit(self, level: int) -> int:
+        """Matrix elements covered by one bit of Bitmap-``level``."""
+        if not 0 <= level < self.levels:
+            raise ValueError(f"level {level} out of range [0, {self.levels})")
+        span = 1
+        for ratio in self.ratios[: level + 1]:
+            span *= ratio
+        return span
+
+    def label(self) -> str:
+        """The paper-style top-down label, e.g. ``"16.4.2"``."""
+        return ".".join(str(r) for r in reversed(self.ratios))
+
+    @classmethod
+    def choose_for_matrix(
+        cls,
+        density: float,
+        locality: float = 0.5,
+        levels: int = 3,
+        upper_ratios: Sequence[int] = (4, 16),
+    ) -> "SMASHConfig":
+        """Pick a configuration from matrix statistics.
+
+        Encodes the guidance of Section 7.2.2: a 2:1 Bitmap-0 ratio is the
+        robust default; matrices whose non-zeros are strongly clustered
+        (high ``locality``) and not extremely sparse benefit from a larger
+        NZA block.
+        """
+        if not 0.0 <= density <= 1.0:
+            raise ValueError("density must be in [0, 1]")
+        if not 0.0 <= locality <= 1.0:
+            raise ValueError("locality must be in [0, 1]")
+        if locality >= 0.75 and density >= 0.01:
+            block = 8
+        elif locality >= 0.5 and density >= 0.005:
+            block = 4
+        else:
+            block = 2
+        ratios = (block,) + tuple(upper_ratios)[: max(0, levels - 1)]
+        return cls(ratios)

@@ -1,0 +1,167 @@
+"""Conversion between CSR and the SMASH encoding, with cost accounting.
+
+Section 4.1.3 of the paper describes the three-step conversion from any
+existing format to the hierarchical bitmap encoding, and Section 7.5 measures
+the end-to-end overhead of converting CSR -> SMASH before a kernel and
+SMASH -> CSR after it. The functions here perform the conversions and return
+an estimate of the work they take, expressed in the same instruction-class
+units the kernels use, so that Figure 20 can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SMASHConfig
+from repro.core.hierarchy import BitmapHierarchy
+from repro.core.nza import NZA
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.csr import CSRMatrix
+from repro.sim.config import SimConfig
+
+
+@dataclass(frozen=True)
+class ConversionCost:
+    """Instruction-level estimate of one conversion pass."""
+
+    direction: str
+    index_instructions: int
+    load_instructions: int
+    store_instructions: int
+
+    @property
+    def total_instructions(self) -> int:
+        """Total instructions attributed to the conversion."""
+        return self.index_instructions + self.load_instructions + self.store_instructions
+
+    def cycles(self, config: Optional[SimConfig] = None) -> float:
+        """Approximate cycles for the conversion on the simulated core."""
+        config = config or SimConfig.default()
+        costs = config.costs
+        weighted = (
+            self.index_instructions * costs.index
+            + self.load_instructions * costs.load
+            + self.store_instructions * costs.store
+        )
+        return weighted / config.cpu.issue_width
+
+
+def dense_to_smash(dense: np.ndarray, config: Optional[SMASHConfig] = None) -> SMASHMatrix:
+    """Encode a dense matrix directly (no cost accounting)."""
+    return SMASHMatrix.from_dense(dense, config)
+
+
+def csr_to_smash(
+    csr: CSRMatrix,
+    config: Optional[SMASHConfig] = None,
+) -> Tuple[SMASHMatrix, ConversionCost]:
+    """Convert a CSR matrix into the SMASH encoding.
+
+    Follows the paper's three steps: (1) walk the CSR structure to find which
+    NZA-sized blocks contain non-zeros, (2) pack those blocks contiguously
+    into the NZA, (3) build Bitmap-0 and derive the upper bitmap levels.
+    Returns the encoded matrix and the estimated conversion cost.
+    """
+    config = config or SMASHConfig()
+    rows, cols = csr.shape
+    block = config.block_size
+    total = rows * cols
+    n_blocks = -(-total // block) if total else 0
+
+    block_values: dict[int, np.ndarray] = {}
+    for i in range(rows):
+        start, end = csr.row_ptr[i], csr.row_ptr[i + 1]
+        for k in range(start, end):
+            j = int(csr.col_ind[k])
+            linear = i * cols + j
+            block_index = linear // block
+            offset = linear - block_index * block
+            if block_index not in block_values:
+                block_values[block_index] = np.zeros(block, dtype=np.float64)
+            block_values[block_index][offset] = csr.values[k]
+
+    flags = np.zeros(n_blocks, dtype=bool)
+    ordered_blocks = []
+    for block_index in sorted(block_values):
+        flags[block_index] = True
+        ordered_blocks.append(block_values[block_index])
+    hierarchy = BitmapHierarchy.from_block_flags(config, flags)
+    nza = NZA.from_blocks(block, ordered_blocks)
+    smash = SMASHMatrix((rows, cols), config, hierarchy, nza)
+
+    # Cost model: one load of col_ind + values per non-zero, a few index ops
+    # per non-zero to locate its block, one store per NZA element written,
+    # and one pass over Bitmap-0 per upper level to build the hierarchy.
+    nnz = csr.nnz
+    bitmap_bits = sum(hierarchy.bitmap(level).n_bits for level in range(hierarchy.levels))
+    cost = ConversionCost(
+        direction="csr_to_smash",
+        index_instructions=4 * nnz + bitmap_bits // 8,
+        load_instructions=2 * nnz + rows + 1,
+        store_instructions=smash.nza.stored_elements + bitmap_bits // 64 + 1,
+    )
+    return smash, cost
+
+
+def smash_to_csr(smash: SMASHMatrix) -> Tuple[CSRMatrix, ConversionCost]:
+    """Convert a SMASH-encoded matrix back to CSR.
+
+    Walks the NZA blocks in order, emitting (row, col, value) triplets for the
+    true non-zeros, then packs them into CSR arrays.
+    """
+    rows, cols = smash.shape
+    triplet_rows = []
+    triplet_cols = []
+    triplet_vals = []
+    for _bit, row, col, values in smash.iter_blocks():
+        linear = row * cols + col
+        for offset, value in enumerate(values):
+            if value != 0.0:
+                element = linear + offset
+                triplet_rows.append(element // cols)
+                triplet_cols.append(element % cols)
+                triplet_vals.append(float(value))
+
+    row_arr = np.array(triplet_rows, dtype=np.int64)
+    col_arr = np.array(triplet_cols, dtype=np.int64)
+    val_arr = np.array(triplet_vals, dtype=np.float64)
+    order = np.argsort(row_arr * cols + col_arr, kind="stable") if row_arr.size else np.zeros(0, np.int64)
+    row_arr, col_arr, val_arr = row_arr[order], col_arr[order], val_arr[order]
+    row_ptr = np.zeros(rows + 1, dtype=np.int64)
+    np.add.at(row_ptr, row_arr + 1, 1)
+    row_ptr = np.cumsum(row_ptr)
+    csr = CSRMatrix((rows, cols), row_ptr, col_arr, val_arr)
+
+    stored = smash.nza.stored_elements
+    cost = ConversionCost(
+        direction="smash_to_csr",
+        index_instructions=3 * stored,
+        load_instructions=stored + smash.hierarchy.base.n_words,
+        store_instructions=2 * csr.nnz + rows + 1,
+    )
+    return csr, cost
+
+
+def estimate_conversion_cost(
+    csr: CSRMatrix,
+    config: Optional[SMASHConfig] = None,
+    round_trip: bool = True,
+) -> ConversionCost:
+    """Estimate the conversion cost without keeping the converted matrix.
+
+    With ``round_trip=True`` the estimate covers CSR -> SMASH -> CSR, which is
+    the scenario of Figure 20 (the matrix must remain stored in CSR).
+    """
+    smash, to_cost = csr_to_smash(csr, config)
+    if not round_trip:
+        return to_cost
+    _, back_cost = smash_to_csr(smash)
+    return ConversionCost(
+        direction="csr_to_smash_round_trip",
+        index_instructions=to_cost.index_instructions + back_cost.index_instructions,
+        load_instructions=to_cost.load_instructions + back_cost.load_instructions,
+        store_instructions=to_cost.store_instructions + back_cost.store_instructions,
+    )

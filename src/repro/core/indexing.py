@@ -1,0 +1,177 @@
+"""Pure-software indexing of a SMASH-encoded matrix ("Software-only SMASH").
+
+Section 4.4 of the paper describes how the hierarchical bitmap encoding can be
+used without the BMU: the application loads bitmap words, uses a
+count-leading/trailing-zeros style bit scan to find set bits, and masks each
+found bit before searching for the next one. :class:`SoftwareIndexer`
+implements that scan and, when given a
+:class:`~repro.sim.instrumentation.KernelInstrumentation`, also charges the
+corresponding instruction and memory costs so the instrumented kernels can
+compare software-only SMASH against CSR and hardware SMASH.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.core.smash_matrix import SMASHMatrix
+from repro.sim.instrumentation import InstructionClass, KernelInstrumentation
+
+#: Bytes per packed bitmap word (64-bit words).
+WORD_BYTES = 8
+
+
+def iter_nonzero_blocks(matrix: SMASHMatrix) -> Iterator[Tuple[int, int, int]]:
+    """Yield ``(nza_block_index, row, col)`` for every non-zero block.
+
+    This is the uninstrumented convenience iterator used by the functional
+    (correctness) paths of the kernels and by the examples.
+    """
+    for nza_index, block_bit in enumerate(matrix.hierarchy.base.iter_set_bits()):
+        row, col = matrix.block_position(block_bit)
+        yield nza_index, row, col
+
+
+class SoftwareIndexer:
+    """Iterates over the non-zero blocks of a SMASH matrix in software.
+
+    The traversal is depth-first over the bitmap hierarchy, exactly like the
+    BMU's hardware walk, but every step is charged as ordinary CPU work:
+
+    * one load per 64-bit bitmap word that is brought into registers,
+    * one bit-scan instruction per set bit found,
+    * one AND instruction to clear the found bit before the next scan,
+    * index-arithmetic instructions to turn bit positions into row/column.
+    """
+
+    def __init__(
+        self,
+        matrix: SMASHMatrix,
+        instr: Optional[KernelInstrumentation] = None,
+    ) -> None:
+        self.matrix = matrix
+        self.instr = instr
+        if instr is not None:
+            for level in range(matrix.hierarchy.levels):
+                name = self._bitmap_structure(level)
+                instr.register_array(name, matrix.hierarchy.bitmap(level).storage_bytes())
+
+    @staticmethod
+    def _bitmap_structure(level: int) -> str:
+        return f"bitmap{level}"
+
+    # ------------------------------------------------------------------ #
+    # Cost accounting helpers
+    # ------------------------------------------------------------------ #
+    def _charge_word_load(self, level: int, word_index: int) -> None:
+        if self.instr is None:
+            return
+        self.instr.load(
+            self._bitmap_structure(level),
+            word_index * WORD_BYTES,
+            dependent=False,
+        )
+
+    def _charge_scan(self, extra_ops: int = 0) -> None:
+        if self.instr is None:
+            return
+        # Section 4.4: a bit-scan (CLZ/TZCNT) to find the set bit, an AND to
+        # mask it off before the next search, plus the shift/compare pair
+        # that keeps track of the position within the current word.
+        self.instr.count(InstructionClass.INDEX, 4 + extra_ops)
+
+    def _charge_index_computation(self) -> None:
+        if self.instr is None:
+            return
+        # Turning a Bitmap-0 bit position into matrix coordinates in software
+        # needs the linear-index multiply, the row division, the column
+        # remainder, and the NZA-block counter update; the BMU performs the
+        # same arithmetic in hardware at no instruction cost.
+        self.instr.count(InstructionClass.INDEX, 5)
+
+    # ------------------------------------------------------------------ #
+    # Iteration
+    # ------------------------------------------------------------------ #
+    def iter_blocks(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(nza_block_index, row, col)`` while charging software costs.
+
+        The scan walks Bitmap-0 word by word. Higher bitmap levels let the
+        software skip whole all-zero regions of Bitmap-0 without loading
+        them; the skip test itself costs one word load and one scan at the
+        upper level.
+        """
+        matrix = self.matrix
+        hierarchy = matrix.hierarchy
+        base = hierarchy.base
+        levels = hierarchy.levels
+
+        # Pre-compute, for Bitmap-0 word granularity, whether an upper level
+        # allows skipping. We walk top-down: for each top-level bit we either
+        # skip its whole span or descend.
+        nza_index = 0
+        if levels == 1:
+            yield from self._scan_level0_range(0, base.n_bits, nza_index)
+            return
+
+        top_level = levels - 1
+        top = hierarchy.bitmap(top_level)
+        span_in_base_bits = 1
+        for level in range(1, levels):
+            span_in_base_bits *= hierarchy.config.ratios[level]
+
+        for top_word in range(max(1, top.n_words)):
+            if top.n_words:
+                self._charge_word_load(top_level, top_word)
+            word_value = top.word(top_word) if top.n_words else 0
+            if word_value == 0:
+                continue
+            bit = top_word * 64
+            limit = min((top_word + 1) * 64, top.n_bits)
+            while bit < limit:
+                next_set = top.next_set_bit(bit)
+                if next_set is None or next_set >= limit:
+                    break
+                self._charge_scan()
+                base_start = next_set * span_in_base_bits
+                base_end = min(base_start + span_in_base_bits, base.n_bits)
+                start_nza = self._count_blocks_before(base_start)
+                yield from self._scan_level0_range(base_start, base_end, start_nza)
+                bit = next_set + 1
+
+    def _count_blocks_before(self, base_bit: int) -> int:
+        """Number of set Bitmap-0 bits strictly before ``base_bit``."""
+        count = 0
+        base = self.matrix.hierarchy.base
+        full_words = base_bit // 64
+        for word_index in range(full_words):
+            count += int(base.word(word_index)).bit_count()
+        remainder = base_bit % 64
+        if remainder and full_words < base.n_words:
+            mask = (1 << remainder) - 1
+            count += (int(base.word(full_words)) & mask).bit_count()
+        return count
+
+    def _scan_level0_range(
+        self, start_bit: int, end_bit: int, nza_index: int
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Scan Bitmap-0 bits in ``[start_bit, end_bit)``, yielding blocks."""
+        base = self.matrix.hierarchy.base
+        start_word = start_bit // 64
+        end_word = -(-end_bit // 64) if end_bit else 0
+        for word_index in range(start_word, min(end_word, max(base.n_words, 0))):
+            self._charge_word_load(0, word_index)
+            word_value = base.word(word_index)
+            if word_value == 0:
+                continue
+            bit = max(start_bit, word_index * 64)
+            limit = min((word_index + 1) * 64, end_bit)
+            while bit < limit:
+                next_set = base.next_set_bit(bit)
+                if next_set is None or next_set >= limit:
+                    break
+                self._charge_scan()
+                self._charge_index_computation()
+                row, col = self.matrix.block_position(next_set)
+                yield nza_index, row, col
+                nza_index += 1
+                bit = next_set + 1

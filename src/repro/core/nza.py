@@ -1,0 +1,108 @@
+"""Non-Zero Values Array (NZA).
+
+The NZA stores the matrix values block by block: every set bit of Bitmap-0
+corresponds to one block of ``block_size`` consecutive matrix elements (in
+row-major linear order). Blocks are appended contiguously, so the k-th set bit
+of Bitmap-0 owns the k-th block of the NZA. Zeros inside a block are stored
+explicitly — that is exactly the storage/compute trade-off the paper studies
+when varying the Bitmap-0 compression ratio (Section 4.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.formats.base import VALUE_BYTES
+
+
+class NZA:
+    """The packed array of non-zero blocks."""
+
+    def __init__(self, block_size: int, data: np.ndarray | None = None) -> None:
+        if block_size < 1:
+            raise ValueError("block size must be at least 1")
+        self.block_size = int(block_size)
+        if data is None:
+            self._data = np.zeros(0, dtype=np.float64)
+        else:
+            data = np.ascontiguousarray(data, dtype=np.float64)
+            if data.ndim != 1:
+                raise ValueError("NZA data must be one-dimensional")
+            if data.size % self.block_size != 0:
+                raise ValueError(
+                    f"NZA length {data.size} is not a multiple of block size {self.block_size}"
+                )
+            self._data = data.copy()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_blocks(cls, block_size: int, blocks: List[np.ndarray]) -> "NZA":
+        """Build an NZA from a list of equal-length blocks."""
+        nza = cls(block_size)
+        for block in blocks:
+            nza.append_block(block)
+        return nza
+
+    def append_block(self, block: np.ndarray) -> int:
+        """Append one block; return its block index."""
+        block = np.asarray(block, dtype=np.float64)
+        if block.shape != (self.block_size,):
+            raise ValueError(f"block must have length {self.block_size}, got {block.shape}")
+        self._data = np.concatenate([self._data, block])
+        return self.n_blocks - 1
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def data(self) -> np.ndarray:
+        """The flat value array (block-major)."""
+        return self._data
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of stored blocks."""
+        return self._data.size // self.block_size
+
+    @property
+    def stored_elements(self) -> int:
+        """Total stored values, including explicit zeros inside blocks."""
+        return int(self._data.size)
+
+    @property
+    def nnz(self) -> int:
+        """Number of true non-zero values stored."""
+        return int(np.count_nonzero(self._data))
+
+    def block(self, index: int) -> np.ndarray:
+        """Return a view of block ``index``."""
+        if not 0 <= index < self.n_blocks:
+            raise IndexError(f"block index {index} out of range [0, {self.n_blocks})")
+        start = index * self.block_size
+        return self._data[start:start + self.block_size]
+
+    def iter_blocks(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(block_index, block_view)`` for every stored block."""
+        for index in range(self.n_blocks):
+            yield index, self.block(index)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def fill_ratio(self) -> float:
+        """Average fraction of true non-zeros per block.
+
+        This is the paper's *locality of sparsity* metric (Section 7.2.3)
+        expressed as a fraction instead of a percentage.
+        """
+        if self.stored_elements == 0:
+            return 0.0
+        return self.nnz / self.stored_elements
+
+    def storage_bytes(self) -> int:
+        """Bytes occupied by the value storage."""
+        return self.stored_elements * VALUE_BYTES

@@ -1,0 +1,166 @@
+"""The complete SMASH-encoded sparse matrix (bitmap hierarchy + NZA)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SMASHConfig
+from repro.core.hierarchy import BitmapHierarchy
+from repro.core.nza import NZA
+from repro.formats.base import MatrixFormat, FormatError, check_shape
+
+
+class SMASHMatrix(MatrixFormat):
+    """A sparse matrix encoded with SMASH's hierarchical bitmap scheme.
+
+    The matrix is linearized in row-major order. Each Bitmap-0 bit covers
+    ``config.block_size`` consecutive elements of that linear order; each set
+    bit owns one block of the :class:`~repro.core.nza.NZA`, in the same order
+    the set bits appear.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        config: SMASHConfig,
+        hierarchy: BitmapHierarchy,
+        nza: NZA,
+    ) -> None:
+        self.shape = check_shape(shape)
+        self.config = config
+        self.hierarchy = hierarchy
+        self.nza = nza
+        self._validate()
+
+    def _validate(self) -> None:
+        rows, cols = self.shape
+        total_elements = rows * cols
+        expected_blocks = -(-total_elements // self.config.block_size) if total_elements else 0
+        if self.hierarchy.base.n_bits != expected_blocks:
+            raise FormatError(
+                f"Bitmap-0 must have {expected_blocks} bits for a {rows}x{cols} matrix "
+                f"with block size {self.config.block_size}, got {self.hierarchy.base.n_bits}"
+            )
+        if self.nza.block_size != self.config.block_size:
+            raise FormatError("NZA block size must equal the Bitmap-0 compression ratio")
+        if self.nza.n_blocks != self.hierarchy.n_nonzero_blocks():
+            raise FormatError(
+                f"NZA holds {self.nza.n_blocks} blocks but Bitmap-0 has "
+                f"{self.hierarchy.n_nonzero_blocks()} set bits"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        config: Optional[SMASHConfig] = None,
+    ) -> "SMASHMatrix":
+        """Encode a dense array with the given (or default) configuration."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise FormatError("from_dense expects a 2-D array")
+        config = config or SMASHConfig()
+        rows, cols = dense.shape
+        block = config.block_size
+        flat = dense.reshape(-1)
+        total = flat.size
+        n_blocks = -(-total // block) if total else 0
+        padded = np.zeros(n_blocks * block, dtype=np.float64)
+        padded[:total] = flat
+        blocks = padded.reshape(n_blocks, block) if n_blocks else padded.reshape(0, block)
+        flags = np.any(blocks != 0.0, axis=1)
+        hierarchy = BitmapHierarchy.from_block_flags(config, flags)
+        nza = NZA(block, blocks[flags].reshape(-1) if flags.any() else np.zeros(0, np.float64))
+        return cls((rows, cols), config, hierarchy, nza)
+
+    # ------------------------------------------------------------------ #
+    # Core geometry helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def block_size(self) -> int:
+        """NZA block size in matrix elements."""
+        return self.config.block_size
+
+    @property
+    def n_nonzero_blocks(self) -> int:
+        """Number of stored NZA blocks."""
+        return self.nza.n_blocks
+
+    def linear_index(self, block_bit: int) -> int:
+        """Linear (row-major) element index of the first element of a block."""
+        return block_bit * self.block_size
+
+    def block_position(self, block_bit: int) -> Tuple[int, int]:
+        """``(row, column)`` of the first element covered by Bitmap-0 bit ``block_bit``.
+
+        This is the index computation the BMU performs in hardware
+        (Section 4.2.3): ``index = block_bit * block_size``, then
+        ``row = index // cols`` and ``col = index % cols``.
+        """
+        index = self.linear_index(block_bit)
+        return index // self.cols, index % self.cols
+
+    def iter_blocks(self) -> Iterator[Tuple[int, int, int, np.ndarray]]:
+        """Yield ``(block_bit, row, col, values)`` for every stored block.
+
+        Blocks are yielded in Bitmap-0 order, which is also NZA storage order.
+        """
+        for nza_index, block_bit in enumerate(self.hierarchy.base.iter_set_bits()):
+            row, col = self.block_position(block_bit)
+            yield block_bit, row, col, self.nza.block(nza_index)
+
+    # ------------------------------------------------------------------ #
+    # MatrixFormat interface
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        return self.nza.nnz
+
+    def to_dense(self) -> np.ndarray:
+        rows, cols = self.shape
+        flat = np.zeros(rows * cols + self.block_size, dtype=np.float64)
+        for block_bit, _row, _col, values in self.iter_blocks():
+            start = self.linear_index(block_bit)
+            flat[start:start + self.block_size] = values
+        return flat[: rows * cols].reshape(rows, cols)
+
+    def storage_bytes(self) -> int:
+        """Total bytes for the bitmap hierarchy plus the NZA.
+
+        Only non-zero bitmap words are counted, following the paper's
+        "store only the non-zero blocks of the bitmaps" optimization.
+        """
+        return self.hierarchy.stored_nonzero_bitmap_bytes() + self.nza.storage_bytes()
+
+    # ------------------------------------------------------------------ #
+    # Statistics used by the evaluation
+    # ------------------------------------------------------------------ #
+    def locality_of_sparsity(self) -> float:
+        """The paper's locality-of-sparsity metric as a percentage.
+
+        Average number of non-zero elements per NZA block divided by the
+        block size (Section 7.2.3).
+        """
+        return 100.0 * self.nza.fill_ratio()
+
+    def stored_zero_elements(self) -> int:
+        """Explicit zeros stored inside NZA blocks."""
+        return self.nza.stored_elements - self.nza.nnz
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"SMASHMatrix {self.rows}x{self.cols}, config {self.config.label()}",
+            f"  non-zeros: {self.nnz} ({self.sparsity_percent:.3f}%)",
+            f"  NZA blocks: {self.n_nonzero_blocks} x {self.block_size} elements",
+            f"  locality of sparsity: {self.locality_of_sparsity():.1f}%",
+            f"  storage: {self.storage_bytes()} bytes "
+            f"(compression ratio {self.compression_ratio():.2f}x)",
+        ]
+        lines.extend("  " + line for line in self.hierarchy.describe())
+        return "\n".join(lines)

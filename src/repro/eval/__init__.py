@@ -1,0 +1,24 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+Each experiment in :mod:`repro.eval.experiments` corresponds to one table or
+figure of the paper's evaluation section (see the experiment index in
+DESIGN.md). The :mod:`repro.eval.figures` registry maps figure/table ids to
+those drivers, :mod:`repro.eval.reporting` renders their results as text
+tables, and :mod:`repro.eval.cli` exposes everything as the ``smash-repro``
+command line tool (also available as ``python -m repro.eval``).
+"""
+
+from repro.eval.comparison import geometric_mean, normalize_to, speedups_over
+from repro.eval.figures import EXPERIMENTS, get_experiment, list_experiments
+from repro.eval.reporting import format_table, render_result
+
+__all__ = [
+    "geometric_mean",
+    "normalize_to",
+    "speedups_over",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "format_table",
+    "render_result",
+]

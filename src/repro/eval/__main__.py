@@ -1,0 +1,6 @@
+"""Allow ``python -m repro.eval`` as an alias for the ``smash-repro`` CLI."""
+
+from repro.eval.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Command-line interface: regenerate any table or figure from the terminal.
+
+Examples
+--------
+
+List everything that can be reproduced::
+
+    smash-repro list
+
+Regenerate Figure 10/11 (SpMV speedup and instruction counts)::
+
+    smash-repro run figure10
+
+Run every experiment at reduced size (a quick smoke test)::
+
+    smash-repro all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.eval.figures import get_experiment, list_experiments
+from repro.eval.reporting import render_result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``smash-repro`` tool."""
+    parser = argparse.ArgumentParser(
+        prog="smash-repro",
+        description="Regenerate the tables and figures of the SMASH paper reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all reproducible tables and figures")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id, e.g. figure10, table3, area")
+    run_parser.add_argument("--quick", action="store_true", help="use reduced problem sizes")
+    run_parser.add_argument("--json", action="store_true", help="print the raw result as JSON")
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--quick", action="store_true", help="use reduced problem sizes")
+    all_parser.add_argument("--json", action="store_true", help="print raw results as JSON")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``smash-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment in list_experiments():
+            print(f"{experiment.identifier:10s} [{experiment.kind}] {experiment.description}")
+        return 0
+
+    if args.command == "run":
+        try:
+            experiment = get_experiment(args.experiment)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        kwargs = experiment.quick_kwargs if args.quick else {}
+        result = experiment.driver(**kwargs)
+        print(json.dumps(result, indent=2, default=str) if args.json else render_result(result))
+        return 0
+
+    if args.command == "all":
+        results = {}
+        for experiment in list_experiments():
+            kwargs = experiment.quick_kwargs if args.quick else {}
+            result = experiment.driver(**kwargs)
+            results[experiment.identifier] = result
+            if not args.json:
+                print(render_result(result))
+                print()
+        if args.json:
+            print(json.dumps(results, indent=2, default=str))
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

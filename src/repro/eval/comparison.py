@@ -1,0 +1,46 @@
+"""Small numeric helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping
+
+from repro.sim.instrumentation import CostReport
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty input)."""
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty input)."""
+    values = [float(v) for v in values]
+    return sum(values) / len(values) if values else 0.0
+
+
+def speedups_over(baseline: CostReport, candidates: Mapping[str, CostReport]) -> Dict[str, float]:
+    """Speedup of every candidate report relative to ``baseline``."""
+    return {name: report.speedup_over(baseline) for name, report in candidates.items()}
+
+
+def normalize_to(baseline: float, values: Mapping[str, float]) -> Dict[str, float]:
+    """Divide every value by ``baseline`` (returns inf-safe ratios)."""
+    result = {}
+    for name, value in values.items():
+        result[name] = float("inf") if baseline == 0 else value / baseline
+    return result
+
+
+def normalized_instructions(
+    baseline: CostReport, candidates: Mapping[str, CostReport]
+) -> Dict[str, float]:
+    """Instruction counts of every candidate normalized to the baseline."""
+    return {
+        name: report.instruction_ratio_over(baseline) for name, report in candidates.items()
+    }

@@ -1,0 +1,129 @@
+"""Registry mapping figure/table identifiers to experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.eval import experiments
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible table or figure."""
+
+    identifier: str
+    kind: str
+    description: str
+    driver: Callable[..., dict]
+    quick_kwargs: dict
+
+
+#: Keyword arguments that shrink each experiment for fast test runs.
+_QUICK_MATRICES = ("M2", "M8", "M13")
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "figure3": Experiment(
+        "figure3", "figure", "Ideal indexing vs CSR (motivation)", experiments.experiment_fig3,
+        {"keys": _QUICK_MATRICES, "spmv_dim": 96, "spmm_dim": 48},
+    ),
+    "table2": Experiment(
+        "table2", "table", "Simulated system configuration", experiments.experiment_table2, {},
+    ),
+    "table3": Experiment(
+        "table3", "table", "Evaluated sparse matrices", experiments.experiment_table3,
+        {"dim": 96},
+    ),
+    "table4": Experiment(
+        "table4", "table", "Input graphs", experiments.experiment_table4, {"n_vertices": 64},
+    ),
+    "table5": Experiment(
+        "table5", "table", "Real system configuration", experiments.experiment_table5, {},
+    ),
+    "figure9": Experiment(
+        "figure9", "figure", "Software-only schemes on the real system", experiments.experiment_fig9,
+        {"keys": _QUICK_MATRICES, "spmv_dim": 96, "spmm_dim": 48},
+    ),
+    "figure10": Experiment(
+        "figure10", "figure", "SpMV speedup and instructions", experiments.experiment_fig10_11,
+        {"keys": _QUICK_MATRICES, "dim": 96},
+    ),
+    "figure12": Experiment(
+        "figure12", "figure", "SpMM speedup and instructions", experiments.experiment_fig12_13,
+        {"keys": _QUICK_MATRICES, "dim": 48},
+    ),
+    "figure14": Experiment(
+        "figure14", "figure", "Compression-ratio sensitivity (SpMV)",
+        lambda **kw: experiments.experiment_fig14_15(kernel="spmv", **kw),
+        {"keys": _QUICK_MATRICES, "dim": 96},
+    ),
+    "figure15": Experiment(
+        "figure15", "figure", "Compression-ratio sensitivity (SpMM)",
+        lambda **kw: experiments.experiment_fig14_15(kernel="spmm", **kw),
+        {"keys": _QUICK_MATRICES, "dim": 48},
+    ),
+    "figure16": Experiment(
+        "figure16", "figure", "Locality-of-sparsity sensitivity (SpMV)",
+        lambda **kw: experiments.experiment_fig16_17(kernel="spmv", **kw),
+        {"keys": ("M8",), "dim": 96, "localities": (12.5, 50, 100)},
+    ),
+    "figure17": Experiment(
+        "figure17", "figure", "Locality-of-sparsity sensitivity (SpMM)",
+        lambda **kw: experiments.experiment_fig16_17(kernel="spmm", **kw),
+        {"keys": ("M8",), "dim": 48, "localities": (12.5, 50, 100)},
+    ),
+    "figure18": Experiment(
+        "figure18", "figure", "PageRank and Betweenness Centrality", experiments.experiment_fig18,
+        {"keys": ("G2",), "n_vertices": 64, "pagerank_iterations": 2, "bc_sources": 2},
+    ),
+    "figure19": Experiment(
+        "figure19", "figure", "Storage efficiency (compression ratios)", experiments.experiment_fig19,
+        {"keys": _QUICK_MATRICES, "dim": 96},
+    ),
+    "figure20": Experiment(
+        "figure20", "figure", "Format conversion overhead", experiments.experiment_fig20,
+        {"spmv_dim": 96, "spmm_dim": 48, "n_vertices": 64, "pagerank_iterations": 3},
+    ),
+    "area": Experiment(
+        "area", "section", "BMU area overhead (Section 7.6)", experiments.experiment_area, {},
+    ),
+}
+
+#: Aliases accepted by the CLI (e.g. ``figure 11`` shares a driver with 10).
+ALIASES = {
+    "figure11": "figure10",
+    "figure13": "figure12",
+    "3": "figure3",
+    "9": "figure9",
+    "10": "figure10",
+    "11": "figure10",
+    "12": "figure12",
+    "13": "figure12",
+    "14": "figure14",
+    "15": "figure15",
+    "16": "figure16",
+    "17": "figure17",
+    "18": "figure18",
+    "19": "figure19",
+    "20": "figure20",
+    "2": "table2",
+    "4": "table4",
+    "5": "table5",
+}
+
+
+def get_experiment(identifier: str) -> Experiment:
+    """Resolve an experiment by id or alias (case-insensitive)."""
+    key = identifier.lower().replace(" ", "")
+    key = ALIASES.get(key, key)
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {identifier!r}; known: {sorted(EXPERIMENTS)} "
+            f"(aliases: {sorted(ALIASES)})"
+        )
+    return EXPERIMENTS[key]
+
+
+def list_experiments() -> List[Experiment]:
+    """All registered experiments, in registry order."""
+    return list(EXPERIMENTS.values())

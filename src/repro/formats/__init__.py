@@ -1,0 +1,55 @@
+"""Sparse matrix storage formats implemented from scratch.
+
+This package provides the baseline compressed storage formats that the SMASH
+paper compares against (CSR, CSC, BCSR) as well as a few auxiliary formats
+(COO, DIA, dense) used by the workload generators and the evaluation harness.
+
+Every format stores ``float64`` values and exposes:
+
+* ``shape`` — the logical ``(rows, cols)`` of the matrix,
+* ``nnz`` — the number of explicitly stored non-zero elements,
+* ``to_dense()`` — a :class:`numpy.ndarray` reconstruction of the matrix,
+* ``storage_bytes()`` — the number of bytes the format occupies in memory,
+  used by the storage-efficiency experiment (Figure 19 in the paper).
+
+The formats are intentionally self-contained (no :mod:`scipy.sparse`
+dependency) because the reproduction must own the full data layout that the
+instruction- and memory-access-level cost models account for.
+"""
+
+from repro.formats.base import MatrixFormat, FormatError
+from repro.formats.dense import DenseMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.convert import (
+    coo_to_csr,
+    coo_to_csc,
+    csr_to_coo,
+    csr_to_csc,
+    csc_to_csr,
+    csr_to_bcsr,
+    dense_to_coo,
+    to_format,
+)
+
+__all__ = [
+    "MatrixFormat",
+    "FormatError",
+    "DenseMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "BCSRMatrix",
+    "DIAMatrix",
+    "coo_to_csr",
+    "coo_to_csc",
+    "csr_to_coo",
+    "csr_to_csc",
+    "csc_to_csr",
+    "csr_to_bcsr",
+    "dense_to_coo",
+    "to_format",
+]

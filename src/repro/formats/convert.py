@@ -1,0 +1,101 @@
+"""Conversions between the baseline sparse matrix formats."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.formats.base import FormatError, MatrixFormat
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dense import DenseMatrix
+from repro.formats.dia import DIAMatrix
+
+AnyMatrix = Union[DenseMatrix, COOMatrix, CSRMatrix, CSCMatrix, BCSRMatrix, DIAMatrix]
+
+
+def dense_to_coo(dense: np.ndarray) -> COOMatrix:
+    """Compress a dense numpy array into COO."""
+    return COOMatrix.from_dense(np.asarray(dense, dtype=np.float64))
+
+
+def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
+    """Convert COO to CSR without materializing the dense matrix."""
+    rows, cols = coo.shape
+    order = np.argsort(coo.row * cols + coo.col, kind="stable")
+    sorted_row = coo.row[order]
+    sorted_col = coo.col[order]
+    sorted_val = coo.values[order]
+    row_ptr = np.zeros(rows + 1, dtype=np.int64)
+    np.add.at(row_ptr, sorted_row + 1, 1)
+    row_ptr = np.cumsum(row_ptr)
+    return CSRMatrix((rows, cols), row_ptr, sorted_col, sorted_val)
+
+
+def coo_to_csc(coo: COOMatrix) -> CSCMatrix:
+    """Convert COO to CSC without materializing the dense matrix."""
+    rows, cols = coo.shape
+    order = np.argsort(coo.col * rows + coo.row, kind="stable")
+    sorted_row = coo.row[order]
+    sorted_col = coo.col[order]
+    sorted_val = coo.values[order]
+    col_ptr = np.zeros(cols + 1, dtype=np.int64)
+    np.add.at(col_ptr, sorted_col + 1, 1)
+    col_ptr = np.cumsum(col_ptr)
+    return CSCMatrix((rows, cols), col_ptr, sorted_row, sorted_val)
+
+
+def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
+    """Expand CSR back to COO."""
+    row = np.repeat(np.arange(csr.rows, dtype=np.int64), np.diff(csr.row_ptr))
+    return COOMatrix(csr.shape, row, csr.col_ind.copy(), csr.values.copy())
+
+
+def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
+    """Convert CSR to CSC (transpose of the storage order, same matrix)."""
+    return coo_to_csc(csr_to_coo(csr))
+
+
+def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
+    """Convert CSC to CSR."""
+    col = np.repeat(np.arange(csc.cols, dtype=np.int64), np.diff(csc.col_ptr))
+    coo = COOMatrix(csc.shape, csc.row_ind.copy(), col, csc.values.copy())
+    return coo_to_csr(coo)
+
+
+def csr_to_bcsr(csr: CSRMatrix, block_shape=(4, 4)) -> BCSRMatrix:
+    """Convert CSR to BCSR by regrouping non-zeros into dense blocks."""
+    return BCSRMatrix.from_dense(csr.to_dense(), block_shape=block_shape)
+
+
+_FORMAT_BUILDERS = {
+    "dense": DenseMatrix,
+    "coo": COOMatrix.from_dense,
+    "csr": CSRMatrix.from_dense,
+    "csc": CSCMatrix.from_dense,
+    "bcsr": BCSRMatrix.from_dense,
+    "dia": DIAMatrix.from_dense,
+}
+
+
+def to_format(matrix: Union[np.ndarray, MatrixFormat], name: str, **kwargs) -> AnyMatrix:
+    """Convert ``matrix`` (dense array or any format) to the named format.
+
+    ``name`` is one of ``dense``, ``coo``, ``csr``, ``csc``, ``bcsr``, ``dia``.
+    Keyword arguments (e.g. ``block_shape`` for BCSR) are forwarded to the
+    target format's ``from_dense`` constructor.
+    """
+    key = name.lower()
+    if key not in _FORMAT_BUILDERS:
+        raise FormatError(f"unknown format {name!r}; expected one of {sorted(_FORMAT_BUILDERS)}")
+    dense = matrix.to_dense() if isinstance(matrix, MatrixFormat) else np.asarray(matrix, np.float64)
+    if key == "coo" and isinstance(matrix, CSRMatrix):
+        return csr_to_coo(matrix)
+    if key == "csr" and isinstance(matrix, COOMatrix):
+        return coo_to_csr(matrix)
+    if key == "csc" and isinstance(matrix, COOMatrix):
+        return coo_to_csc(matrix)
+    return _FORMAT_BUILDERS[key](dense, **kwargs)

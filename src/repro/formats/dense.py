@@ -1,0 +1,57 @@
+"""Dense matrix wrapper used as the reference representation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import MatrixFormat, FormatError, VALUE_BYTES, check_shape
+
+
+class DenseMatrix(MatrixFormat):
+    """A plain two-dimensional float64 matrix.
+
+    The dense representation is the ground truth that every compressed format
+    is validated against; it is also the starting point for the synthetic
+    workload generators on small matrices.
+    """
+
+    def __init__(self, data) -> None:
+        array = np.array(data, dtype=np.float64)
+        if array.ndim != 2:
+            raise FormatError("DenseMatrix requires a 2-dimensional array")
+        self._data = np.ascontiguousarray(array)
+        self.shape = check_shape(array.shape)
+
+    @classmethod
+    def zeros(cls, rows: int, cols: int) -> "DenseMatrix":
+        """Create an all-zero matrix of the given shape."""
+        return cls(np.zeros((rows, cols), dtype=np.float64))
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying 2-D numpy array (not copied)."""
+        return self._data
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self._data))
+
+    def to_dense(self) -> np.ndarray:
+        return self._data.copy()
+
+    def storage_bytes(self) -> int:
+        return self.rows * self.cols * VALUE_BYTES
+
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __setitem__(self, key, value) -> None:
+        self._data[key] = value
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, DenseMatrix):
+            return self.shape == other.shape and np.array_equal(self._data, other._data)
+        return NotImplemented
+
+    def __hash__(self) -> None:  # pragma: no cover - mutable container
+        raise TypeError("DenseMatrix is mutable and unhashable")

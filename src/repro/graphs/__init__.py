@@ -1,0 +1,52 @@
+"""Graph-analytics workloads built on the sparse kernels.
+
+The paper evaluates SMASH on PageRank and Betweenness Centrality from the
+Ligra suite, both implemented as iterative SpMV computations over the graph's
+adjacency matrix. This package provides:
+
+* :class:`~repro.graphs.graph.Graph` — an edge-list graph with conversions to
+  the adjacency and PageRank transition matrices;
+* :mod:`~repro.graphs.generators` — synthetic analogues of the paper's four
+  input graphs (Table 4), scaled down for the analytic cost model;
+* :mod:`~repro.graphs.pagerank` and :mod:`~repro.graphs.betweenness` — the
+  two applications, each runnable with a CSR-based or a SMASH-based SpMV and
+  returning both the numeric result and an aggregated cost report.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    GraphSpec,
+    GRAPH_SPECS,
+    community_graph,
+    generate_graph,
+    get_graph_spec,
+    power_law_graph,
+    road_network_graph,
+)
+from repro.graphs.pagerank import pagerank, pagerank_reference
+from repro.graphs.betweenness import betweenness_centrality, betweenness_reference
+from repro.graphs.traversal import (
+    bfs_levels,
+    bfs_reference,
+    connected_components,
+    connected_components_reference,
+)
+
+__all__ = [
+    "Graph",
+    "GraphSpec",
+    "GRAPH_SPECS",
+    "community_graph",
+    "generate_graph",
+    "get_graph_spec",
+    "power_law_graph",
+    "road_network_graph",
+    "pagerank",
+    "pagerank_reference",
+    "betweenness_centrality",
+    "betweenness_reference",
+    "bfs_levels",
+    "bfs_reference",
+    "connected_components",
+    "connected_components_reference",
+]

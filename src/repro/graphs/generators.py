@@ -1,0 +1,164 @@
+"""Synthetic graph generators (scaled-down analogues of the paper's Table 4).
+
+The original inputs (com-Youtube, com-DBLP, roadNet-CA, amazon0601) are SNAP
+graphs that are not available offline. Each generator below reproduces the
+structural property that matters to the SpMV-based graph kernels — the degree
+distribution and the resulting sparsity/locality of the adjacency matrix —
+at a few hundred vertices so the analytic cost model can run them quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def power_law_graph(
+    n_vertices: int,
+    n_edges: int,
+    seed: Optional[int] = None,
+    skew: float = 1.2,
+) -> Graph:
+    """A graph with a heavy-tailed degree distribution (social-network-like).
+
+    Edges are sampled with vertex probabilities following a power law, so a
+    few hub vertices collect a large share of the edges — the structure of
+    com-Youtube and amazon0601.
+    """
+    rng = np.random.default_rng(seed)
+    weights = np.arange(1, n_vertices + 1, dtype=np.float64) ** (-skew)
+    weights /= weights.sum()
+    edges = set()
+    attempts = 0
+    max_attempts = 20 * n_edges + 100
+    while len(edges) < n_edges and attempts < max_attempts:
+        u, v = rng.choice(n_vertices, size=2, p=weights, replace=False)
+        edges.add((min(int(u), int(v)), max(int(u), int(v))))
+        attempts += 1
+    return Graph(n_vertices, sorted(edges), directed=False)
+
+
+def community_graph(
+    n_vertices: int,
+    n_communities: int,
+    intra_probability: float,
+    inter_edges: int,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A graph of dense communities sparsely connected (DBLP-like structure)."""
+    if n_communities < 1:
+        raise ValueError("at least one community is required")
+    rng = np.random.default_rng(seed)
+    community_of = np.sort(rng.integers(0, n_communities, size=n_vertices))
+    edges = set()
+    members: Dict[int, List[int]] = {c: [] for c in range(n_communities)}
+    for vertex, community in enumerate(community_of):
+        members[int(community)].append(vertex)
+    for community_members in members.values():
+        for i, u in enumerate(community_members):
+            for v in community_members[i + 1:]:
+                if rng.random() < intra_probability:
+                    edges.add((u, v))
+    for _ in range(inter_edges):
+        u, v = rng.choice(n_vertices, size=2, replace=False)
+        edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    return Graph(n_vertices, sorted(edges), directed=False)
+
+
+def road_network_graph(
+    side: int,
+    rewire_probability: float = 0.05,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A near-planar grid graph with light rewiring (roadNet-CA-like).
+
+    Road networks have tiny, almost uniform degree and strong locality; a
+    2-D lattice with a few shortcut edges reproduces both.
+    """
+    rng = np.random.default_rng(seed)
+    n_vertices = side * side
+    edges = set()
+    for r in range(side):
+        for c in range(side):
+            vertex = r * side + c
+            if c + 1 < side:
+                edges.add((vertex, vertex + 1))
+            if r + 1 < side:
+                edges.add((vertex, vertex + side))
+    n_rewire = int(rewire_probability * len(edges))
+    for _ in range(n_rewire):
+        u, v = rng.choice(n_vertices, size=2, replace=False)
+        edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    return Graph(n_vertices, sorted(edges), directed=False)
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Description of one input graph from Table 4 and its synthetic analogue."""
+
+    key: str
+    name: str
+    vertices: int
+    edges: int
+    structure: str
+    scaled_vertices: int = 256
+
+    @property
+    def average_degree(self) -> float:
+        """Average degree of the original graph."""
+        return 2.0 * self.edges / self.vertices if self.vertices else 0.0
+
+
+#: Table 4 of the paper.
+GRAPH_SPECS: List[GraphSpec] = [
+    GraphSpec("G1", "com-Youtube", 1_100_000, 2_900_000, "power_law", 256),
+    GraphSpec("G2", "com-DBLP", 317_000, 1_000_000, "community", 256),
+    GraphSpec("G3", "roadNet-CA", 1_900_000, 2_700_000, "road", 256),
+    GraphSpec("G4", "amazon0601", 403_000, 3_300_000, "power_law", 256),
+]
+
+_GRAPH_INDEX: Dict[str, GraphSpec] = {spec.key: spec for spec in GRAPH_SPECS}
+
+
+def get_graph_spec(key: str) -> GraphSpec:
+    """Look up a graph spec by id (``"G1"`` .. ``"G4"``)."""
+    if key not in _GRAPH_INDEX:
+        raise KeyError(f"unknown graph id {key!r}; known ids: {sorted(_GRAPH_INDEX)}")
+    return _GRAPH_INDEX[key]
+
+
+def generate_graph(
+    spec: GraphSpec | str,
+    n_vertices: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Generate the scaled-down analogue of one Table 4 graph.
+
+    The generated graph has ``n_vertices`` vertices (default: the spec's
+    scaled size) and approximately the original's average degree.
+    """
+    if isinstance(spec, str):
+        spec = get_graph_spec(spec)
+    n_vertices = n_vertices or spec.scaled_vertices
+    seed = seed if seed is not None else sum(ord(c) for c in spec.key) + 42
+    target_edges = max(n_vertices, int(round(spec.average_degree * n_vertices / 2.0)))
+
+    if spec.structure == "power_law":
+        return power_law_graph(n_vertices, target_edges, seed=seed)
+    if spec.structure == "community":
+        n_communities = max(2, n_vertices // 32)
+        return community_graph(
+            n_vertices,
+            n_communities,
+            intra_probability=min(1.0, spec.average_degree / 16.0),
+            inter_edges=n_vertices // 4,
+            seed=seed,
+        )
+    if spec.structure == "road":
+        side = max(2, int(round(np.sqrt(n_vertices))))
+        return road_network_graph(side, rewire_probability=0.05, seed=seed)
+    raise ValueError(f"unknown graph structure {spec.structure!r}")

@@ -1,0 +1,35 @@
+"""Hardware substrate: the Bitmap Management Unit and the SMASH ISA.
+
+This package models the hardware half of the co-design:
+
+* :class:`~repro.hardware.sram.SRAMBuffer` — the 256-byte bitmap buffers;
+* :class:`~repro.hardware.bmu.BMUGroup` and
+  :class:`~repro.hardware.bmu.BitmapManagementUnit` — the scan logic,
+  programmable parameter registers and row/column output registers of
+  Section 4.2;
+* :class:`~repro.hardware.isa.SMASHISA` — an executable model of the five
+  instructions of Table 1 (``MATINFO``, ``BMAPINFO``, ``RDBMAP``, ``PBMAP``,
+  ``RDIND``) together with per-instruction cost accounting;
+* :mod:`~repro.hardware.area` — the SRAM/register area model behind the
+  paper's 0.076 %-of-a-core overhead claim (Section 7.6).
+"""
+
+from repro.hardware.sram import SRAMBuffer
+from repro.hardware.registers import BMURegisters, OutputRegisters
+from repro.hardware.bmu import BMUGroup, BitmapManagementUnit, BMUError
+from repro.hardware.isa import SMASHISA, ISAInstruction, InstructionTrace
+from repro.hardware.area import AreaModel, BMUAreaReport
+
+__all__ = [
+    "SRAMBuffer",
+    "BMURegisters",
+    "OutputRegisters",
+    "BMUGroup",
+    "BitmapManagementUnit",
+    "BMUError",
+    "SMASHISA",
+    "ISAInstruction",
+    "InstructionTrace",
+    "AreaModel",
+    "BMUAreaReport",
+]

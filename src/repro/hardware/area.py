@@ -1,0 +1,87 @@
+"""Area model for the BMU (Section 7.6 of the paper).
+
+The paper uses CACTI 6.5 to estimate that a 4-group BMU (3 KiB of SRAM
+buffers plus 140 bytes of registers) costs at most 0.076 % of a modern Xeon
+core. CACTI is not available offline, so this module uses published
+technology-scaling rules of thumb: a per-bit SRAM cell area plus a fixed
+peripheral overhead factor, and register area modeled as flip-flop-based
+storage (several times the SRAM cell area per bit). The absolute numbers are
+approximations; the quantity of interest is the *ratio* of the BMU area to a
+core's area, which is dominated by how little storage the BMU adds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.bmu import BitmapManagementUnit
+
+#: 6T SRAM cell area in um^2 at a 14 nm-class node (published foundry values
+#: are in the 0.05-0.09 um^2 range; we take a middle value).
+SRAM_CELL_UM2_14NM = 0.07
+#: Multiplier covering SRAM peripheral circuitry (decoders, sense amps).
+SRAM_PERIPHERY_FACTOR = 1.6
+#: A flip-flop based register bit occupies several SRAM cells' worth of area.
+REGISTER_BIT_FACTOR = 4.0
+#: Scan/compare logic allowance per BMU group, in um^2 (priority encoder,
+#: small adders and muxes — a few thousand gates).
+SCAN_LOGIC_UM2_PER_GROUP = 400.0
+#: Approximate area of one Xeon-class core plus its private L1/L2 at 14 nm,
+#: in mm^2 (die analyses of Skylake-SP report ~8-9 mm^2 per core tile).
+XEON_CORE_AREA_MM2 = 8.5
+
+
+@dataclass(frozen=True)
+class BMUAreaReport:
+    """Result of the BMU area estimate."""
+
+    sram_bytes: int
+    register_bytes: int
+    sram_area_mm2: float
+    register_area_mm2: float
+    logic_area_mm2: float
+    core_area_mm2: float
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total BMU area."""
+        return self.sram_area_mm2 + self.register_area_mm2 + self.logic_area_mm2
+
+    @property
+    def overhead_percent(self) -> float:
+        """BMU area as a percentage of the reference core area."""
+        return 100.0 * self.total_area_mm2 / self.core_area_mm2
+
+
+class AreaModel:
+    """Estimates the silicon area of a BMU configuration."""
+
+    def __init__(
+        self,
+        sram_cell_um2: float = SRAM_CELL_UM2_14NM,
+        core_area_mm2: float = XEON_CORE_AREA_MM2,
+    ) -> None:
+        if sram_cell_um2 <= 0 or core_area_mm2 <= 0:
+            raise ValueError("area parameters must be positive")
+        self.sram_cell_um2 = sram_cell_um2
+        self.core_area_mm2 = core_area_mm2
+
+    def estimate(self, bmu: Optional[BitmapManagementUnit] = None) -> BMUAreaReport:
+        """Estimate the area of ``bmu`` (default: the paper's 4-group BMU)."""
+        bmu = bmu or BitmapManagementUnit()
+        sram_bytes = bmu.total_sram_bytes()
+        register_bytes = bmu.total_register_bytes()
+
+        sram_area_um2 = sram_bytes * 8 * self.sram_cell_um2 * SRAM_PERIPHERY_FACTOR
+        register_area_um2 = register_bytes * 8 * self.sram_cell_um2 * REGISTER_BIT_FACTOR
+        logic_area_um2 = bmu.n_groups * SCAN_LOGIC_UM2_PER_GROUP
+
+        return BMUAreaReport(
+            sram_bytes=sram_bytes,
+            register_bytes=register_bytes,
+            sram_area_mm2=sram_area_um2 / 1e6,
+            register_area_mm2=register_area_um2 / 1e6,
+            logic_area_mm2=logic_area_um2 / 1e6,
+            core_area_mm2=self.core_area_mm2,
+        )

@@ -1,0 +1,182 @@
+"""Executable model of the five SMASH ISA instructions (Table 1).
+
+``SMASHISA`` wraps a :class:`~repro.hardware.bmu.BitmapManagementUnit` and
+exposes one method per instruction. Every call optionally charges its cost to
+a :class:`~repro.sim.instrumentation.KernelInstrumentation` so the kernels can
+compare hardware-accelerated SMASH against software schemes on equal footing:
+
+* each ISA instruction counts as one ``bmu``-class instruction;
+* ``RDBMAP`` (and BMU-initiated buffer reloads during ``PBMAP``) additionally
+  generate streaming memory traffic for the bitmap bytes transferred;
+* ``RDIND`` writes two CPU registers, so no memory traffic is involved.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.bitmap import Bitmap
+from repro.core.smash_matrix import SMASHMatrix
+from repro.hardware.bmu import BitmapManagementUnit, BMUGroup
+from repro.sim.instrumentation import InstructionClass, KernelInstrumentation
+
+
+class ISAInstruction(enum.Enum):
+    """The five instructions introduced by SMASH."""
+
+    MATINFO = "matinfo"
+    BMAPINFO = "bmapinfo"
+    RDBMAP = "rdbmap"
+    PBMAP = "pbmap"
+    RDIND = "rdind"
+
+
+@dataclass
+class InstructionTrace:
+    """Counts of executed SMASH instructions, for reporting and tests."""
+
+    counts: dict = field(default_factory=dict)
+
+    def record(self, instruction: ISAInstruction) -> None:
+        """Record one executed instruction."""
+        self.counts[instruction.value] = self.counts.get(instruction.value, 0) + 1
+
+    def count(self, instruction: ISAInstruction) -> int:
+        """Number of times ``instruction`` was executed."""
+        return self.counts.get(instruction.value, 0)
+
+    @property
+    def total(self) -> int:
+        """Total SMASH instructions executed."""
+        return sum(self.counts.values())
+
+
+class SMASHISA:
+    """The software-visible interface to the BMU."""
+
+    def __init__(
+        self,
+        bmu: Optional[BitmapManagementUnit] = None,
+        instrumentation: Optional[KernelInstrumentation] = None,
+    ) -> None:
+        self.bmu = bmu or BitmapManagementUnit()
+        self.instrumentation = instrumentation
+        self.trace = InstructionTrace()
+        self._bitmap_structures: dict[Tuple[int, int], str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cost accounting helpers
+    # ------------------------------------------------------------------ #
+    def _charge_instruction(self, instruction: ISAInstruction) -> None:
+        self.trace.record(instruction)
+        if self.instrumentation is not None:
+            self.instrumentation.count(InstructionClass.BMU)
+
+    def _memory_callback(self, group_id: int):
+        """Build a callback that charges RDBMAP transfers as streaming loads."""
+        if self.instrumentation is None:
+            return None
+
+        def callback(buffer_id: int, n_bytes: int) -> None:
+            structure = self._bitmap_structures.get((group_id, buffer_id))
+            if structure is None:
+                structure = f"bmu_bitmap_g{group_id}b{buffer_id}"
+                self.instrumentation.register_array(structure, max(n_bytes, 64))
+                self._bitmap_structures[(group_id, buffer_id)] = structure
+            # The transfer streams whole cache lines from the memory
+            # hierarchy into the SRAM buffer; it is not a dependent access.
+            line = 64
+            for offset in range(0, max(n_bytes, 1), line):
+                self.instrumentation.load(
+                    structure, offset, dependent=False, size_bytes=line,
+                    count_instruction=False,
+                )
+
+        return callback
+
+    # ------------------------------------------------------------------ #
+    # The five instructions
+    # ------------------------------------------------------------------ #
+    def matinfo(self, rows: int, cols: int, grp: int = 0) -> None:
+        """``matinfo row,col,grp`` — latch matrix dimensions in group ``grp``."""
+        self._charge_instruction(ISAInstruction.MATINFO)
+        self.bmu.group(grp).configure_matrix(rows, cols)
+
+    def bmapinfo(self, comp: int, lvl: int, grp: int = 0) -> None:
+        """``bmapinfo comp,lvl,grp`` — latch the compression ratio of one level."""
+        self._charge_instruction(ISAInstruction.BMAPINFO)
+        self.bmu.group(grp).configure_bitmap(lvl, comp)
+
+    def rdbmap(self, bitmap: Bitmap, buf: int, grp: int = 0, start_bit: int = 0) -> int:
+        """``rdbmap [mem],buf,grp`` — load a bitmap window into an SRAM buffer.
+
+        ``bitmap`` plays the role of the memory operand ``[mem]``;
+        ``start_bit`` selects the offset within it (e.g. a row offset in the
+        SpMM flow of Algorithm 2). Returns the number of valid bits loaded.
+        """
+        self._charge_instruction(ISAInstruction.RDBMAP)
+        group = self.bmu.group(grp)
+        return group.load_bitmap(bitmap, buf, start_bit, self._memory_callback(grp))
+
+    def pbmap(self, grp: int = 0) -> bool:
+        """``pbmap grp`` — scan for the next non-zero block.
+
+        Returns True when a block was found (output registers updated) and
+        False when the scan is exhausted.
+        """
+        self._charge_instruction(ISAInstruction.PBMAP)
+        group = self.bmu.group(grp)
+        return group.scan_next(self._memory_callback(grp))
+
+    def rdind(self, grp: int = 0) -> Tuple[int, int]:
+        """``rdind rd1,rd2,grp`` — read the row/column output registers."""
+        self._charge_instruction(ISAInstruction.RDIND)
+        return self.bmu.group(grp).read_indices()
+
+    # ------------------------------------------------------------------ #
+    # Convenience sequences used by the kernels and examples
+    # ------------------------------------------------------------------ #
+    def setup_matrix(self, matrix: SMASHMatrix, grp: int = 0) -> BMUGroup:
+        """Run the full MATINFO/BMAPINFO/RDBMAP initialization for a matrix.
+
+        Mirrors lines 2–8 of Algorithm 1 in the paper: one MATINFO, one
+        BMAPINFO per level, one RDBMAP per level (up to the number of SRAM
+        buffers in the group).
+        """
+        group = self.bmu.group(grp)
+        group.reset()
+        self.matinfo(matrix.rows, matrix.cols, grp)
+        for level in range(matrix.config.levels):
+            self.bmapinfo(matrix.config.ratios[level], level, grp)
+        for level in range(min(matrix.config.levels, len(group.buffers))):
+            self.rdbmap(matrix.hierarchy.bitmap(level), level, grp)
+        return group
+
+    def iter_nonzero_blocks(self, matrix: SMASHMatrix, grp: int = 0) -> "_BlockIterator":
+        """Iterate over all non-zero blocks of ``matrix`` via PBMAP/RDIND."""
+        self.setup_matrix(matrix, grp)
+        return _BlockIterator(self, matrix, grp)
+
+    def current_nza_block(self, grp: int = 0) -> int:
+        """NZA block ordinal latched by the most recent successful PBMAP."""
+        return self.bmu.group(grp).output.nza_block_index
+
+
+class _BlockIterator:
+    """Iterator yielding ``(nza_block_index, row, col)`` through the ISA."""
+
+    def __init__(self, isa: SMASHISA, matrix: SMASHMatrix, grp: int) -> None:
+        self._isa = isa
+        self._matrix = matrix
+        self._grp = grp
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Tuple[int, int, int]:
+        if not self._isa.pbmap(self._grp):
+            raise StopIteration
+        row, col = self._isa.rdind(self._grp)
+        return self._isa.current_nza_block(self._grp), row, col

@@ -1,0 +1,100 @@
+"""Programmable and output registers of a BMU group."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import MAX_LEVELS
+
+
+@dataclass
+class BMURegisters:
+    """Programmable configuration registers of one BMU group.
+
+    ``MATINFO`` writes the matrix dimensions; ``BMAPINFO`` writes one
+    compression ratio per bitmap level. The BMU reads these registers when it
+    computes the row/column indices of a non-zero block (Section 4.2.2,
+    step 2).
+    """
+
+    rows: Optional[int] = None
+    cols: Optional[int] = None
+    compression_ratios: Dict[int, int] = field(default_factory=dict)
+
+    def set_matrix_info(self, rows: int, cols: int) -> None:
+        """Latch the matrix dimensions (MATINFO)."""
+        if rows < 0 or cols < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        self.rows = int(rows)
+        self.cols = int(cols)
+
+    def set_bitmap_info(self, level: int, ratio: int) -> None:
+        """Latch the compression ratio of one bitmap level (BMAPINFO)."""
+        if not 0 <= level < MAX_LEVELS:
+            raise ValueError(f"bitmap level must be in [0, {MAX_LEVELS})")
+        if ratio < 1:
+            raise ValueError("compression ratio must be at least 1")
+        self.compression_ratios[int(level)] = int(ratio)
+
+    @property
+    def configured(self) -> bool:
+        """Whether MATINFO and at least the Bitmap-0 BMAPINFO were executed."""
+        return self.rows is not None and self.cols is not None and 0 in self.compression_ratios
+
+    def ratio(self, level: int) -> int:
+        """Compression ratio latched for ``level``."""
+        if level not in self.compression_ratios:
+            raise KeyError(f"no BMAPINFO executed for level {level}")
+        return self.compression_ratios[level]
+
+    def reset(self) -> None:
+        """Clear all latched parameters."""
+        self.rows = None
+        self.cols = None
+        self.compression_ratios.clear()
+
+
+@dataclass
+class OutputRegisters:
+    """Row/column output registers of one BMU group.
+
+    ``PBMAP`` updates them with the position of the next non-zero block;
+    ``RDIND`` copies them into CPU registers. ``exhausted`` is raised when the
+    scan runs past the last non-zero block, which software uses to terminate
+    its loop.
+    """
+
+    row_index: int = 0
+    column_index: int = 0
+    valid: bool = False
+    exhausted: bool = False
+    #: NZA block ordinal of the current block (how many set bits were
+    #: consumed before it). Exposed for the kernels so they can address the
+    #: correct NZA block without re-deriving the count in software.
+    nza_block_index: int = -1
+
+    def update(self, row_index: int, column_index: int, nza_block_index: int) -> None:
+        """Latch a newly found non-zero block position."""
+        self.row_index = int(row_index)
+        self.column_index = int(column_index)
+        self.nza_block_index = int(nza_block_index)
+        self.valid = True
+        self.exhausted = False
+
+    def mark_exhausted(self) -> None:
+        """Signal that no further non-zero block exists."""
+        self.valid = False
+        self.exhausted = True
+
+    def read(self) -> tuple[int, int]:
+        """Return ``(row_index, column_index)`` (RDIND semantics)."""
+        return self.row_index, self.column_index
+
+    def reset(self) -> None:
+        """Clear the output state."""
+        self.row_index = 0
+        self.column_index = 0
+        self.valid = False
+        self.exhausted = False
+        self.nza_block_index = -1

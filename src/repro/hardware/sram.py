@@ -1,0 +1,101 @@
+"""SRAM bitmap buffers of the Bitmap Management Unit."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitmap import Bitmap
+
+#: Default buffer capacity (Section 4.2.1 of the paper).
+DEFAULT_BUFFER_BYTES = 256
+
+
+class SRAMBuffer:
+    """One bitmap buffer inside a BMU group.
+
+    The buffer holds a window of one bitmap level, loaded by the ``RDBMAP``
+    instruction starting from a byte offset within that bitmap. The BMU scan
+    logic then searches the buffered window for set bits without issuing
+    further memory accesses.
+    """
+
+    def __init__(self, size_bytes: int = DEFAULT_BUFFER_BYTES) -> None:
+        if size_bytes <= 0 or size_bytes % 8 != 0:
+            raise ValueError("buffer size must be a positive multiple of 8 bytes")
+        self.size_bytes = int(size_bytes)
+        self._words = np.zeros(self.size_bytes // 8, dtype=np.uint64)
+        #: Bit offset (within the source bitmap) of the first buffered bit.
+        self.base_bit = 0
+        #: Number of valid bits currently buffered.
+        self.valid_bits = 0
+        #: Number of RDBMAP loads performed into this buffer.
+        self.loads = 0
+
+    @property
+    def capacity_bits(self) -> int:
+        """Maximum number of bits the buffer can hold."""
+        return self.size_bytes * 8
+
+    def load_window(self, bitmap: Bitmap, start_bit: int) -> int:
+        """Load a window of ``bitmap`` starting at ``start_bit`` (word-aligned).
+
+        Returns the number of valid bits loaded. Models ``RDBMAP``: the
+        hardware transfers up to ``size_bytes`` of the bitmap from the memory
+        hierarchy into the buffer.
+        """
+        if start_bit < 0:
+            raise ValueError("start bit must be non-negative")
+        aligned_start = (start_bit // 64) * 64
+        self._words[:] = 0
+        self.base_bit = aligned_start
+        start_word = aligned_start // 64
+        n_words = min(self._words.size, max(0, bitmap.n_words - start_word))
+        if n_words > 0:
+            self._words[:n_words] = bitmap.words[start_word:start_word + n_words]
+        self.valid_bits = max(0, min(self.capacity_bits, bitmap.n_bits - aligned_start))
+        self.loads += 1
+        return self.valid_bits
+
+    def contains_bit(self, bit_index: int) -> bool:
+        """Whether the absolute bit index currently falls inside the window."""
+        return self.base_bit <= bit_index < self.base_bit + self.valid_bits
+
+    def get(self, bit_index: int) -> bool:
+        """Read an absolute bit index from the buffered window."""
+        if not self.contains_bit(bit_index):
+            raise IndexError(f"bit {bit_index} is not buffered")
+        local = bit_index - self.base_bit
+        word, bit = divmod(local, 64)
+        return bool((int(self._words[word]) >> bit) & 1)
+
+    def next_set_bit(self, start_bit: int) -> int | None:
+        """First buffered set bit at or after the absolute index ``start_bit``."""
+        if self.valid_bits == 0:
+            return None
+        start = max(start_bit, self.base_bit)
+        if start >= self.base_bit + self.valid_bits:
+            return None
+        local = start - self.base_bit
+        word_index, bit = divmod(local, 64)
+        word = int(self._words[word_index]) >> bit << bit
+        while True:
+            if word:
+                lsb = word & -word
+                found = word_index * 64 + lsb.bit_length() - 1
+                if found < self.valid_bits:
+                    return self.base_bit + found
+                return None
+            word_index += 1
+            if word_index >= self._words.size:
+                return None
+            word = int(self._words[word_index])
+
+    def popcount(self) -> int:
+        """Number of set bits currently buffered."""
+        return int(sum(int(word).bit_count() for word in self._words))
+
+    def clear(self) -> None:
+        """Invalidate the buffer contents."""
+        self._words[:] = 0
+        self.valid_bits = 0
+        self.base_bit = 0

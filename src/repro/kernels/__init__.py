@@ -1,0 +1,88 @@
+"""Sparse matrix kernels for every evaluated scheme.
+
+Each kernel exists in two flavours:
+
+* a **functional** path (:mod:`repro.kernels.reference`) that computes the
+  mathematical result as fast as Python/numpy allows — used for correctness
+  validation and for the real-machine (wall-clock) benchmarks of Figure 9;
+* an **instrumented** path (:mod:`repro.kernels.spmv`, :mod:`~repro.kernels.spmm`,
+  :mod:`~repro.kernels.spadd`) that walks the data structures exactly as the
+  corresponding C implementation would, charging instructions and memory
+  accesses to the analytic performance model, and returns both the numeric
+  result and a :class:`~repro.sim.instrumentation.CostReport`.
+
+:mod:`repro.kernels.schemes` ties the two together: it prepares the right
+matrix representation for a scheme name (``taco_csr``, ``taco_bcsr``,
+``mkl_csr``, ``smash_sw``, ``smash_hw``, ``ideal_csr``) and dispatches to the
+matching kernel.
+"""
+
+from repro.kernels.reference import (
+    spmv_csr,
+    spmv_bcsr,
+    spmv_smash,
+    spmm_csr_csc,
+    spmm_smash,
+    spadd_csr,
+    spadd_smash,
+)
+from repro.kernels.spmv import (
+    spmv_csr_instrumented,
+    spmv_ideal_csr_instrumented,
+    spmv_mkl_csr_instrumented,
+    spmv_bcsr_instrumented,
+    spmv_smash_software_instrumented,
+    spmv_smash_hardware_instrumented,
+)
+from repro.kernels.spmm import (
+    spmm_csr_instrumented,
+    spmm_ideal_csr_instrumented,
+    spmm_mkl_csr_instrumented,
+    spmm_bcsr_instrumented,
+    spmm_smash_software_instrumented,
+    spmm_smash_hardware_instrumented,
+)
+from repro.kernels.spadd import (
+    spadd_csr_instrumented,
+    spadd_ideal_csr_instrumented,
+    spadd_smash_hardware_instrumented,
+)
+from repro.kernels.schemes import (
+    SCHEMES,
+    KernelResult,
+    prepare_operand,
+    run_spmv,
+    run_spmm,
+    run_spadd,
+)
+
+__all__ = [
+    "spmv_csr",
+    "spmv_bcsr",
+    "spmv_smash",
+    "spmm_csr_csc",
+    "spmm_smash",
+    "spadd_csr",
+    "spadd_smash",
+    "spmv_csr_instrumented",
+    "spmv_ideal_csr_instrumented",
+    "spmv_mkl_csr_instrumented",
+    "spmv_bcsr_instrumented",
+    "spmv_smash_software_instrumented",
+    "spmv_smash_hardware_instrumented",
+    "spmm_csr_instrumented",
+    "spmm_ideal_csr_instrumented",
+    "spmm_mkl_csr_instrumented",
+    "spmm_bcsr_instrumented",
+    "spmm_smash_software_instrumented",
+    "spmm_smash_hardware_instrumented",
+    "spadd_csr_instrumented",
+    "spadd_ideal_csr_instrumented",
+    "spadd_smash_hardware_instrumented",
+    "SCHEMES",
+    "KernelResult",
+    "prepare_operand",
+    "run_spmv",
+    "run_spmm",
+    "run_spadd",
+]

@@ -1,0 +1,107 @@
+"""Shared cost-accounting constants and helpers for the instrumented kernels.
+
+The per-operation instruction budgets below describe how many instructions a
+compiled C implementation of each scheme would execute for one unit of work.
+They are the calibration knobs of the performance model (DESIGN.md section 5):
+changing them shifts absolute speedups but, because every scheme is expressed
+in the same units, the relative comparisons the paper makes remain driven by
+the structural differences between the schemes (how many indexing operations
+and dependent loads each one needs per non-zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats.base import INDEX_BYTES, VALUE_BYTES
+from repro.sim.instrumentation import InstructionClass, KernelInstrumentation
+
+#: Bytes of one CSR/CSC index entry.
+IDX = INDEX_BYTES
+#: Bytes of one matrix/vector value.
+VAL = VALUE_BYTES
+
+
+@dataclass(frozen=True)
+class CSRCosts:
+    """Per-unit instruction budgets of a CSR (TACO-style) kernel.
+
+    ``index_per_nnz`` covers the address arithmetic needed to read
+    ``col_ind[j]``, form the address of ``x[col_ind[j]]`` and advance/compare
+    the inner loop counter; ``index_per_row`` covers the row-pointer
+    bookkeeping of the outer loop.
+    """
+
+    index_per_row: int = 3
+    branch_per_row: int = 1
+    index_per_nnz: int = 4
+    branch_per_nnz: int = 1
+    compute_per_nnz: int = 2
+
+
+@dataclass(frozen=True)
+class MKLCosts(CSRCosts):
+    """The MKL-like CSR variant: identical traversal, tighter code generation.
+
+    Models the proprietary software optimizations (unrolling, software
+    pipelining) the paper credits for MKL's edge over TACO: fewer loop-
+    overhead instructions per non-zero, same memory behaviour.
+    """
+
+    index_per_nnz: int = 2
+    branch_per_nnz: int = 0
+    index_per_row: int = 2
+
+
+@dataclass(frozen=True)
+class SMASHCosts:
+    """Per-unit instruction budgets of the SMASH kernels.
+
+    The per-block budget covers computing the NZA block address and the
+    ``x``/``y`` base addresses once per block; the per-element budget covers
+    the unrolled multiply-accumulate on each stored element (including the
+    zeros the encoding keeps inside partially filled blocks).
+    """
+
+    index_per_block: int = 2
+    branch_per_block: int = 1
+    store_per_block: int = 1
+    compute_per_element: int = 2
+    index_per_element: int = 0
+
+
+def register_vector(instr: KernelInstrumentation, name: str, length: int) -> None:
+    """Register a dense float64 vector with the instrumentation."""
+    instr.register_array(name, max(1, length) * VAL)
+
+
+def register_csr(instr: KernelInstrumentation, prefix: str, csr) -> None:
+    """Register the three CSR arrays (row_ptr/col_ind/values)."""
+    instr.register_array(f"{prefix}_row_ptr", (csr.rows + 1) * IDX)
+    instr.register_array(f"{prefix}_col_ind", max(1, csr.nnz) * IDX)
+    instr.register_array(f"{prefix}_values", max(1, csr.nnz) * VAL)
+
+
+def register_csc(instr: KernelInstrumentation, prefix: str, csc) -> None:
+    """Register the three CSC arrays (col_ptr/row_ind/values)."""
+    instr.register_array(f"{prefix}_col_ptr", (csc.cols + 1) * IDX)
+    instr.register_array(f"{prefix}_row_ind", max(1, csc.nnz) * IDX)
+    instr.register_array(f"{prefix}_values", max(1, csc.nnz) * VAL)
+
+
+def register_bcsr(instr: KernelInstrumentation, prefix: str, bcsr) -> None:
+    """Register the BCSR arrays (block_row_ptr/block_col_ind/blocks)."""
+    instr.register_array(f"{prefix}_block_row_ptr", (bcsr.block_rows + 1) * IDX)
+    instr.register_array(f"{prefix}_block_col_ind", max(1, bcsr.n_blocks) * IDX)
+    instr.register_array(f"{prefix}_blocks", max(1, bcsr.stored_elements) * VAL)
+
+
+def register_smash(instr: KernelInstrumentation, prefix: str, matrix) -> None:
+    """Register the NZA of a SMASH matrix (bitmaps register themselves)."""
+    instr.register_array(f"{prefix}_nza", max(1, matrix.nza.stored_elements) * VAL)
+
+
+def count(instr: KernelInstrumentation, cls: InstructionClass, n: int) -> None:
+    """Record ``n`` instructions of ``cls`` if ``n`` is positive."""
+    if n > 0:
+        instr.count(cls, n)

@@ -1,0 +1,222 @@
+"""Functional (uninstrumented) sparse kernels.
+
+These implementations compute the mathematical result of each kernel while
+walking the same data structures as the instrumented versions, but without
+any cost accounting. They serve three purposes:
+
+* correctness oracles for the instrumented kernels and property tests,
+* the real-machine wall-clock measurements of the Figure 9 benchmark,
+* building blocks for the graph-analytics workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.indexing import iter_nonzero_blocks
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+
+def spmv_csr(csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """CSR-based SpMV ``y = A @ x`` (Code Listing 1 of the paper)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (csr.cols,):
+        raise ValueError(f"x must have length {csr.cols}, got {x.shape}")
+    y = np.zeros(csr.rows, dtype=np.float64)
+    for i in range(csr.rows):
+        acc = 0.0
+        for j in range(csr.row_ptr[i], csr.row_ptr[i + 1]):
+            acc += csr.values[j] * x[csr.col_ind[j]]
+        y[i] = acc
+    return y
+
+
+def spmv_bcsr(bcsr: BCSRMatrix, x: np.ndarray) -> np.ndarray:
+    """BCSR-based SpMV: one dense block multiply per stored block."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (bcsr.cols,):
+        raise ValueError(f"x must have length {bcsr.cols}, got {x.shape}")
+    br, bc = bcsr.block_shape
+    padded_x = np.zeros(bcsr.block_cols * bc, dtype=np.float64)
+    padded_x[: bcsr.cols] = x
+    y = np.zeros(bcsr.block_rows * br, dtype=np.float64)
+    for bi in range(bcsr.block_rows):
+        for k in range(bcsr.block_row_ptr[bi], bcsr.block_row_ptr[bi + 1]):
+            bj = bcsr.block_col_ind[k]
+            y[bi * br:(bi + 1) * br] += bcsr.blocks[k] @ padded_x[bj * bc:(bj + 1) * bc]
+    return y[: bcsr.rows]
+
+
+def spmv_smash(matrix: SMASHMatrix, x: np.ndarray) -> np.ndarray:
+    """SMASH-based SpMV following Algorithm 1 of the paper.
+
+    For every non-zero NZA block the kernel computes the linear position of
+    each block element and accumulates ``value * x[column]`` into the
+    element's row of ``y``. Blocks may span row boundaries of the row-major
+    linearization; elements past the end of the matrix are zero padding and
+    are skipped.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (matrix.cols,):
+        raise ValueError(f"x must have length {matrix.cols}, got {x.shape}")
+    rows, cols = matrix.shape
+    total = rows * cols
+    y = np.zeros(rows, dtype=np.float64)
+    block_size = matrix.block_size
+    for nza_index, row, col in iter_nonzero_blocks(matrix):
+        base = row * cols + col
+        block = matrix.nza.block(nza_index)
+        for offset in range(block_size):
+            linear = base + offset
+            if linear >= total:
+                break
+            value = block[offset]
+            if value == 0.0:
+                continue
+            y[linear // cols] += value * x[linear % cols]
+    return y
+
+
+def spmm_csr_csc(a_csr: CSRMatrix, b_csc: CSCMatrix) -> np.ndarray:
+    """Inner-product SpMM ``C = A @ B`` with index matching (Code Listing 2)."""
+    if a_csr.cols != b_csc.rows:
+        raise ValueError(
+            f"inner dimensions do not match: {a_csr.shape} x {b_csc.shape}"
+        )
+    c = np.zeros((a_csr.rows, b_csc.cols), dtype=np.float64)
+    for i in range(a_csr.rows):
+        a_cols, a_vals = a_csr.row_slice(i)
+        if a_cols.size == 0:
+            continue
+        for j in range(b_csc.cols):
+            b_rows, b_vals = b_csc.col_slice(j)
+            if b_rows.size == 0:
+                continue
+            # Merge-style index matching between the sorted index lists.
+            acc = 0.0
+            ka, kb = 0, 0
+            while ka < a_cols.size and kb < b_rows.size:
+                if a_cols[ka] == b_rows[kb]:
+                    acc += a_vals[ka] * b_vals[kb]
+                    ka += 1
+                    kb += 1
+                elif a_cols[ka] < b_rows[kb]:
+                    ka += 1
+                else:
+                    kb += 1
+            if acc != 0.0:
+                c[i, j] = acc
+    return c
+
+
+def spmm_smash(a: SMASHMatrix, b_transposed: SMASHMatrix) -> np.ndarray:
+    """SMASH-based SpMM ``C = A @ B``.
+
+    Both operands use the hierarchical bitmap encoding. As in Algorithm 2 of
+    the paper (and in the instrumented kernels), the second operand is the
+    encoding of ``B`` transposed — i.e. ``B``'s columns stored as contiguous
+    rows — so that columns of ``B`` can be streamed the same way rows of
+    ``A`` are. The kernel expands the non-zero blocks of each operand into
+    per-row element lists and performs the same index-matching inner product
+    as the CSR/CSC implementation.
+    """
+    if a.cols != b_transposed.cols:
+        raise ValueError(
+            f"inner dimensions do not match: {a.shape} x (B^T){b_transposed.shape}"
+        )
+    a_rows = _rows_from_smash(a)
+    b_cols = _rows_from_smash(b_transposed)
+    c = np.zeros((a.rows, b_transposed.rows), dtype=np.float64)
+    for i, row_entries in enumerate(a_rows):
+        if not row_entries:
+            continue
+        for j, col_entries in enumerate(b_cols):
+            if not col_entries:
+                continue
+            acc = 0.0
+            ka, kb = 0, 0
+            while ka < len(row_entries) and kb < len(col_entries):
+                pos_a, val_a = row_entries[ka]
+                pos_b, val_b = col_entries[kb]
+                if pos_a == pos_b:
+                    acc += val_a * val_b
+                    ka += 1
+                    kb += 1
+                elif pos_a < pos_b:
+                    ka += 1
+                else:
+                    kb += 1
+            if acc != 0.0:
+                c[i, j] = acc
+    return c
+
+
+def _rows_from_smash(matrix: SMASHMatrix) -> list:
+    """Per-row sorted ``(column, value)`` lists extracted from the NZA blocks."""
+    rows, cols = matrix.shape
+    total = rows * cols
+    result = [[] for _ in range(rows)]
+    for nza_index, row, col in iter_nonzero_blocks(matrix):
+        base = row * cols + col
+        block = matrix.nza.block(nza_index)
+        for offset, value in enumerate(block):
+            linear = base + offset
+            if linear >= total:
+                break
+            if value != 0.0:
+                result[linear // cols].append((linear % cols, float(value)))
+    for entries in result:
+        entries.sort()
+    return result
+
+
+def spadd_csr(a: CSRMatrix, b: CSRMatrix) -> np.ndarray:
+    """Sparse matrix addition ``C = A + B`` with CSR operands."""
+    if a.shape != b.shape:
+        raise ValueError(f"shapes do not match: {a.shape} vs {b.shape}")
+    c = np.zeros(a.shape, dtype=np.float64)
+    for i in range(a.rows):
+        a_cols, a_vals = a.row_slice(i)
+        b_cols, b_vals = b.row_slice(i)
+        ka, kb = 0, 0
+        while ka < a_cols.size and kb < b_cols.size:
+            if a_cols[ka] == b_cols[kb]:
+                c[i, a_cols[ka]] = a_vals[ka] + b_vals[kb]
+                ka += 1
+                kb += 1
+            elif a_cols[ka] < b_cols[kb]:
+                c[i, a_cols[ka]] = a_vals[ka]
+                ka += 1
+            else:
+                c[i, b_cols[kb]] = b_vals[kb]
+                kb += 1
+        while ka < a_cols.size:
+            c[i, a_cols[ka]] = a_vals[ka]
+            ka += 1
+        while kb < b_cols.size:
+            c[i, b_cols[kb]] = b_vals[kb]
+            kb += 1
+    return c
+
+
+def spadd_smash(a: SMASHMatrix, b: SMASHMatrix) -> np.ndarray:
+    """Sparse matrix addition with SMASH operands (block-aligned merge)."""
+    if a.shape != b.shape:
+        raise ValueError(f"shapes do not match: {a.shape} vs {b.shape}")
+    c = np.zeros(a.shape, dtype=np.float64)
+    rows, cols = a.shape
+    total = rows * cols
+    for matrix in (a, b):
+        for nza_index, row, col in iter_nonzero_blocks(matrix):
+            base = row * cols + col
+            block = matrix.nza.block(nza_index)
+            for offset, value in enumerate(block):
+                linear = base + offset
+                if linear >= total:
+                    break
+                if value != 0.0:
+                    c[linear // cols, linear % cols] += value
+    return c

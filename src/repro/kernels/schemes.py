@@ -1,0 +1,180 @@
+"""Scheme registry: prepare operands and dispatch to the right kernel.
+
+The evaluation compares the same kernel across several *schemes* (storage
+format + indexing mechanism). This module centralizes two things:
+
+* :func:`prepare_operand` — converting a COO workload matrix into the
+  representation each scheme operates on (CSR, CSC, BCSR or SMASH);
+* :func:`run_spmv` / :func:`run_spmm` / :func:`run_spadd` — running one
+  scheme's instrumented kernel and packaging the result with its cost report.
+
+Scheme names follow the paper's figures: ``taco_csr``, ``taco_bcsr``,
+``mkl_csr``, ``ideal_csr``, ``smash_sw`` and ``smash_hw``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import SMASHConfig
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.convert import coo_to_csc, coo_to_csr
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels import spadd as _spadd
+from repro.kernels import spmm as _spmm
+from repro.kernels import spmv as _spmv
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport
+
+#: All scheme identifiers used across the evaluation.
+SCHEMES = ("taco_csr", "taco_bcsr", "mkl_csr", "ideal_csr", "smash_sw", "smash_hw")
+
+#: Block shape used for every BCSR operand (the paper does not state TACO's
+#: block size; 4x4 is the common OSKI/TACO default).
+BCSR_BLOCK_SHAPE = (4, 4)
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Numeric output plus cost report of one scheme's kernel run."""
+
+    scheme: str
+    kernel: str
+    output: np.ndarray
+    report: CostReport
+
+
+def _require_scheme(scheme: str) -> None:
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+
+
+def prepare_operand(
+    coo: COOMatrix,
+    scheme: str,
+    smash_config: Optional[SMASHConfig] = None,
+    orientation: str = "row",
+):
+    """Convert a COO matrix into the representation ``scheme`` operates on.
+
+    ``orientation`` selects row-major (``"row"``, used for A and SpMV
+    operands) or column-major (``"col"``, used for the B operand of SpMM):
+    CSR-family schemes store the column-major operand in CSC, SMASH schemes
+    encode its transpose so that columns become contiguous bit runs.
+    """
+    _require_scheme(scheme)
+    if orientation not in ("row", "col"):
+        raise ValueError("orientation must be 'row' or 'col'")
+    if scheme in ("taco_csr", "mkl_csr", "ideal_csr"):
+        return coo_to_csr(coo) if orientation == "row" else coo_to_csc(coo)
+    if scheme == "taco_bcsr":
+        if orientation == "row":
+            return BCSRMatrix.from_dense(coo.to_dense(), block_shape=BCSR_BLOCK_SHAPE)
+        return coo_to_csc(coo)
+    # SMASH schemes.
+    config = smash_config or SMASHConfig()
+    dense = coo.to_dense()
+    if orientation == "col":
+        dense = dense.T.copy()
+    return SMASHMatrix.from_dense(dense, config)
+
+
+def run_spmv(
+    scheme: str,
+    coo: COOMatrix,
+    x: Optional[np.ndarray] = None,
+    smash_config: Optional[SMASHConfig] = None,
+    sim_config: Optional[SimConfig] = None,
+    seed: int = 7,
+) -> KernelResult:
+    """Run one scheme's instrumented SpMV on a COO workload matrix."""
+    _require_scheme(scheme)
+    if x is None:
+        x = np.random.default_rng(seed).uniform(0.1, 1.0, size=coo.cols)
+    operand = prepare_operand(coo, scheme, smash_config, orientation="row")
+    dispatch = {
+        "taco_csr": _spmv.spmv_csr_instrumented,
+        "ideal_csr": _spmv.spmv_ideal_csr_instrumented,
+        "mkl_csr": _spmv.spmv_mkl_csr_instrumented,
+        "taco_bcsr": _spmv.spmv_bcsr_instrumented,
+        "smash_sw": _spmv.spmv_smash_software_instrumented,
+        "smash_hw": _spmv.spmv_smash_hardware_instrumented,
+    }
+    output, report = dispatch[scheme](operand, x, sim_config)
+    return KernelResult(scheme=scheme, kernel="spmv", output=output, report=report)
+
+
+def run_spmm(
+    scheme: str,
+    a_coo: COOMatrix,
+    b_coo: Optional[COOMatrix] = None,
+    smash_config: Optional[SMASHConfig] = None,
+    sim_config: Optional[SimConfig] = None,
+) -> KernelResult:
+    """Run one scheme's instrumented SpMM (``B`` defaults to ``A``)."""
+    _require_scheme(scheme)
+    b_coo = b_coo if b_coo is not None else a_coo
+    a_operand = prepare_operand(a_coo, scheme, smash_config, orientation="row")
+    b_operand = prepare_operand(b_coo, scheme, smash_config, orientation="col")
+    dispatch = {
+        "taco_csr": _spmm.spmm_csr_instrumented,
+        "ideal_csr": _spmm.spmm_ideal_csr_instrumented,
+        "mkl_csr": _spmm.spmm_mkl_csr_instrumented,
+        "taco_bcsr": _spmm.spmm_bcsr_instrumented,
+        "smash_sw": _spmm.spmm_smash_software_instrumented,
+        "smash_hw": _spmm.spmm_smash_hardware_instrumented,
+    }
+    output, report = dispatch[scheme](a_operand, b_operand, sim_config)
+    return KernelResult(scheme=scheme, kernel="spmm", output=output, report=report)
+
+
+def run_spadd(
+    scheme: str,
+    a_coo: COOMatrix,
+    b_coo: Optional[COOMatrix] = None,
+    smash_config: Optional[SMASHConfig] = None,
+    sim_config: Optional[SimConfig] = None,
+) -> KernelResult:
+    """Run one scheme's instrumented sparse addition (``B`` defaults to ``A``).
+
+    Only the schemes used in the motivation experiment (Figure 3) and the
+    SMASH hardware variant are available for sparse addition.
+    """
+    _require_scheme(scheme)
+    b_coo = b_coo if b_coo is not None else a_coo
+    if scheme in ("taco_csr", "mkl_csr", "ideal_csr"):
+        a_csr = coo_to_csr(a_coo)
+        b_csr = coo_to_csr(b_coo)
+        func = (
+            _spadd.spadd_ideal_csr_instrumented
+            if scheme == "ideal_csr"
+            else _spadd.spadd_csr_instrumented
+        )
+        output, report = func(a_csr, b_csr, sim_config)
+    elif scheme == "smash_hw":
+        config = smash_config or SMASHConfig()
+        a_sm = SMASHMatrix.from_dense(a_coo.to_dense(), config)
+        b_sm = SMASHMatrix.from_dense(b_coo.to_dense(), config)
+        output, report = _spadd.spadd_smash_hardware_instrumented(a_sm, b_sm, sim_config)
+    else:
+        raise ValueError(f"sparse addition is not implemented for scheme {scheme!r}")
+    return KernelResult(scheme=scheme, kernel="spadd", output=output, report=report)
+
+
+def scheme_display_name(scheme: str) -> str:
+    """Human-readable name used in reports and benchmark output."""
+    names: Dict[str, str] = {
+        "taco_csr": "TACO-CSR",
+        "taco_bcsr": "TACO-BCSR",
+        "mkl_csr": "MKL-CSR",
+        "ideal_csr": "Ideal CSR",
+        "smash_sw": "Software-only SMASH",
+        "smash_hw": "SMASH",
+    }
+    return names.get(scheme, scheme)

@@ -1,0 +1,154 @@
+"""Instrumented Sparse Matrix Addition kernels.
+
+Sparse matrix addition ``C = A + B`` appears in the paper's motivation
+experiment (Figure 3, "SpMatAdd"): like SpMV and SpMM it must discover the
+positions of the non-zeros of both operands, which for CSR means a per-row
+merge over ``col_ind`` arrays. The kernels here provide the CSR baseline, the
+idealized-indexing variant used in Figure 3, and a SMASH variant that merges
+the operands at NZA-block granularity through the BMU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels._costs import IDX, VAL, register_csr, register_smash
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport, InstructionClass, KernelInstrumentation
+
+KernelOutput = Tuple[np.ndarray, CostReport]
+
+
+def _check_shapes(a_shape, b_shape) -> None:
+    if a_shape != b_shape:
+        raise ValueError(f"operand shapes do not match: {a_shape} vs {b_shape}")
+
+
+def _spadd_csr_like(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    scheme: str,
+    ideal_indexing: bool,
+    config: Optional[SimConfig],
+) -> KernelOutput:
+    _check_shapes(a.shape, b.shape)
+    instr = KernelInstrumentation("spadd", scheme, config)
+    register_csr(instr, "A", a)
+    register_csr(instr, "B", b)
+    instr.register_array("C", a.rows * a.cols * VAL)
+
+    c = np.zeros(a.shape, dtype=np.float64)
+    for i in range(a.rows):
+        instr.load("A_row_ptr", (i + 1) * IDX)
+        instr.load("B_row_ptr", (i + 1) * IDX)
+        instr.count(InstructionClass.INDEX, 2 if not ideal_indexing else 1)
+        instr.count(InstructionClass.BRANCH, 1)
+        a_start, a_end = int(a.row_ptr[i]), int(a.row_ptr[i + 1])
+        b_start, b_end = int(b.row_ptr[i]), int(b.row_ptr[i + 1])
+        ka, kb = a_start, b_start
+        while ka < a_end or kb < b_end:
+            take_a = kb >= b_end or (ka < a_end and a.col_ind[ka] <= b.col_ind[kb])
+            take_b = ka >= a_end or (kb < b_end and b.col_ind[kb] <= a.col_ind[ka])
+            if not ideal_indexing:
+                # Position discovery: load and compare the column indices.
+                if ka < a_end:
+                    instr.load("A_col_ind", ka * IDX)
+                if kb < b_end:
+                    instr.load("B_col_ind", kb * IDX)
+                instr.count(InstructionClass.INDEX, 3)
+                instr.count(InstructionClass.BRANCH, 1)
+            value = 0.0
+            col = 0
+            if take_a:
+                instr.load("A_values", ka * VAL)
+                value += a.values[ka]
+                col = int(a.col_ind[ka])
+                ka += 1
+            if take_b:
+                instr.load("B_values", kb * VAL)
+                value += b.values[kb]
+                col = int(b.col_ind[kb])
+                kb += 1
+            instr.count(InstructionClass.COMPUTE, 1)
+            c[i, col] = value
+            instr.store("C", (i * a.cols + col) * VAL)
+    return c, instr.report()
+
+
+def spadd_csr_instrumented(
+    a: CSRMatrix, b: CSRMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """CSR sparse addition with per-row index merging (the baseline)."""
+    return _spadd_csr_like(a, b, "taco_csr", False, config)
+
+
+def spadd_ideal_csr_instrumented(
+    a: CSRMatrix, b: CSRMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """Sparse addition with idealized (free) position discovery (Figure 3)."""
+    return _spadd_csr_like(a, b, "ideal_csr", True, config)
+
+
+def spadd_smash_hardware_instrumented(
+    a: SMASHMatrix, b: SMASHMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """SMASH sparse addition: the BMU supplies block positions of both operands.
+
+    The two Bitmap-0 streams are merged at block granularity; matching blocks
+    are added element-wise, unmatched blocks are copied. Each merge step
+    costs one PBMAP/RDIND pair per advanced operand.
+    """
+    _check_shapes(a.shape, b.shape)
+    if a.block_size != b.block_size:
+        raise ValueError("both operands must use the same Bitmap-0 block size")
+    instr = KernelInstrumentation("spadd", "smash_hw", config)
+    register_smash(instr, "A", a)
+    register_smash(instr, "B", b)
+    instr.register_array("C", a.rows * a.cols * VAL)
+
+    block = a.block_size
+    rows, cols = a.shape
+    total = rows * cols
+    c = np.zeros(a.shape, dtype=np.float64)
+
+    a_blocks = list(enumerate(a.hierarchy.base.iter_set_bits()))
+    b_blocks = list(enumerate(b.hierarchy.base.iter_set_bits()))
+    instr.count(InstructionClass.BMU, 2 + a.config.levels + b.config.levels)
+
+    def emit_block(matrix: SMASHMatrix, prefix: str, nza_index: int, block_bit: int) -> None:
+        base = block_bit * block
+        values = matrix.nza.block(nza_index)
+        for offset in range(block):
+            linear = base + offset
+            if linear >= total:
+                break
+            instr.load(f"{prefix}_nza", (nza_index * block + offset) * VAL)
+            instr.count(InstructionClass.COMPUTE, 1)
+            if values[offset] != 0.0:
+                c[linear // cols, linear % cols] += values[offset]
+                instr.store("C", linear * VAL)
+
+    ka, kb = 0, 0
+    while ka < len(a_blocks) or kb < len(b_blocks):
+        # Each merge step interrogates the BMU for both operands.
+        instr.count(InstructionClass.BMU, 2)
+        instr.count(InstructionClass.INDEX, 1)
+        instr.count(InstructionClass.BRANCH, 1)
+        bit_a = a_blocks[ka][1] if ka < len(a_blocks) else None
+        bit_b = b_blocks[kb][1] if kb < len(b_blocks) else None
+        if bit_b is None or (bit_a is not None and bit_a < bit_b):
+            emit_block(a, "A", a_blocks[ka][0], bit_a)
+            ka += 1
+        elif bit_a is None or bit_b < bit_a:
+            emit_block(b, "B", b_blocks[kb][0], bit_b)
+            kb += 1
+        else:
+            emit_block(a, "A", a_blocks[ka][0], bit_a)
+            emit_block(b, "B", b_blocks[kb][0], bit_b)
+            ka += 1
+            kb += 1
+    return c, instr.report()

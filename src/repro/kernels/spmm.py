@@ -1,0 +1,359 @@
+"""Instrumented Sparse Matrix-Matrix multiplication kernels.
+
+All kernels compute the inner-product formulation ``C = A @ B`` the paper
+uses (Code Listing 2 / Algorithm 2): the outer loops iterate over every
+(row of A, column of B) pair and an index-matching merge determines which
+non-zero pairs contribute to the dot product. The schemes differ in how that
+index matching is performed:
+
+* ``taco_csr`` / ``mkl_csr`` — merge the CSR ``col_ind`` of A's row with the
+  CSC ``row_ind`` of B's column, element by element;
+* ``ideal_csr`` — the matching positions are known for free (Figure 3);
+* ``taco_bcsr`` — A is blocked 4x4; matching happens at block granularity
+  against B's CSC column, at the cost of computing on block padding;
+* ``smash_sw`` — both operands use the hierarchical bitmap encoding (B is
+  encoded column-major, i.e. as the SMASH encoding of ``B^T``) and the block
+  merge is driven by software bitmap scans;
+* ``smash_hw`` — same data layout, but every scan step is a ``PBMAP``/
+  ``RDIND`` pair executed by the BMU and the bitmaps are streamed into the
+  BMU buffers by ``RDBMAP`` (Algorithm 2 of the paper).
+
+Every function returns ``(C, CostReport)`` where ``C`` is a dense result
+array.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels._costs import (
+    IDX,
+    VAL,
+    CSRCosts,
+    MKLCosts,
+    register_bcsr,
+    register_csc,
+    register_csr,
+    register_smash,
+)
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport, InstructionClass, KernelInstrumentation
+
+KernelOutput = Tuple[np.ndarray, CostReport]
+
+
+def _check_dims(a_shape, b_shape) -> None:
+    if a_shape[1] != b_shape[0]:
+        raise ValueError(f"inner dimensions do not match: {a_shape} x {b_shape}")
+
+
+# --------------------------------------------------------------------------- #
+# CSR x CSC inner product
+# --------------------------------------------------------------------------- #
+def _spmm_csr_like(
+    a_csr: CSRMatrix,
+    b_csc: CSCMatrix,
+    scheme: str,
+    costs: CSRCosts,
+    ideal_indexing: bool,
+    config: Optional[SimConfig],
+) -> KernelOutput:
+    _check_dims(a_csr.shape, b_csc.shape)
+    instr = KernelInstrumentation("spmm", scheme, config)
+    register_csr(instr, "A", a_csr)
+    register_csc(instr, "B", b_csc)
+    instr.register_array("C", a_csr.rows * b_csc.cols * VAL)
+
+    c = np.zeros((a_csr.rows, b_csc.cols), dtype=np.float64)
+    per_step_index = 2 if not ideal_indexing else 0
+    per_step_branch = costs.branch_per_nnz if not ideal_indexing else 0
+
+    for i in range(a_csr.rows):
+        instr.load("A_row_ptr", (i + 1) * IDX)
+        instr.count(InstructionClass.INDEX, costs.index_per_row)
+        instr.count(InstructionClass.BRANCH, costs.branch_per_row)
+        a_start, a_end = int(a_csr.row_ptr[i]), int(a_csr.row_ptr[i + 1])
+        if a_start == a_end:
+            continue
+        a_cols = a_csr.col_ind[a_start:a_end]
+        a_vals = a_csr.values[a_start:a_end]
+        for j in range(b_csc.cols):
+            instr.load("B_col_ptr", (j + 1) * IDX)
+            instr.count(InstructionClass.INDEX, costs.index_per_row)
+            instr.count(InstructionClass.BRANCH, costs.branch_per_row)
+            b_start, b_end = int(b_csc.col_ptr[j]), int(b_csc.col_ptr[j + 1])
+            if b_start == b_end:
+                continue
+            b_rows = b_csc.row_ind[b_start:b_end]
+            b_vals = b_csc.values[b_start:b_end]
+            acc = 0.0
+            ka, kb = 0, 0
+            if ideal_indexing:
+                # Matching positions known a priori: only touch the matches.
+                matches, a_idx, b_idx = np.intersect1d(
+                    a_cols, b_rows, assume_unique=True, return_indices=True
+                )
+                for ma, mb in zip(a_idx, b_idx):
+                    instr.load("A_values", (a_start + int(ma)) * VAL)
+                    instr.load("B_values", (b_start + int(mb)) * VAL)
+                    instr.count(InstructionClass.COMPUTE, 2)
+                    acc += a_vals[ma] * b_vals[mb]
+            else:
+                while ka < a_cols.size and kb < b_rows.size:
+                    # Index matching: load both indices and compare.
+                    instr.load("A_col_ind", (a_start + ka) * IDX)
+                    instr.load("B_row_ind", (b_start + kb) * IDX)
+                    instr.count(InstructionClass.INDEX, per_step_index)
+                    instr.count(InstructionClass.BRANCH, per_step_branch)
+                    pos_a, pos_b = int(a_cols[ka]), int(b_rows[kb])
+                    if pos_a == pos_b:
+                        instr.load("A_values", (a_start + ka) * VAL)
+                        instr.load("B_values", (b_start + kb) * VAL)
+                        instr.count(InstructionClass.COMPUTE, costs.compute_per_nnz)
+                        acc += a_vals[ka] * b_vals[kb]
+                        ka += 1
+                        kb += 1
+                    elif pos_a < pos_b:
+                        ka += 1
+                    else:
+                        kb += 1
+            if acc != 0.0:
+                c[i, j] = acc
+                instr.store("C", (i * b_csc.cols + j) * VAL)
+    return c, instr.report()
+
+
+def spmm_csr_instrumented(
+    a_csr: CSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """TACO-style CSR x CSC inner-product SpMM (the paper's baseline)."""
+    return _spmm_csr_like(a_csr, b_csc, "taco_csr", CSRCosts(), False, config)
+
+
+def spmm_ideal_csr_instrumented(
+    a_csr: CSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """SpMM with idealized (free) index matching, as in Figure 3."""
+    return _spmm_csr_like(a_csr, b_csc, "ideal_csr", CSRCosts(), True, config)
+
+
+def spmm_mkl_csr_instrumented(
+    a_csr: CSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """MKL-like CSR x CSC SpMM: same traversal, lower loop overhead."""
+    return _spmm_csr_like(a_csr, b_csc, "mkl_csr", MKLCosts(), False, config)
+
+
+# --------------------------------------------------------------------------- #
+# BCSR x CSC
+# --------------------------------------------------------------------------- #
+def spmm_bcsr_instrumented(
+    a_bcsr: BCSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """BCSR(A) x CSC(B) inner-product SpMM.
+
+    Index matching happens at A's block granularity: for each block row of A
+    and each column of B, every stored block of the block row is matched
+    against the B entries whose row index falls inside the block's column
+    range. Each match multiplies a full block column (including padding
+    zeros) by the B value.
+    """
+    _check_dims(a_bcsr.shape, b_csc.shape)
+    instr = KernelInstrumentation("spmm", "taco_bcsr", config)
+    register_bcsr(instr, "A", a_bcsr)
+    register_csc(instr, "B", b_csc)
+    instr.register_array("C", a_bcsr.rows * b_csc.cols * VAL)
+
+    br, bc = a_bcsr.block_shape
+    c = np.zeros((a_bcsr.block_rows * br, b_csc.cols), dtype=np.float64)
+
+    for bi in range(a_bcsr.block_rows):
+        instr.load("A_block_row_ptr", (bi + 1) * IDX)
+        instr.count(InstructionClass.INDEX, 3)
+        instr.count(InstructionClass.BRANCH, 1)
+        blk_start, blk_end = int(a_bcsr.block_row_ptr[bi]), int(a_bcsr.block_row_ptr[bi + 1])
+        if blk_start == blk_end:
+            continue
+        for j in range(b_csc.cols):
+            instr.load("B_col_ptr", (j + 1) * IDX)
+            instr.count(InstructionClass.INDEX, 2)
+            instr.count(InstructionClass.BRANCH, 1)
+            b_start, b_end = int(b_csc.col_ptr[j]), int(b_csc.col_ptr[j + 1])
+            if b_start == b_end:
+                continue
+            b_rows = b_csc.row_ind[b_start:b_end]
+            b_vals = b_csc.values[b_start:b_end]
+            kb = 0
+            acc = np.zeros(br, dtype=np.float64)
+            touched = False
+            for k in range(blk_start, blk_end):
+                bj = int(a_bcsr.block_col_ind[k])
+                instr.load("A_block_col_ind", k * IDX)
+                instr.count(InstructionClass.INDEX, 2)
+                instr.count(InstructionClass.BRANCH, 1)
+                col_lo, col_hi = bj * bc, (bj + 1) * bc
+                # Advance the B pointer to the block's column range.
+                while kb < b_rows.size and b_rows[kb] < col_lo:
+                    instr.load("B_row_ind", (b_start + kb) * IDX)
+                    instr.count(InstructionClass.INDEX, 2)
+                    instr.count(InstructionClass.BRANCH, 1)
+                    kb += 1
+                kk = kb
+                while kk < b_rows.size and b_rows[kk] < col_hi:
+                    instr.load("B_row_ind", (b_start + kk) * IDX)
+                    instr.count(InstructionClass.INDEX, 2)
+                    instr.count(InstructionClass.BRANCH, 1)
+                    # One block column (br values) times the B value.
+                    local_col = int(b_rows[kk]) - col_lo
+                    for r in range(br):
+                        instr.load("A_blocks", (k * br * bc + r * bc + local_col) * VAL)
+                    instr.load("B_values", (b_start + kk) * VAL, dependent=True)
+                    instr.count(InstructionClass.COMPUTE, 2 * br)
+                    acc += a_bcsr.blocks[k][:, local_col] * b_vals[kk]
+                    touched = True
+                    kk += 1
+            if touched:
+                c[bi * br:(bi + 1) * br, j] += acc
+                for r in range(br):
+                    instr.store("C", ((bi * br + r) * b_csc.cols + j) * VAL)
+    return c[: a_bcsr.rows, :], instr.report()
+
+
+# --------------------------------------------------------------------------- #
+# SMASH (software-only and hardware-accelerated)
+# --------------------------------------------------------------------------- #
+def _row_block_lists(matrix: SMASHMatrix) -> List[List[Tuple[int, int]]]:
+    """Per-row lists of ``(offset_in_row, nza_block_index)``.
+
+    The SMASH encoding linearizes the matrix row-major, so as long as the row
+    length is a multiple of the block size (enforced by the callers) every
+    block belongs to exactly one row and ``offset_in_row`` is the column of
+    its first element.
+    """
+    result: List[List[Tuple[int, int]]] = [[] for _ in range(matrix.rows)]
+    for nza_index, block_bit in enumerate(matrix.hierarchy.base.iter_set_bits()):
+        row, col = matrix.block_position(block_bit)
+        result[row].append((col, nza_index))
+    return result
+
+
+def _spmm_smash_common(
+    a: SMASHMatrix,
+    b_transposed: SMASHMatrix,
+    scheme: str,
+    hardware: bool,
+    config: Optional[SimConfig],
+) -> KernelOutput:
+    """Shared implementation of the two SMASH SpMM variants.
+
+    ``b_transposed`` is the SMASH encoding of ``B^T``: its rows are B's
+    columns, which is the access order the inner-product algorithm needs
+    (the paper compresses B with a column-major bitmap for the same reason).
+    """
+    if a.cols != b_transposed.cols:
+        raise ValueError(
+            f"A has {a.cols} columns but B (transposed) rows have length {b_transposed.cols}"
+        )
+    if a.block_size != b_transposed.block_size:
+        raise ValueError("both operands must use the same Bitmap-0 block size for SpMM")
+    if a.cols % a.block_size != 0:
+        raise ValueError(
+            "the instrumented SMASH SpMM requires the row length to be a multiple of the "
+            "Bitmap-0 block size so that NZA blocks never straddle row boundaries; "
+            f"got {a.cols} columns with block size {a.block_size} "
+            "(pad the matrix or pick a block size that divides the column count)"
+        )
+    instr = KernelInstrumentation("spmm", scheme, config)
+    register_smash(instr, "A", a)
+    register_smash(instr, "B", b_transposed)
+    instr.register_array("A_bitmap0", a.hierarchy.base.storage_bytes())
+    instr.register_array("B_bitmap0", b_transposed.hierarchy.base.storage_bytes())
+    n_rows, n_cols = a.rows, b_transposed.rows
+    instr.register_array("C", n_rows * n_cols * VAL)
+
+    block = a.block_size
+    a_rows = _row_block_lists(a)
+    b_cols = _row_block_lists(b_transposed)
+    c = np.zeros((n_rows, n_cols), dtype=np.float64)
+
+    # Setup instructions (Algorithm 2 lines 2-5): MATINFO and BMAPINFO for
+    # both operands when the BMU is used.
+    if hardware:
+        instr.count(InstructionClass.BMU, 2 + a.config.levels + b_transposed.config.levels)
+
+    bitmap_words_per_row = max(1, -(-(a.cols // block) // 64))
+
+    for i in range(n_rows):
+        row_blocks = a_rows[i]
+        # Load the row's bitmap window: RDBMAP for the BMU, explicit word
+        # loads for the software scan.
+        if hardware:
+            instr.count(InstructionClass.BMU, 1)
+            instr.load("A_bitmap0", (i * bitmap_words_per_row) * 8, count_instruction=False)
+        else:
+            for w in range(bitmap_words_per_row):
+                instr.load("A_bitmap0", (i * bitmap_words_per_row + w) * 8)
+        if not row_blocks:
+            continue
+        for j in range(n_cols):
+            col_blocks = b_cols[j]
+            if hardware:
+                instr.count(InstructionClass.BMU, 1)
+                instr.load("B_bitmap0", (j * bitmap_words_per_row) * 8, count_instruction=False)
+            else:
+                for w in range(bitmap_words_per_row):
+                    instr.load("B_bitmap0", (j * bitmap_words_per_row + w) * 8)
+            if not col_blocks:
+                continue
+            acc = 0.0
+            ka, kb = 0, 0
+            while ka < len(row_blocks) and kb < len(col_blocks):
+                # One index-matching step at block granularity. With the BMU,
+                # finding each candidate costs a PBMAP + RDIND pair; in
+                # software it costs a bitmap scan (bit-scan + mask) instead.
+                if hardware:
+                    instr.count(InstructionClass.BMU, 2)
+                    instr.count(InstructionClass.INDEX, 1)
+                else:
+                    instr.count(InstructionClass.INDEX, 4)
+                instr.count(InstructionClass.BRANCH, 1)
+                off_a, nza_a = row_blocks[ka]
+                off_b, nza_b = col_blocks[kb]
+                if off_a == off_b:
+                    block_a = a.nza.block(nza_a)
+                    block_b = b_transposed.nza.block(nza_b)
+                    for e in range(block):
+                        instr.load("A_nza", (nza_a * block + e) * VAL)
+                        instr.load("B_nza", (nza_b * block + e) * VAL)
+                    instr.count(InstructionClass.COMPUTE, 2 * block)
+                    acc += float(np.dot(block_a, block_b))
+                    ka += 1
+                    kb += 1
+                elif off_a < off_b:
+                    ka += 1
+                else:
+                    kb += 1
+            if acc != 0.0:
+                c[i, j] = acc
+                instr.store("C", (i * n_cols + j) * VAL)
+    return c, instr.report()
+
+
+def spmm_smash_software_instrumented(
+    a: SMASHMatrix, b_transposed: SMASHMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """Software-only SMASH SpMM: block-granular index matching in software."""
+    return _spmm_smash_common(a, b_transposed, "smash_sw", False, config)
+
+
+def spmm_smash_hardware_instrumented(
+    a: SMASHMatrix, b_transposed: SMASHMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """Hardware-accelerated SMASH SpMM (Algorithm 2 of the paper)."""
+    return _spmm_smash_common(a, b_transposed, "smash_hw", True, config)

@@ -1,0 +1,250 @@
+"""Instrumented Sparse Matrix-Vector multiplication kernels.
+
+Every function computes ``y = A @ x`` for one scheme while charging the
+analytic performance model, and returns ``(y, CostReport)``. The traversal of
+the data structures mirrors what the corresponding compiled implementation
+does; the per-operation instruction budgets come from
+:mod:`repro.kernels._costs`.
+
+Schemes
+-------
+
+``taco_csr``      — the paper's baseline CSR implementation (Code Listing 1).
+``ideal_csr``     — CSR with position discovery free of charge (Figure 3).
+``mkl_csr``       — CSR traversal with tighter code generation (MKL proxy).
+``taco_bcsr``     — 4x4 block CSR.
+``smash_sw``      — hierarchical bitmap encoding indexed in software (§4.4).
+``smash_hw``      — hierarchical bitmap encoding indexed by the BMU (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.indexing import SoftwareIndexer
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.csr import CSRMatrix
+from repro.hardware.bmu import BitmapManagementUnit
+from repro.hardware.isa import SMASHISA
+from repro.kernels._costs import (
+    IDX,
+    VAL,
+    CSRCosts,
+    MKLCosts,
+    SMASHCosts,
+    register_bcsr,
+    register_csr,
+    register_smash,
+    register_vector,
+)
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport, InstructionClass, KernelInstrumentation
+
+KernelOutput = Tuple[np.ndarray, CostReport]
+
+
+def _check_vector(x: np.ndarray, cols: int) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (cols,):
+        raise ValueError(f"x must have length {cols}, got {x.shape}")
+    return x
+
+
+# --------------------------------------------------------------------------- #
+# CSR family
+# --------------------------------------------------------------------------- #
+def _spmv_csr_like(
+    csr: CSRMatrix,
+    x: np.ndarray,
+    scheme: str,
+    costs: CSRCosts,
+    ideal_indexing: bool,
+    config: Optional[SimConfig],
+) -> KernelOutput:
+    """Shared CSR traversal used by taco_csr, mkl_csr and ideal_csr."""
+    x = _check_vector(x, csr.cols)
+    instr = KernelInstrumentation("spmv", scheme, config)
+    register_csr(instr, "A", csr)
+    register_vector(instr, "x", csr.cols)
+    register_vector(instr, "y", csr.rows)
+
+    y = np.zeros(csr.rows, dtype=np.float64)
+    for i in range(csr.rows):
+        # Outer loop: read row_ptr[i+1] (row_ptr[i] is carried in a register).
+        instr.load("A_row_ptr", (i + 1) * IDX)
+        instr.count(InstructionClass.INDEX, costs.index_per_row if not ideal_indexing else 1)
+        instr.count(InstructionClass.BRANCH, costs.branch_per_row)
+        acc = 0.0
+        start, end = csr.row_ptr[i], csr.row_ptr[i + 1]
+        for j in range(start, end):
+            col = int(csr.col_ind[j])
+            if ideal_indexing:
+                # Positions are known for free: no col_ind load, no address
+                # arithmetic, and the x access is a plain streaming load.
+                instr.load("A_values", j * VAL)
+                instr.load("x", col * VAL, dependent=False)
+                instr.count(InstructionClass.INDEX, 1)
+            else:
+                instr.load("A_col_ind", j * IDX)
+                instr.load("A_values", j * VAL)
+                # The x access address depends on the loaded column index:
+                # this is the pointer-chasing access the paper highlights.
+                instr.load("x", col * VAL, dependent=True)
+                instr.count(InstructionClass.INDEX, costs.index_per_nnz)
+            instr.count(InstructionClass.COMPUTE, costs.compute_per_nnz)
+            instr.count(InstructionClass.BRANCH, costs.branch_per_nnz)
+            acc += csr.values[j] * x[col]
+        y[i] = acc
+        instr.store("y", i * VAL)
+    return y, instr.report()
+
+
+def spmv_csr_instrumented(
+    csr: CSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """TACO-style CSR SpMV (the paper's baseline)."""
+    return _spmv_csr_like(csr, x, "taco_csr", CSRCosts(), False, config)
+
+
+def spmv_ideal_csr_instrumented(
+    csr: CSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """CSR SpMV with idealized (free) position discovery, as in Figure 3."""
+    return _spmv_csr_like(csr, x, "ideal_csr", CSRCosts(), True, config)
+
+
+def spmv_mkl_csr_instrumented(
+    csr: CSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """MKL-like CSR SpMV: same traversal, lower loop overhead."""
+    return _spmv_csr_like(csr, x, "mkl_csr", MKLCosts(), False, config)
+
+
+# --------------------------------------------------------------------------- #
+# BCSR
+# --------------------------------------------------------------------------- #
+def spmv_bcsr_instrumented(
+    bcsr: BCSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """BCSR SpMV: one dense block multiply per stored block.
+
+    BCSR needs one column-index load and one dependent ``x`` access per
+    *block* instead of per element, but multiplies every stored element of
+    the block, including the padding zeros.
+    """
+    x = _check_vector(x, bcsr.cols)
+    instr = KernelInstrumentation("spmv", "taco_bcsr", config)
+    register_bcsr(instr, "A", bcsr)
+    register_vector(instr, "x", bcsr.cols)
+    register_vector(instr, "y", bcsr.rows)
+
+    br, bc = bcsr.block_shape
+    padded_x = np.zeros(bcsr.block_cols * bc, dtype=np.float64)
+    padded_x[: bcsr.cols] = x
+    y = np.zeros(bcsr.block_rows * br, dtype=np.float64)
+    block_elems = br * bc
+    for bi in range(bcsr.block_rows):
+        instr.load("A_block_row_ptr", (bi + 1) * IDX)
+        instr.count(InstructionClass.INDEX, 3)
+        instr.count(InstructionClass.BRANCH, 1)
+        for k in range(bcsr.block_row_ptr[bi], bcsr.block_row_ptr[bi + 1]):
+            bj = int(bcsr.block_col_ind[k])
+            instr.load("A_block_col_ind", k * IDX)
+            instr.count(InstructionClass.INDEX, 3)
+            instr.count(InstructionClass.BRANCH, 1)
+            # Block values stream in; the x sub-vector address depends on the
+            # loaded block column index (first access dependent, rest stream).
+            for e in range(block_elems):
+                instr.load("A_blocks", (k * block_elems + e) * VAL)
+            for c in range(bc):
+                instr.load("x", (bj * bc + c) * VAL, dependent=(c == 0))
+            instr.count(InstructionClass.COMPUTE, 2 * block_elems)
+            y[bi * br:(bi + 1) * br] += bcsr.blocks[k] @ padded_x[bj * bc:(bj + 1) * bc]
+        for r in range(br):
+            instr.store("y", (bi * br + r) * VAL)
+    return y[: bcsr.rows], instr.report()
+
+
+# --------------------------------------------------------------------------- #
+# SMASH (software-only and hardware-accelerated)
+# --------------------------------------------------------------------------- #
+def _spmv_smash_blocks(
+    matrix: SMASHMatrix,
+    x: np.ndarray,
+    y: np.ndarray,
+    instr: KernelInstrumentation,
+    block_iter,
+    costs: SMASHCosts,
+) -> None:
+    """Shared per-block multiply-accumulate loop of both SMASH variants."""
+    rows, cols = matrix.shape
+    total = rows * cols
+    block_size = matrix.block_size
+    for nza_index, row, col in block_iter:
+        base = row * cols + col
+        instr.count(InstructionClass.INDEX, costs.index_per_block)
+        instr.count(InstructionClass.BRANCH, costs.branch_per_block)
+        block = matrix.nza.block(nza_index)
+        for offset in range(block_size):
+            linear = base + offset
+            if linear >= total:
+                break
+            # NZA values and the x sub-vector are contiguous: both stream.
+            instr.load("A_nza", (nza_index * block_size + offset) * VAL)
+            instr.load("x", (linear % cols) * VAL, dependent=False)
+            instr.count(InstructionClass.COMPUTE, costs.compute_per_element)
+            if costs.index_per_element:
+                instr.count(InstructionClass.INDEX, costs.index_per_element)
+            value = block[offset]
+            if value != 0.0:
+                y[linear // cols] += value * x[linear % cols]
+        instr.store("y", row * VAL)
+        if costs.store_per_block > 1:
+            instr.count(InstructionClass.STORE, costs.store_per_block - 1)
+
+
+def spmv_smash_software_instrumented(
+    matrix: SMASHMatrix, x: np.ndarray, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """Software-only SMASH SpMV (Section 4.4): bitmap scanning on the CPU."""
+    x = _check_vector(x, matrix.cols)
+    instr = KernelInstrumentation("spmv", "smash_sw", config)
+    register_smash(instr, "A", matrix)
+    register_vector(instr, "x", matrix.cols)
+    register_vector(instr, "y", matrix.rows)
+
+    y = np.zeros(matrix.rows, dtype=np.float64)
+    indexer = SoftwareIndexer(matrix, instr)
+    _spmv_smash_blocks(matrix, x, y, instr, indexer.iter_blocks(), SMASHCosts())
+    report = instr.report()
+    return y, report
+
+
+def spmv_smash_hardware_instrumented(
+    matrix: SMASHMatrix,
+    x: np.ndarray,
+    config: Optional[SimConfig] = None,
+    bmu: Optional[BitmapManagementUnit] = None,
+) -> KernelOutput:
+    """Hardware-accelerated SMASH SpMV (Algorithm 1 of the paper).
+
+    Indexing is performed by the BMU through the SMASH ISA: each non-zero
+    block costs one ``PBMAP`` and one ``RDIND``; the bitmap traffic is the
+    BMU's buffer refills rather than per-element loads.
+    """
+    x = _check_vector(x, matrix.cols)
+    instr = KernelInstrumentation("spmv", "smash_hw", config)
+    register_smash(instr, "A", matrix)
+    register_vector(instr, "x", matrix.cols)
+    register_vector(instr, "y", matrix.rows)
+
+    isa = SMASHISA(bmu or BitmapManagementUnit(), instr)
+    y = np.zeros(matrix.rows, dtype=np.float64)
+    _spmv_smash_blocks(matrix, x, y, instr, isa.iter_nonzero_blocks(matrix), SMASHCosts())
+    report = instr.report()
+    report.metadata["pbmap_count"] = float(isa.bmu.group(0).pbmap_count)
+    report.metadata["bmu_buffer_reloads"] = float(isa.bmu.group(0).buffer_reloads)
+    return y, report

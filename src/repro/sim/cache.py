@@ -1,0 +1,122 @@
+"""Set-associative cache model with LRU replacement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    prefetch_hits: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when there were no accesses)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two stats objects."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            prefetch_hits=self.prefetch_hits + other.prefetch_hits,
+            evictions=self.evictions + other.evictions,
+        )
+
+
+class Cache:
+    """A single set-associative cache level with true-LRU replacement.
+
+    Addresses are byte addresses; the cache operates on aligned lines of
+    ``config.line_bytes``. The model tracks residency only (no dirty/writeback
+    modeling) because the evaluation's memory traffic is read-dominated.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        # One ordered dict per set would be natural, but a list of lists with
+        # MRU at the end is faster for the small associativities used here.
+        self._sets: List[List[int]] = [[] for _ in range(config.n_sets)]
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.config.line_bytes
+        set_index = line % self.config.n_sets
+        return line, set_index
+
+    def lookup(self, address: int) -> bool:
+        """Access ``address``; return True on hit. Misses allocate the line."""
+        self.stats.accesses += 1
+        line, set_index = self._locate(address)
+        ways = self._sets[set_index]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._insert(line, set_index)
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Check residency without updating LRU state or statistics."""
+        line, set_index = self._locate(address)
+        return line in self._sets[set_index]
+
+    def install(self, address: int) -> None:
+        """Install a line (e.g. brought in by a prefetch) without counting an access."""
+        line, set_index = self._locate(address)
+        ways = self._sets[set_index]
+        if line in ways:
+            return
+        self._insert(line, set_index)
+
+    def _insert(self, line: int, set_index: int) -> None:
+        ways = self._sets[set_index]
+        if len(ways) >= self.config.associativity:
+            ways.pop(0)
+            self.stats.evictions += 1
+        ways.append(line)
+
+    def flush(self) -> None:
+        """Empty the cache (used between independent experiment runs)."""
+        self._sets = [[] for _ in range(self.config.n_sets)]
+
+    def reset_stats(self) -> None:
+        """Zero the statistics counters, keeping cache contents."""
+        self.stats = CacheStats()
+
+    def occupancy(self) -> float:
+        """Fraction of cache lines currently valid."""
+        capacity = self.config.n_sets * self.config.associativity
+        resident = sum(len(ways) for ways in self._sets)
+        return resident / capacity if capacity else 0.0
+
+    def describe(self) -> Dict[str, int]:
+        """Geometry summary used in reports."""
+        return {
+            "size_bytes": self.config.size_bytes,
+            "associativity": self.config.associativity,
+            "sets": self.config.n_sets,
+            "line_bytes": self.config.line_bytes,
+            "latency_cycles": self.config.latency_cycles,
+        }

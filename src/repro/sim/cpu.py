@@ -1,0 +1,70 @@
+"""Simple out-of-order CPU cost model.
+
+The model converts instruction counts and memory stall estimates into cycles
+and wall-clock time. It intentionally ignores branch misprediction, functional
+unit contention and instruction fetch effects: the paper's speedups stem from
+instruction-count reduction and indexing-related memory stalls, both of which
+the :class:`repro.sim.instrumentation.KernelInstrumentation` pipeline already
+captures. The CPU model is kept separate so experiments can translate
+:class:`~repro.sim.instrumentation.CostReport` objects into seconds and derive
+rates such as IPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport
+
+
+@dataclass(frozen=True)
+class ExecutionSummary:
+    """Derived execution metrics for one kernel run."""
+
+    cycles: float
+    seconds: float
+    ipc: float
+    instructions: int
+    memory_stall_fraction: float
+
+
+class CPUModel:
+    """Translates cost reports into time and efficiency metrics."""
+
+    def __init__(self, config: Optional[SimConfig] = None) -> None:
+        self.config = config or SimConfig.default()
+
+    def cycles(self, report: CostReport) -> float:
+        """Total cycles estimated for a report."""
+        return report.cycles
+
+    def seconds(self, report: CostReport) -> float:
+        """Wall-clock seconds at the configured core frequency."""
+        hz = self.config.cpu.frequency_ghz * 1e9
+        return report.cycles / hz
+
+    def ipc(self, report: CostReport) -> float:
+        """Instructions per cycle."""
+        if report.cycles == 0:
+            return 0.0
+        return report.total_instructions / report.cycles
+
+    def summarize(self, report: CostReport) -> ExecutionSummary:
+        """Produce the full derived-metric summary for a report."""
+        cycles = self.cycles(report)
+        stall_fraction = report.memory_stall_cycles / cycles if cycles else 0.0
+        return ExecutionSummary(
+            cycles=cycles,
+            seconds=self.seconds(report),
+            ipc=self.ipc(report),
+            instructions=report.total_instructions,
+            memory_stall_fraction=stall_fraction,
+        )
+
+    def speedup(self, baseline: CostReport, candidate: CostReport) -> float:
+        """Speedup of ``candidate`` over ``baseline`` (>1 means faster)."""
+        if candidate.cycles == 0:
+            return float("inf")
+        return baseline.cycles / candidate.cycles

@@ -1,0 +1,241 @@
+"""Instruction counting and cost reports for the instrumented kernels."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.config import SimConfig
+from repro.sim.memory import AccessType, AddressSpace, MemoryHierarchy, MemoryRequest
+
+
+class InstructionClass(enum.Enum):
+    """Instruction categories tracked by the cost model.
+
+    The paper's motivation experiment (Figure 3) separates *indexing*
+    instructions (pointer arithmetic, position discovery, index matching)
+    from the rest; the reproduction keeps that distinction so that the
+    "ideal CSR" and SMASH configurations can remove exactly the indexing
+    component.
+    """
+
+    INDEX = "index"
+    COMPUTE = "compute"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    BMU = "bmu"
+
+
+@dataclass
+class InstructionCounter:
+    """Mutable per-class instruction counters."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, cls: InstructionClass, n: int = 1) -> None:
+        """Record ``n`` instructions of class ``cls``."""
+        if n < 0:
+            raise ValueError("instruction count increments must be non-negative")
+        self.counts[cls.value] = self.counts.get(cls.value, 0) + n
+
+    def get(self, cls: InstructionClass) -> int:
+        """Number of instructions recorded for ``cls``."""
+        return self.counts.get(cls.value, 0)
+
+    @property
+    def total(self) -> int:
+        """Total instructions across all classes."""
+        return sum(self.counts.values())
+
+    def merged(self, other: "InstructionCounter") -> "InstructionCounter":
+        """Return a new counter with the sums of both operands."""
+        merged = dict(self.counts)
+        for key, value in other.counts.items():
+            merged[key] = merged.get(key, 0) + value
+        return InstructionCounter(merged)
+
+
+@dataclass
+class CostReport:
+    """Result of running one instrumented kernel.
+
+    ``cycles`` is the analytic execution-time estimate:
+    ``issue_cycles + memory_stall_cycles`` (see DESIGN.md section 5).
+    """
+
+    kernel: str
+    scheme: str
+    instructions: InstructionCounter
+    issue_cycles: float
+    memory_stall_cycles: float
+    dram_accesses: int
+    l1_miss_rate: float
+    l2_miss_rate: float
+    l3_miss_rate: float
+    per_structure_accesses: Dict[str, int] = field(default_factory=dict)
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        """Total estimated cycles."""
+        return self.issue_cycles + self.memory_stall_cycles
+
+    @property
+    def total_instructions(self) -> int:
+        """Total executed instructions."""
+        return self.instructions.total
+
+    def speedup_over(self, baseline: "CostReport") -> float:
+        """Speedup of this report relative to ``baseline`` (baseline/self)."""
+        if self.cycles == 0:
+            return float("inf")
+        return baseline.cycles / self.cycles
+
+    def instruction_ratio_over(self, baseline: "CostReport") -> float:
+        """Executed-instruction ratio relative to ``baseline`` (self/baseline)."""
+        if baseline.total_instructions == 0:
+            return float("inf")
+        return self.total_instructions / baseline.total_instructions
+
+
+def merge_reports(kernel: str, scheme: str, reports: "list[CostReport]") -> CostReport:
+    """Combine several cost reports into one aggregate report.
+
+    Used by multi-phase workloads (PageRank iterations, BFS levels in
+    Betweenness Centrality) that run the same instrumented kernel repeatedly:
+    instruction counts, cycles and DRAM accesses add up; cache miss rates are
+    access-weighted averages.
+    """
+    if not reports:
+        raise ValueError("merge_reports needs at least one report")
+    instructions = InstructionCounter()
+    issue_cycles = 0.0
+    stall_cycles = 0.0
+    dram = 0
+    per_structure: Dict[str, int] = {}
+    metadata: Dict[str, float] = {}
+    miss_weights = {"l1": [0.0, 0.0], "l2": [0.0, 0.0], "l3": [0.0, 0.0]}
+    for report in reports:
+        instructions = instructions.merged(report.instructions)
+        issue_cycles += report.issue_cycles
+        stall_cycles += report.memory_stall_cycles
+        dram += report.dram_accesses
+        for name, count in report.per_structure_accesses.items():
+            per_structure[name] = per_structure.get(name, 0) + count
+        for key, value in report.metadata.items():
+            metadata[key] = metadata.get(key, 0.0) + value
+        total_accesses = sum(report.per_structure_accesses.values()) or 1
+        for level, rate in (("l1", report.l1_miss_rate), ("l2", report.l2_miss_rate),
+                            ("l3", report.l3_miss_rate)):
+            miss_weights[level][0] += rate * total_accesses
+            miss_weights[level][1] += total_accesses
+
+    def weighted(level: str) -> float:
+        numerator, denominator = miss_weights[level]
+        return numerator / denominator if denominator else 0.0
+
+    return CostReport(
+        kernel=kernel,
+        scheme=scheme,
+        instructions=instructions,
+        issue_cycles=issue_cycles,
+        memory_stall_cycles=stall_cycles,
+        dram_accesses=dram,
+        l1_miss_rate=weighted("l1"),
+        l2_miss_rate=weighted("l2"),
+        l3_miss_rate=weighted("l3"),
+        per_structure_accesses=per_structure,
+        metadata=metadata,
+    )
+
+
+class KernelInstrumentation:
+    """Collects instructions and memory accesses while a kernel executes.
+
+    The instrumented kernels call :meth:`count` for instruction bookkeeping
+    and :meth:`load`/:meth:`store` for memory traffic; at the end,
+    :meth:`report` folds everything into a :class:`CostReport` using the
+    configured instruction costs and the replayed cache behaviour.
+    """
+
+    def __init__(self, kernel: str, scheme: str, config: Optional[SimConfig] = None) -> None:
+        self.kernel = kernel
+        self.scheme = scheme
+        self.config = config or SimConfig.default()
+        self.instructions = InstructionCounter()
+        self.memory = MemoryHierarchy(self.config)
+        self.address_space = AddressSpace()
+        self._metadata: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def register_array(self, name: str, size_bytes: int) -> None:
+        """Declare a data structure so its accesses can be addressed."""
+        self.address_space.register(name, size_bytes)
+
+    def count(self, cls: InstructionClass, n: int = 1) -> None:
+        """Record ``n`` instructions of class ``cls``."""
+        self.instructions.add(cls, n)
+
+    def load(
+        self,
+        structure: str,
+        offset_bytes: int,
+        dependent: bool = False,
+        size_bytes: int = 8,
+        count_instruction: bool = True,
+    ) -> None:
+        """Record a load from ``structure`` at ``offset_bytes``."""
+        if count_instruction:
+            self.instructions.add(InstructionClass.LOAD)
+        access_type = AccessType.DEPENDENT if dependent else AccessType.STREAMING
+        address = self.address_space.address(structure, offset_bytes)
+        self.memory.access(MemoryRequest(structure, address, access_type, size_bytes))
+
+    def store(
+        self,
+        structure: str,
+        offset_bytes: int,
+        size_bytes: int = 8,
+        count_instruction: bool = True,
+    ) -> None:
+        """Record a store to ``structure`` at ``offset_bytes``."""
+        if count_instruction:
+            self.instructions.add(InstructionClass.STORE)
+        address = self.address_space.address(structure, offset_bytes)
+        self.memory.access(MemoryRequest(structure, address, AccessType.WRITE, size_bytes))
+
+    def note(self, key: str, value: float) -> None:
+        """Attach free-form metadata to the final report."""
+        self._metadata[key] = value
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def issue_cycles(self) -> float:
+        """Cycles spent issuing instructions, ignoring memory stalls."""
+        costs = self.config.costs.as_dict()
+        weighted = 0.0
+        for name, count in self.instructions.counts.items():
+            weighted += costs.get(name, 1.0) * count
+        return weighted / self.config.cpu.issue_width
+
+    def report(self) -> CostReport:
+        """Fold the recorded activity into a :class:`CostReport`."""
+        stats = self.memory.snapshot_stats()
+        return CostReport(
+            kernel=self.kernel,
+            scheme=self.scheme,
+            instructions=self.instructions,
+            issue_cycles=self.issue_cycles(),
+            memory_stall_cycles=stats.stall_cycles,
+            dram_accesses=stats.dram_accesses,
+            l1_miss_rate=stats.l1.miss_rate,
+            l2_miss_rate=stats.l2.miss_rate,
+            l3_miss_rate=stats.l3.miss_rate,
+            per_structure_accesses=dict(stats.per_structure_accesses),
+            metadata=dict(self._metadata),
+        )

@@ -1,0 +1,192 @@
+"""Memory hierarchy model: L1/L2/L3 caches plus DRAM with a stride prefetcher.
+
+Kernels emit :class:`MemoryRequest` objects tagged with the data structure
+they belong to and whether the access is *dependent* (its address was produced
+by a preceding load, i.e. pointer chasing) or *streaming*. The hierarchy
+replays the requests, classifies each as a hit at some level or a DRAM access,
+and accumulates stall cycles. Dependent misses are charged their full latency;
+independent misses are overlapped by the CPU's memory-level parallelism.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.cache import Cache, CacheStats
+from repro.sim.config import SimConfig
+from repro.sim.prefetcher import StridePrefetcher
+
+
+class AccessType(enum.Enum):
+    """Classification of a memory access for latency accounting."""
+
+    #: Address is a simple linear function of the loop induction variable;
+    #: misses can be overlapped with each other and hidden by prefetching.
+    STREAMING = "streaming"
+    #: Address was computed from the result of a prior load (pointer chasing
+    #: / indirect indexing); the miss latency is exposed.
+    DEPENDENT = "dependent"
+    #: Store traffic. Writes are buffered, so they never stall the core in
+    #: this model, but they still occupy cache lines.
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One memory access at byte granularity."""
+
+    structure: str
+    address: int
+    access_type: AccessType = AccessType.STREAMING
+    size_bytes: int = 8
+
+
+@dataclass
+class MemoryStats:
+    """Aggregated results of replaying an access stream."""
+
+    requests: int = 0
+    l1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    l3: CacheStats = field(default_factory=CacheStats)
+    dram_accesses: int = 0
+    prefetch_covered: int = 0
+    stall_cycles: float = 0.0
+    dependent_stall_cycles: float = 0.0
+    per_structure_accesses: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_misses_to_dram(self) -> int:
+        """Number of requests served by DRAM."""
+        return self.dram_accesses
+
+
+class MemoryHierarchy:
+    """Three-level inclusive cache hierarchy backed by DRAM."""
+
+    def __init__(self, config: Optional[SimConfig] = None) -> None:
+        self.config = config or SimConfig.default()
+        self.l1 = Cache(self.config.l1)
+        self.l2 = Cache(self.config.l2)
+        self.l3 = Cache(self.config.l3)
+        self.prefetcher = StridePrefetcher(line_bytes=self.config.l1.line_bytes)
+        self.stats = MemoryStats()
+
+    # ------------------------------------------------------------------ #
+    # Access handling
+    # ------------------------------------------------------------------ #
+    def access(self, request: MemoryRequest) -> float:
+        """Replay one request; return the stall cycles it contributes."""
+        self.stats.requests += 1
+        self.stats.per_structure_accesses[request.structure] = (
+            self.stats.per_structure_accesses.get(request.structure, 0) + 1
+        )
+
+        latency = self._lookup_hierarchy(request)
+
+        if request.access_type is AccessType.WRITE:
+            # Stores retire through the store buffer and do not stall the core.
+            stall = 0.0
+        elif request.access_type is AccessType.DEPENDENT:
+            stall = float(latency) * self.config.cpu.dependent_miss_exposure
+            self.stats.dependent_stall_cycles += stall
+        else:
+            # Independent/streaming misses overlap with each other.
+            stall = float(latency) / self.config.cpu.memory_level_parallelism
+        self.stats.stall_cycles += stall
+        return stall
+
+    def _lookup_hierarchy(self, request: MemoryRequest) -> int:
+        """Walk L1 -> L2 -> L3 -> DRAM and return the latency beyond L1-hit."""
+        address = request.address
+        covered = False
+        if request.access_type is AccessType.STREAMING:
+            covered = self.prefetcher.access(request.structure, address)
+
+        if self.l1.lookup(address):
+            return 0
+        if covered:
+            # The prefetcher brought the line in ahead of time; charge only an
+            # L2-hit latency for the (timely) prefetch.
+            self.stats.prefetch_covered += 1
+            self.l2.install(address)
+            self.l3.install(address)
+            return self.config.l2.latency_cycles
+        if self.l2.lookup(address):
+            return self.config.l2.latency_cycles
+        if self.l3.lookup(address):
+            return self.config.l3.latency_cycles
+        self.stats.dram_accesses += 1
+        return self.config.dram.latency_cycles
+
+    def access_many(self, requests: Iterable[MemoryRequest]) -> float:
+        """Replay a sequence of requests; return the accumulated stall cycles."""
+        total = 0.0
+        for request in requests:
+            total += self.access(request)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def snapshot_stats(self) -> MemoryStats:
+        """Return the stats collected so far, including per-level counters."""
+        self.stats.l1 = self.l1.stats
+        self.stats.l2 = self.l2.stats
+        self.stats.l3 = self.l3.stats
+        return self.stats
+
+    def reset(self) -> None:
+        """Flush caches, prefetcher state, and statistics."""
+        self.l1.flush()
+        self.l2.flush()
+        self.l3.flush()
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.l3.reset_stats()
+        self.prefetcher.reset()
+        self.stats = MemoryStats()
+
+
+class AddressSpace:
+    """Assigns non-overlapping base addresses to named data structures.
+
+    The instrumented kernels need byte addresses for the arrays they touch so
+    that the cache model sees realistic line reuse and conflict behaviour.
+    Structures are laid out contiguously with page alignment between them,
+    which mirrors separate heap allocations.
+    """
+
+    PAGE = 4096
+
+    def __init__(self) -> None:
+        self._next_base = self.PAGE
+        self._bases: Dict[str, int] = {}
+        self._sizes: Dict[str, int] = {}
+
+    def register(self, name: str, size_bytes: int) -> int:
+        """Allocate (or look up) the base address for a structure."""
+        if name in self._bases:
+            return self._bases[name]
+        base = self._next_base
+        self._bases[name] = base
+        self._sizes[name] = size_bytes
+        pages = max(1, -(-size_bytes // self.PAGE))
+        self._next_base += pages * self.PAGE
+        return base
+
+    def address(self, name: str, offset_bytes: int) -> int:
+        """Byte address of ``offset_bytes`` inside structure ``name``."""
+        if name not in self._bases:
+            raise KeyError(f"structure {name!r} was never registered")
+        return self._bases[name] + offset_bytes
+
+    def structures(self) -> List[str]:
+        """Names of all registered structures."""
+        return list(self._bases)
+
+    def size_of(self, name: str) -> int:
+        """Registered size of a structure in bytes."""
+        return self._sizes[name]

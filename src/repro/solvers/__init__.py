@@ -1,0 +1,21 @@
+"""Sparse iterative solvers built on the SMASH kernels.
+
+Section 5.2.1 of the paper lists sparse iterative solvers among the
+operations SMASH accelerates beyond SpMV/SpMM, because they spend almost all
+of their time in repeated sparse matrix-vector products. This package
+provides two classic solvers — Jacobi and Conjugate Gradient — implemented on
+top of the instrumented SpMV kernels, so any scheme (CSR, BCSR, software-only
+SMASH, hardware SMASH) can be plugged in and compared with full cost
+accounting, exactly like the PageRank/BC applications.
+"""
+
+from repro.solvers.jacobi import jacobi_solve
+from repro.solvers.conjugate_gradient import conjugate_gradient_solve
+from repro.solvers.common import SolverResult, diagonally_dominant_system
+
+__all__ = [
+    "jacobi_solve",
+    "conjugate_gradient_solve",
+    "SolverResult",
+    "diagonally_dominant_system",
+]

@@ -1,0 +1,95 @@
+"""Minimal MatrixMarket (``.mtx``) reader and writer.
+
+The paper's matrices come from the SuiteSparse collection, which distributes
+MatrixMarket files. The reproduction ships synthetic analogues, but users who
+have the original files can load them with :func:`read_matrix_market` and run
+every experiment on the real data. Only the ``matrix coordinate
+real/integer/pattern general|symmetric`` subset of the format is supported,
+which covers the SuiteSparse matrices used in the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+
+
+class MatrixMarketError(ValueError):
+    """Raised when a MatrixMarket file cannot be parsed."""
+
+
+def read_matrix_market(path: Union[str, pathlib.Path]) -> COOMatrix:
+    """Read a MatrixMarket coordinate file into a COO matrix."""
+    path = pathlib.Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline().strip()
+        if not header.startswith("%%MatrixMarket"):
+            raise MatrixMarketError(f"{path}: missing %%MatrixMarket header")
+        parts = header.split()
+        if len(parts) < 5 or parts[1] != "matrix" or parts[2] != "coordinate":
+            raise MatrixMarketError(f"{path}: only 'matrix coordinate' files are supported")
+        field = parts[3]
+        symmetry = parts[4]
+        if field not in {"real", "integer", "pattern"}:
+            raise MatrixMarketError(f"{path}: unsupported field type {field!r}")
+        if symmetry not in {"general", "symmetric"}:
+            raise MatrixMarketError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise MatrixMarketError(f"{path}: malformed size line {line!r}")
+        rows, cols, nnz = int(dims[0]), int(dims[1]), int(dims[2])
+
+        entry_rows: List[int] = []
+        entry_cols: List[int] = []
+        entry_vals: List[float] = []
+        for _ in range(nnz):
+            line = handle.readline()
+            if not line:
+                raise MatrixMarketError(f"{path}: unexpected end of file")
+            tokens = line.split()
+            i, j = int(tokens[0]) - 1, int(tokens[1]) - 1
+            value = 1.0 if field == "pattern" else float(tokens[2])
+            entry_rows.append(i)
+            entry_cols.append(j)
+            entry_vals.append(value)
+            if symmetry == "symmetric" and i != j:
+                entry_rows.append(j)
+                entry_cols.append(i)
+                entry_vals.append(value)
+
+    return COOMatrix.from_triplets(
+        (rows, cols),
+        zip(entry_rows, entry_cols, entry_vals),
+        sum_duplicates=True,
+    )
+
+
+def write_matrix_market(matrix: COOMatrix, path: Union[str, pathlib.Path]) -> None:
+    """Write a COO matrix as a general real coordinate MatrixMarket file."""
+    path = pathlib.Path(path)
+    sorted_matrix = matrix.sorted_by_row()
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("%%MatrixMarket matrix coordinate real general\n")
+        handle.write("% written by the SMASH reproduction\n")
+        handle.write(f"{matrix.rows} {matrix.cols} {matrix.nnz}\n")
+        for row, col, value in zip(sorted_matrix.row, sorted_matrix.col, sorted_matrix.values):
+            handle.write(f"{int(row) + 1} {int(col) + 1} {float(value):.17g}\n")
+
+
+def round_trip_equal(matrix: COOMatrix, path: Union[str, pathlib.Path]) -> bool:
+    """Write then re-read ``matrix``; return True when the result matches."""
+    write_matrix_market(matrix, path)
+    loaded = read_matrix_market(path)
+    return (
+        loaded.shape == matrix.shape
+        and loaded.nnz == matrix.nnz
+        and np.allclose(loaded.to_dense(), matrix.to_dense())
+    )

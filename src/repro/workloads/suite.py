@@ -1,0 +1,140 @@
+"""The evaluation matrix suite (synthetic analogues of the paper's Table 3).
+
+Each :class:`MatrixSpec` records the original SuiteSparse matrix's name,
+dimensions, non-zero count and sparsity, the structural class we map it to,
+and the per-matrix bitmap configuration the paper uses in its figures (the
+``Mi.b2.b1.b0`` labels of Figure 10). :func:`generate_matrix` produces a
+scaled-down synthetic matrix with the same sparsity and a similar non-zero
+distribution so the full evaluation can run offline in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import SMASHConfig
+from repro.formats.coo import COOMatrix
+from repro.workloads.synthetic import (
+    banded_matrix,
+    block_diagonal_matrix,
+    clustered_matrix,
+    power_law_matrix,
+    uniform_random_matrix,
+)
+
+#: Default dimension of the scaled-down synthetic analogues. The originals
+#: have 6k-22k rows; 192-384 rows keeps the instrumented kernels fast while
+#: leaving hundreds of cache lines of footprint, so the cache model still
+#: sees realistic reuse.
+DEFAULT_SCALED_DIM = 256
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Description of one evaluated matrix."""
+
+    key: str
+    name: str
+    rows: int
+    nnz: int
+    sparsity_percent: float
+    structure: str
+    smash_label: Tuple[int, int, int]
+    scaled_dim: int = DEFAULT_SCALED_DIM
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero elements (sparsity % / 100)."""
+        return self.sparsity_percent / 100.0
+
+    def smash_config(self) -> SMASHConfig:
+        """The per-matrix bitmap configuration used in the paper's figures."""
+        return SMASHConfig.from_label_ratios(*self.smash_label)
+
+    def label(self) -> str:
+        """Paper-style label, e.g. ``M1.16.4.2``."""
+        b2, b1, b0 = self.smash_label
+        return f"{self.key}.{b2}.{b1}.{b0}"
+
+
+#: Table 3 of the paper with the structural class and bitmap configuration
+#: (from the Figure 10/12 x-axis labels) for each matrix.
+SUITE_SPECS: List[MatrixSpec] = [
+    MatrixSpec("M1", "descriptor_xingo6u", 20_738, 73_916, 0.01, "uniform", (16, 4, 2), 768),
+    MatrixSpec("M2", "g7jac060sc", 17_730, 183_325, 0.06, "uniform", (16, 4, 2), 512),
+    MatrixSpec("M3", "Trefethen_20000", 20_000, 554_466, 0.14, "banded", (16, 4, 2), 384),
+    MatrixSpec("M4", "IG5-16", 18_846, 588_326, 0.17, "uniform", (16, 4, 2), 384),
+    MatrixSpec("M5", "TSOPF_RS_b162_c3", 15_374, 610_299, 0.26, "clustered", (16, 4, 2), 320),
+    MatrixSpec("M6", "ns3Da", 20_414, 1_679_599, 0.40, "clustered", (16, 4, 2), 256),
+    MatrixSpec("M7", "tsyl201", 20_685, 2_454_957, 0.57, "clustered", (16, 4, 2), 256),
+    MatrixSpec("M8", "pkustk07", 16_860, 2_418_804, 0.85, "block", (16, 4, 2), 256),
+    MatrixSpec("M9", "ramage02", 16_830, 2_866_352, 1.01, "block", (16, 4, 2), 256),
+    MatrixSpec("M10", "pattern1", 19_242, 9_323_432, 2.52, "clustered", (16, 4, 2), 256),
+    MatrixSpec("M11", "gupta3", 16_783, 9_323_427, 3.31, "power_law", (2, 4, 2), 256),
+    MatrixSpec("M12", "nd3k", 9_000, 3_279_690, 4.05, "block", (8, 4, 2), 192),
+    MatrixSpec("M13", "human_gene1", 22_283, 24_669_643, 4.97, "clustered", (8, 4, 2), 192),
+    MatrixSpec("M14", "exdata_1", 6_001, 2_269_500, 6.30, "block", (2, 4, 2), 192),
+    MatrixSpec("M15", "human_gene2", 14_340, 18_068_388, 8.79, "clustered", (8, 4, 2), 192),
+]
+
+_SPEC_INDEX: Dict[str, MatrixSpec] = {spec.key: spec for spec in SUITE_SPECS}
+
+
+def get_spec(key: str) -> MatrixSpec:
+    """Look up the spec for a matrix id such as ``"M7"``."""
+    if key not in _SPEC_INDEX:
+        raise KeyError(f"unknown matrix id {key!r}; known ids: {sorted(_SPEC_INDEX)}")
+    return _SPEC_INDEX[key]
+
+
+def generate_matrix(
+    spec: MatrixSpec | str,
+    dim: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> COOMatrix:
+    """Generate the scaled-down synthetic analogue of one suite matrix.
+
+    The generated matrix is ``dim x dim`` (default: the spec's ``scaled_dim``)
+    with the original's sparsity and a non-zero distribution matching its
+    structural class. ``seed`` defaults to a per-matrix constant so repeated
+    calls are reproducible.
+    """
+    if isinstance(spec, str):
+        spec = get_spec(spec)
+    dim = dim or spec.scaled_dim
+    seed = seed if seed is not None else _stable_seed(spec.key)
+    density = spec.density
+
+    if spec.structure == "uniform":
+        return uniform_random_matrix(dim, dim, density, seed=seed)
+    if spec.structure == "clustered":
+        return clustered_matrix(dim, dim, density, cluster_size=8, seed=seed)
+    if spec.structure == "banded":
+        bandwidth = max(1, int(round(density * dim / 2)))
+        return banded_matrix(dim, dim, bandwidth, density_in_band=0.9, seed=seed)
+    if spec.structure == "block":
+        block = 8
+        fill = min(1.0, density * dim * dim / (max(1, dim // block) * block * block))
+        return block_diagonal_matrix(dim, block, fill=max(0.05, min(1.0, fill)), seed=seed)
+    if spec.structure == "power_law":
+        return power_law_matrix(dim, dim, density, skew=1.3, seed=seed)
+    raise ValueError(f"unknown structural class {spec.structure!r}")
+
+
+def generate_suite(
+    dim: Optional[int] = None,
+    keys: Optional[List[str]] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, COOMatrix]:
+    """Generate every matrix of the suite (or the subset in ``keys``)."""
+    selected = SUITE_SPECS if keys is None else [get_spec(key) for key in keys]
+    return {
+        spec.key: generate_matrix(spec, dim=dim, seed=seed)
+        for spec in selected
+    }
+
+
+def _stable_seed(key: str) -> int:
+    """A deterministic per-matrix seed derived from the matrix id."""
+    return sum(ord(ch) * (i + 1) for i, ch in enumerate(key)) + 20_190_527

@@ -1,0 +1,120 @@
+"""Tests for the packed Bitmap."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap import Bitmap
+
+
+class TestConstruction:
+    def test_empty_bitmap(self):
+        bitmap = Bitmap(0)
+        assert len(bitmap) == 0
+        assert bitmap.popcount() == 0
+        assert bitmap.n_words == 0
+
+    def test_from_bools(self):
+        bitmap = Bitmap.from_bools([True, False, True, False])
+        assert bitmap.get(0) and bitmap.get(2)
+        assert not bitmap.get(1) and not bitmap.get(3)
+        assert bitmap.popcount() == 2
+
+    def test_from_indices(self):
+        bitmap = Bitmap.from_indices(100, [0, 63, 64, 99])
+        assert bitmap.set_bit_indices() == [0, 63, 64, 99]
+
+    def test_from_words(self):
+        words = np.array([0b101, 0], dtype=np.uint64)
+        bitmap = Bitmap(70, words)
+        assert bitmap.set_bit_indices() == [0, 2]
+
+    def test_tail_bits_masked(self):
+        # A word with bits beyond n_bits must be truncated.
+        words = np.array([np.uint64(0xFFFFFFFFFFFFFFFF)], dtype=np.uint64)
+        bitmap = Bitmap(10, words)
+        assert bitmap.popcount() == 10
+
+    def test_rejects_wrong_word_count(self):
+        with pytest.raises(ValueError):
+            Bitmap(65, np.zeros(1, dtype=np.uint64))
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            Bitmap(-1)
+
+
+class TestBitAccess:
+    def test_set_clear_get(self):
+        bitmap = Bitmap(128)
+        bitmap.set(70)
+        assert bitmap.get(70)
+        bitmap.clear(70)
+        assert not bitmap.get(70)
+
+    def test_getitem(self):
+        bitmap = Bitmap.from_indices(8, [3])
+        assert bitmap[3] is True
+        assert bitmap[0] is False
+
+    def test_out_of_range_raises(self):
+        bitmap = Bitmap(8)
+        with pytest.raises(IndexError):
+            bitmap.get(8)
+        with pytest.raises(IndexError):
+            bitmap.set(100)
+
+    def test_equality(self):
+        a = Bitmap.from_indices(20, [1, 5])
+        b = Bitmap.from_indices(20, [1, 5])
+        c = Bitmap.from_indices(20, [1, 6])
+        assert a == b
+        assert a != c
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Bitmap(8))
+
+
+class TestScanning:
+    def test_iter_set_bits_ascending(self):
+        indices = [3, 17, 64, 65, 127, 200]
+        bitmap = Bitmap.from_indices(256, indices)
+        assert list(bitmap.iter_set_bits()) == indices
+
+    def test_next_set_bit_basic(self):
+        bitmap = Bitmap.from_indices(128, [10, 70])
+        assert bitmap.next_set_bit(0) == 10
+        assert bitmap.next_set_bit(10) == 10
+        assert bitmap.next_set_bit(11) == 70
+        assert bitmap.next_set_bit(71) is None
+
+    def test_next_set_bit_negative_start_clamped(self):
+        bitmap = Bitmap.from_indices(16, [4])
+        assert bitmap.next_set_bit(-5) == 4
+
+    def test_next_set_bit_past_end(self):
+        bitmap = Bitmap.from_indices(16, [4])
+        assert bitmap.next_set_bit(16) is None
+
+    def test_popcount_matches_iteration(self):
+        rng = np.random.default_rng(5)
+        indices = sorted(rng.choice(500, size=60, replace=False).tolist())
+        bitmap = Bitmap.from_indices(500, indices)
+        assert bitmap.popcount() == 60
+        assert list(bitmap.iter_set_bits()) == indices
+
+    def test_to_bool_array(self):
+        bitmap = Bitmap.from_indices(5, [0, 4])
+        np.testing.assert_array_equal(bitmap.to_bool_array(), [True, False, False, False, True])
+
+
+class TestStorage:
+    def test_storage_bytes_word_granularity(self):
+        assert Bitmap(1).storage_bytes() == 8
+        assert Bitmap(64).storage_bytes() == 8
+        assert Bitmap(65).storage_bytes() == 16
+
+    def test_word_accessor(self):
+        bitmap = Bitmap.from_indices(128, [64])
+        assert bitmap.word(0) == 0
+        assert bitmap.word(1) == 1

@@ -1,0 +1,95 @@
+"""Tests for SMASHConfig."""
+
+import pytest
+
+from repro.core.config import MAX_COMPRESSION_RATIO, MAX_LEVELS, SMASHConfig
+
+
+class TestConstruction:
+    def test_default_is_three_levels(self):
+        config = SMASHConfig()
+        assert config.levels == 3
+        assert config.block_size == 2
+
+    def test_from_label_ratios_matches_paper_notation(self):
+        # The paper's label Mi.16.4.2 means Bitmap-2=16, Bitmap-1=4, Bitmap-0=2.
+        config = SMASHConfig.from_label_ratios(16, 4, 2)
+        assert config.ratios == (2, 4, 16)
+        assert config.block_size == 2
+        assert config.label() == "16.4.2"
+
+    def test_single_level(self):
+        config = SMASHConfig.single_level(8)
+        assert config.levels == 1
+        assert config.block_size == 8
+
+    def test_with_block_size(self):
+        config = SMASHConfig.from_label_ratios(16, 4, 2).with_block_size(8)
+        assert config.ratios == (8, 4, 16)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SMASHConfig(())
+
+    def test_rejects_too_many_levels(self):
+        with pytest.raises(ValueError):
+            SMASHConfig((2,) * (MAX_LEVELS + 1))
+
+    def test_rejects_non_positive_ratio(self):
+        with pytest.raises(ValueError):
+            SMASHConfig((0, 4))
+
+    def test_rejects_fractional_ratio(self):
+        with pytest.raises(ValueError):
+            SMASHConfig((2.5, 4))
+
+    def test_rejects_ratio_beyond_buffer_limit(self):
+        # Section 4.2.1: a 256-byte buffer caps the ratio at 2048:1.
+        with pytest.raises(ValueError):
+            SMASHConfig((MAX_COMPRESSION_RATIO + 1,))
+
+    def test_accepts_maximum_ratio(self):
+        config = SMASHConfig((MAX_COMPRESSION_RATIO,))
+        assert config.block_size == MAX_COMPRESSION_RATIO
+
+
+class TestDerivedQuantities:
+    def test_elements_per_bit(self):
+        config = SMASHConfig((2, 4, 16))
+        assert config.elements_per_bit(0) == 2
+        assert config.elements_per_bit(1) == 8
+        assert config.elements_per_bit(2) == 128
+
+    def test_elements_per_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            SMASHConfig((2,)).elements_per_bit(1)
+
+    def test_label_round_trip(self):
+        config = SMASHConfig.from_label_ratios(8, 4, 2)
+        assert SMASHConfig.from_label_ratios(*map(int, config.label().split("."))) == config
+
+
+class TestChooseForMatrix:
+    def test_sparse_scattered_matrix_gets_small_block(self):
+        config = SMASHConfig.choose_for_matrix(density=0.0001, locality=0.3)
+        assert config.block_size == 2
+
+    def test_dense_clustered_matrix_gets_large_block(self):
+        config = SMASHConfig.choose_for_matrix(density=0.05, locality=0.9)
+        assert config.block_size == 8
+
+    def test_intermediate_matrix_gets_medium_block(self):
+        config = SMASHConfig.choose_for_matrix(density=0.01, locality=0.6)
+        assert config.block_size == 4
+
+    def test_levels_parameter_controls_depth(self):
+        config = SMASHConfig.choose_for_matrix(density=0.01, locality=0.5, levels=2)
+        assert config.levels == 2
+
+    def test_rejects_invalid_density(self):
+        with pytest.raises(ValueError):
+            SMASHConfig.choose_for_matrix(density=1.5)
+
+    def test_rejects_invalid_locality(self):
+        with pytest.raises(ValueError):
+            SMASHConfig.choose_for_matrix(density=0.5, locality=-0.1)

@@ -1,0 +1,155 @@
+"""Tests for the bitmap hierarchy and the Non-Zero Values Array."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap import Bitmap
+from repro.core.config import SMASHConfig
+from repro.core.hierarchy import BitmapHierarchy
+from repro.core.nza import NZA
+
+
+class TestBitmapHierarchy:
+    def test_paper_figure4_structure(self):
+        # Figure 4: Bitmap-1 covers 4 Bitmap-0 bits, Bitmap-2 covers 2
+        # Bitmap-1 bits. Non-zero blocks at Bitmap-0 positions 0 and 5.
+        config = SMASHConfig((4, 4, 2))
+        flags = [True, False, False, False, False, True, False, False]
+        hierarchy = BitmapHierarchy.from_block_flags(config, flags)
+        assert hierarchy.levels == 3
+        assert hierarchy.bitmap(0).set_bit_indices() == [0, 5]
+        assert hierarchy.bitmap(1).set_bit_indices() == [0, 1]
+        assert hierarchy.bitmap(2).set_bit_indices() == [0]
+        assert hierarchy.is_consistent()
+
+    def test_upper_levels_are_or_reductions(self):
+        config = SMASHConfig((2, 8))
+        flags = [False] * 64
+        flags[17] = True
+        flags[40] = True
+        hierarchy = BitmapHierarchy.from_block_flags(config, flags)
+        assert hierarchy.bitmap(1).set_bit_indices() == [2, 5]
+        assert hierarchy.is_consistent()
+
+    def test_all_zero_matrix_single_bit_top(self):
+        config = SMASHConfig((2, 4, 16))
+        hierarchy = BitmapHierarchy.from_block_flags(config, [False] * 128)
+        assert hierarchy.n_nonzero_blocks() == 0
+        assert hierarchy.top.popcount() == 0
+        assert hierarchy.is_consistent()
+
+    def test_children_and_parent_navigation(self):
+        config = SMASHConfig((2, 4))
+        flags = [True] + [False] * 15
+        hierarchy = BitmapHierarchy.from_block_flags(config, flags)
+        assert list(hierarchy.children_range(1, 0)) == [0, 1, 2, 3]
+        assert hierarchy.parent_index(0, 7) == 1
+
+    def test_parent_of_top_level_raises(self):
+        config = SMASHConfig((2, 4))
+        hierarchy = BitmapHierarchy.from_block_flags(config, [True] * 4)
+        with pytest.raises(ValueError):
+            hierarchy.parent_index(1, 0)
+
+    def test_children_of_level0_raises(self):
+        config = SMASHConfig((2, 4))
+        hierarchy = BitmapHierarchy.from_block_flags(config, [True] * 4)
+        with pytest.raises(ValueError):
+            hierarchy.children_range(0, 0)
+
+    def test_rejects_inconsistent_level_sizes(self):
+        config = SMASHConfig((2, 4))
+        with pytest.raises(ValueError):
+            BitmapHierarchy(config, [Bitmap(16), Bitmap(2)])
+
+    def test_rejects_wrong_number_of_levels(self):
+        config = SMASHConfig((2, 4))
+        with pytest.raises(ValueError):
+            BitmapHierarchy(config, [Bitmap(16)])
+
+    def test_storage_counts_all_levels(self):
+        config = SMASHConfig((2, 4, 4))
+        hierarchy = BitmapHierarchy.from_block_flags(config, [True] * 64)
+        assert hierarchy.storage_bytes() == (
+            hierarchy.bitmap(0).storage_bytes()
+            + hierarchy.bitmap(1).storage_bytes()
+            + hierarchy.bitmap(2).storage_bytes()
+        )
+
+    def test_nonzero_bitmap_bytes_single_level_stored_fully(self):
+        # With one level there is no parent to imply zero regions, so the
+        # whole Bitmap-0 must be stored.
+        config = SMASHConfig((2,))
+        flags = [False] * 640
+        flags[0] = True
+        hierarchy = BitmapHierarchy.from_block_flags(config, flags)
+        assert hierarchy.stored_nonzero_bitmap_bytes() == 80
+
+    def test_nonzero_bitmap_bytes_hierarchy_skips_zero_groups(self):
+        # Figure 4(b): lower-level groups whose parent bit is zero are not
+        # stored. One non-zero block out of 640 keeps only one 64-bit group
+        # of Bitmap-0 plus the 10-bit top level.
+        config = SMASHConfig((2, 64))
+        flags = [False] * 640
+        flags[0] = True
+        hierarchy = BitmapHierarchy.from_block_flags(config, flags)
+        assert hierarchy.stored_nonzero_bitmap_bytes() == -(-(10 + 64) // 8)
+        assert hierarchy.stored_nonzero_bitmap_bytes() < hierarchy.storage_bytes()
+
+    def test_describe_lists_every_level(self):
+        config = SMASHConfig((2, 4, 16))
+        hierarchy = BitmapHierarchy.from_block_flags(config, [True] * 128)
+        assert len(hierarchy.describe()) == 3
+
+
+class TestNZA:
+    def test_append_and_access_blocks(self):
+        nza = NZA(4)
+        first = nza.append_block(np.array([1.0, 0.0, 2.0, 0.0]))
+        second = nza.append_block(np.array([0.0, 3.0, 0.0, 0.0]))
+        assert (first, second) == (0, 1)
+        assert nza.n_blocks == 2
+        np.testing.assert_array_equal(nza.block(1), [0.0, 3.0, 0.0, 0.0])
+
+    def test_from_blocks(self):
+        blocks = [np.array([1.0, 2.0]), np.array([0.0, 3.0])]
+        nza = NZA.from_blocks(2, blocks)
+        assert nza.n_blocks == 2
+        assert nza.nnz == 3
+
+    def test_fill_ratio_is_locality_of_sparsity(self):
+        nza = NZA.from_blocks(4, [np.array([1.0, 0.0, 0.0, 0.0]), np.array([1.0, 1.0, 1.0, 1.0])])
+        assert nza.fill_ratio() == pytest.approx(5 / 8)
+
+    def test_empty_nza(self):
+        nza = NZA(8)
+        assert nza.n_blocks == 0
+        assert nza.fill_ratio() == 0.0
+        assert nza.storage_bytes() == 0
+
+    def test_iter_blocks(self):
+        nza = NZA.from_blocks(2, [np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        collected = {index: block.tolist() for index, block in nza.iter_blocks()}
+        assert collected == {0: [1.0, 2.0], 1: [3.0, 4.0]}
+
+    def test_rejects_wrong_block_length(self):
+        nza = NZA(4)
+        with pytest.raises(ValueError):
+            nza.append_block(np.array([1.0, 2.0]))
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            NZA(0)
+
+    def test_rejects_non_multiple_data(self):
+        with pytest.raises(ValueError):
+            NZA(4, np.zeros(6))
+
+    def test_block_index_out_of_range(self):
+        nza = NZA.from_blocks(2, [np.array([1.0, 2.0])])
+        with pytest.raises(IndexError):
+            nza.block(1)
+
+    def test_storage_bytes(self):
+        nza = NZA.from_blocks(4, [np.zeros(4), np.zeros(4)])
+        assert nza.storage_bytes() == 8 * 8

@@ -1,0 +1,128 @@
+"""Tests for software indexing and CSR<->SMASH conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SMASHConfig
+from repro.core.conversion import (
+    csr_to_smash,
+    dense_to_smash,
+    estimate_conversion_cost,
+    smash_to_csr,
+)
+from repro.core.indexing import SoftwareIndexer, iter_nonzero_blocks
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.csr import CSRMatrix
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import InstructionClass, KernelInstrumentation
+
+
+class TestIterNonzeroBlocks:
+    def test_yields_every_stored_block(self, medium_smash):
+        blocks = list(iter_nonzero_blocks(medium_smash))
+        assert len(blocks) == medium_smash.n_nonzero_blocks
+        assert [b[0] for b in blocks] == list(range(len(blocks)))
+
+    def test_positions_match_block_position(self, medium_smash):
+        for nza_index, row, col in iter_nonzero_blocks(medium_smash):
+            bit = medium_smash.hierarchy.base.set_bit_indices()[nza_index]
+            assert medium_smash.block_position(bit) == (row, col)
+
+
+class TestSoftwareIndexer:
+    def test_matches_reference_iterator(self, medium_smash):
+        reference = list(iter_nonzero_blocks(medium_smash))
+        scanned = list(SoftwareIndexer(medium_smash).iter_blocks())
+        assert scanned == reference
+
+    @pytest.mark.parametrize("label", [(2,), (4,), (2, 4), (2, 4, 16), (8, 4)])
+    def test_matches_reference_for_various_configs(self, small_dense, label):
+        matrix = SMASHMatrix.from_dense(small_dense, SMASHConfig(label))
+        assert list(SoftwareIndexer(matrix).iter_blocks()) == list(iter_nonzero_blocks(matrix))
+
+    def test_empty_matrix_yields_nothing(self):
+        matrix = SMASHMatrix.from_dense(np.zeros((16, 16)), SMASHConfig((2, 4)))
+        assert list(SoftwareIndexer(matrix).iter_blocks()) == []
+
+    def test_charges_index_instructions(self, medium_smash):
+        instr = KernelInstrumentation("scan", "smash_sw")
+        list(SoftwareIndexer(medium_smash, instr).iter_blocks())
+        assert instr.instructions.get(InstructionClass.INDEX) > 0
+        assert instr.instructions.get(InstructionClass.LOAD) > 0
+
+    def test_scan_cost_grows_with_bitmap_size(self):
+        # A sparser matrix of the same nnz has a larger Bitmap-0 to scan.
+        dense_small = np.zeros((16, 16))
+        dense_large = np.zeros((64, 64))
+        rng = np.random.default_rng(0)
+        idx_small = rng.choice(16 * 16, size=20, replace=False)
+        idx_large = rng.choice(64 * 64, size=20, replace=False)
+        dense_small[idx_small // 16, idx_small % 16] = 1.0
+        dense_large[idx_large // 64, idx_large % 64] = 1.0
+        config = SMASHConfig((2,))
+        instr_small = KernelInstrumentation("scan", "sw")
+        instr_large = KernelInstrumentation("scan", "sw")
+        list(SoftwareIndexer(SMASHMatrix.from_dense(dense_small, config), instr_small).iter_blocks())
+        list(SoftwareIndexer(SMASHMatrix.from_dense(dense_large, config), instr_large).iter_blocks())
+        assert instr_large.instructions.total > instr_small.instructions.total
+
+    def test_hierarchy_skips_zero_regions(self):
+        # With an upper level, an all-zero tail of Bitmap-0 should not be
+        # loaded word by word.
+        dense = np.zeros((64, 64))
+        dense[0, 0] = 1.0
+        flat_config = SMASHConfig((2,))
+        hier_config = SMASHConfig((2, 64))
+        instr_flat = KernelInstrumentation("scan", "sw")
+        instr_hier = KernelInstrumentation("scan", "sw")
+        list(SoftwareIndexer(SMASHMatrix.from_dense(dense, flat_config), instr_flat).iter_blocks())
+        list(SoftwareIndexer(SMASHMatrix.from_dense(dense, hier_config), instr_hier).iter_blocks())
+        assert (
+            instr_hier.instructions.get(InstructionClass.LOAD)
+            < instr_flat.instructions.get(InstructionClass.LOAD)
+        )
+
+
+class TestConversion:
+    def test_csr_to_smash_preserves_matrix(self, medium_csr, smash_config):
+        smash, cost = csr_to_smash(medium_csr, smash_config)
+        np.testing.assert_allclose(smash.to_dense(), medium_csr.to_dense())
+        assert cost.total_instructions > 0
+
+    def test_smash_to_csr_preserves_matrix(self, medium_smash):
+        csr, cost = smash_to_csr(medium_smash)
+        np.testing.assert_allclose(csr.to_dense(), medium_smash.to_dense())
+        assert cost.total_instructions > 0
+
+    def test_round_trip_csr_smash_csr(self, medium_csr, smash_config):
+        smash, _ = csr_to_smash(medium_csr, smash_config)
+        back, _ = smash_to_csr(smash)
+        np.testing.assert_allclose(back.to_dense(), medium_csr.to_dense())
+        assert back.nnz == medium_csr.nnz
+
+    def test_empty_matrix_conversion(self):
+        csr = CSRMatrix.from_dense(np.zeros((8, 8)))
+        smash, _ = csr_to_smash(csr, SMASHConfig((2,)))
+        assert smash.nnz == 0
+        back, _ = smash_to_csr(smash)
+        assert back.nnz == 0
+
+    def test_dense_to_smash_shortcut(self, small_dense):
+        matrix = dense_to_smash(small_dense, SMASHConfig((4,)))
+        np.testing.assert_allclose(matrix.to_dense(), small_dense)
+
+    def test_conversion_cost_scales_with_nnz(self):
+        small = CSRMatrix.from_dense(np.eye(16))
+        large = CSRMatrix.from_dense(np.eye(64))
+        _, small_cost = csr_to_smash(small)
+        _, large_cost = csr_to_smash(large)
+        assert large_cost.total_instructions > small_cost.total_instructions
+
+    def test_round_trip_estimate_exceeds_one_way(self, medium_csr, smash_config):
+        one_way = estimate_conversion_cost(medium_csr, smash_config, round_trip=False)
+        round_trip = estimate_conversion_cost(medium_csr, smash_config, round_trip=True)
+        assert round_trip.total_instructions > one_way.total_instructions
+
+    def test_cost_cycles_positive(self, medium_csr, smash_config):
+        cost = estimate_conversion_cost(medium_csr, smash_config)
+        assert cost.cycles(SimConfig.default()) > 0

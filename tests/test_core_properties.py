@@ -1,0 +1,103 @@
+"""Property-based tests for the SMASH encoding (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.bitmap import Bitmap
+from repro.core.config import SMASHConfig
+from repro.core.conversion import csr_to_smash, smash_to_csr
+from repro.core.indexing import SoftwareIndexer, iter_nonzero_blocks
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.csr import CSRMatrix
+
+
+def sparse_dense_arrays(max_dim: int = 12):
+    """Small dense arrays with mostly zero entries."""
+    shapes = st.tuples(st.integers(1, max_dim), st.integers(1, max_dim))
+    return shapes.flatmap(
+        lambda shape: hnp.arrays(
+            dtype=np.float64,
+            shape=shape,
+            elements=st.one_of(
+                st.just(0.0),
+                st.just(0.0),
+                st.just(0.0),
+                st.floats(0.5, 10.0, allow_nan=False, allow_infinity=False),
+            ),
+        )
+    )
+
+
+def smash_configs():
+    """Valid SMASH configurations with up to three levels."""
+    return st.lists(st.sampled_from([2, 4, 8, 16]), min_size=1, max_size=3).map(
+        lambda ratios: SMASHConfig(tuple(ratios))
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=sparse_dense_arrays(), config=smash_configs())
+def test_smash_round_trip_any_config(dense, config):
+    matrix = SMASHMatrix.from_dense(dense, config)
+    np.testing.assert_allclose(matrix.to_dense(), dense)
+    assert matrix.nnz == int(np.count_nonzero(dense))
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=sparse_dense_arrays(), config=smash_configs())
+def test_hierarchy_is_always_consistent(dense, config):
+    matrix = SMASHMatrix.from_dense(dense, config)
+    assert matrix.hierarchy.is_consistent()
+    assert matrix.hierarchy.n_nonzero_blocks() == matrix.nza.n_blocks
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=sparse_dense_arrays(), config=smash_configs())
+def test_software_indexer_matches_reference(dense, config):
+    matrix = SMASHMatrix.from_dense(dense, config)
+    assert list(SoftwareIndexer(matrix).iter_blocks()) == list(iter_nonzero_blocks(matrix))
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense=sparse_dense_arrays(), config=smash_configs())
+def test_csr_smash_round_trip(dense, config):
+    csr = CSRMatrix.from_dense(dense)
+    smash, _ = csr_to_smash(csr, config)
+    back, _ = smash_to_csr(smash)
+    np.testing.assert_allclose(back.to_dense(), dense)
+    assert back.nnz == csr.nnz
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=sparse_dense_arrays(), config=smash_configs())
+def test_nza_never_smaller_than_true_nonzeros(dense, config):
+    matrix = SMASHMatrix.from_dense(dense, config)
+    assert matrix.nza.stored_elements >= matrix.nnz
+    assert matrix.nza.stored_elements % config.block_size == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_bits=st.integers(1, 300),
+    indices=st.sets(st.integers(0, 299), max_size=40),
+)
+def test_bitmap_scan_equals_sorted_indices(n_bits, indices):
+    indices = {i for i in indices if i < n_bits}
+    bitmap = Bitmap.from_indices(n_bits, indices)
+    assert list(bitmap.iter_set_bits()) == sorted(indices)
+    assert bitmap.popcount() == len(indices)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_bits=st.integers(1, 300),
+    indices=st.sets(st.integers(0, 299), max_size=40),
+    start=st.integers(0, 310),
+)
+def test_bitmap_next_set_bit_is_first_at_or_after_start(n_bits, indices, start):
+    indices = {i for i in indices if i < n_bits}
+    bitmap = Bitmap.from_indices(n_bits, indices)
+    expected = min((i for i in indices if i >= start), default=None)
+    assert bitmap.next_set_bit(start) == expected

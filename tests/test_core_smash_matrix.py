@@ -1,0 +1,121 @@
+"""Tests for the SMASHMatrix encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SMASHConfig
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.base import FormatError
+from repro.formats.csr import CSRMatrix
+
+
+class TestEncoding:
+    def test_round_trip_default_config(self, small_dense):
+        matrix = SMASHMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(matrix.to_dense(), small_dense)
+
+    @pytest.mark.parametrize("label", [(2,), (4,), (8,), (2, 4), (2, 4, 16), (8, 4, 2)])
+    def test_round_trip_various_configs(self, small_dense, label):
+        matrix = SMASHMatrix.from_dense(small_dense, SMASHConfig(label))
+        np.testing.assert_allclose(matrix.to_dense(), small_dense)
+
+    def test_paper_figure1_matrix(self, paper_example_dense):
+        matrix = SMASHMatrix.from_dense(paper_example_dense, SMASHConfig((2,)))
+        assert matrix.nnz == 6
+        np.testing.assert_allclose(matrix.to_dense(), paper_example_dense)
+        # 16 elements / block size 2 = 8 Bitmap-0 bits.
+        assert matrix.hierarchy.base.n_bits == 8
+
+    def test_zero_matrix_stores_nothing(self):
+        matrix = SMASHMatrix.from_dense(np.zeros((8, 8)), SMASHConfig((2, 4)))
+        assert matrix.nnz == 0
+        assert matrix.n_nonzero_blocks == 0
+        assert matrix.nza.stored_elements == 0
+
+    def test_non_divisible_dimensions_are_padded(self):
+        dense = np.zeros((3, 5))
+        dense[2, 4] = 7.0
+        matrix = SMASHMatrix.from_dense(dense, SMASHConfig((4,)))
+        np.testing.assert_allclose(matrix.to_dense(), dense)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(FormatError):
+            SMASHMatrix.from_dense(np.zeros(4))
+
+    def test_nnz_excludes_padding_zeros(self, small_dense):
+        matrix = SMASHMatrix.from_dense(small_dense, SMASHConfig((8,)))
+        assert matrix.nnz == int(np.count_nonzero(small_dense))
+        assert matrix.nza.stored_elements >= matrix.nnz
+
+
+class TestBlockGeometry:
+    def test_block_position_row_major(self):
+        dense = np.zeros((4, 8))
+        dense[1, 2] = 1.0
+        matrix = SMASHMatrix.from_dense(dense, SMASHConfig((2,)))
+        blocks = list(matrix.iter_blocks())
+        assert len(blocks) == 1
+        _bit, row, col, values = blocks[0]
+        assert (row, col) == (1, 2)
+        assert values.tolist() == [1.0, 0.0]
+
+    def test_iter_blocks_in_nza_order(self, small_dense):
+        matrix = SMASHMatrix.from_dense(small_dense, SMASHConfig((2, 4)))
+        bits = [bit for bit, _r, _c, _v in matrix.iter_blocks()]
+        assert bits == sorted(bits)
+        assert len(bits) == matrix.n_nonzero_blocks
+
+    def test_block_index_formula_matches_paper(self):
+        # Section 4.2.3: index = bit * block_size, row = index // cols,
+        # col = index % cols.
+        dense = np.zeros((6, 10))
+        dense[4, 7] = 2.0
+        matrix = SMASHMatrix.from_dense(dense, SMASHConfig((2,)))
+        bit = matrix.hierarchy.base.set_bit_indices()[0]
+        linear = bit * 2
+        assert matrix.block_position(bit) == (linear // 10, linear % 10)
+
+
+class TestStatistics:
+    def test_locality_of_sparsity_range(self, small_dense):
+        matrix = SMASHMatrix.from_dense(small_dense, SMASHConfig((8,)))
+        assert 100.0 / 8 <= matrix.locality_of_sparsity() <= 100.0
+
+    def test_locality_full_for_dense_matrix(self):
+        matrix = SMASHMatrix.from_dense(np.ones((8, 8)), SMASHConfig((4,)))
+        assert matrix.locality_of_sparsity() == pytest.approx(100.0)
+
+    def test_stored_zero_elements(self):
+        dense = np.zeros((2, 8))
+        dense[0, 0] = 1.0
+        matrix = SMASHMatrix.from_dense(dense, SMASHConfig((4,)))
+        assert matrix.stored_zero_elements() == 3
+
+    def test_storage_bytes_positive_and_smaller_than_dense_for_clustered(self, medium_coo):
+        dense = medium_coo.to_dense()
+        matrix = SMASHMatrix.from_dense(dense, SMASHConfig((2, 4, 16)))
+        assert 0 < matrix.storage_bytes() < matrix.dense_bytes()
+
+    def test_describe_mentions_config_label(self, medium_smash):
+        text = medium_smash.describe()
+        assert "16.4.2" in text
+        assert "NZA blocks" in text
+
+
+class TestStorageComparisonWithCSR:
+    def test_clustered_matrix_compresses_better_than_csr(self, medium_coo):
+        # Figure 19: at decent density/locality SMASH beats CSR in storage.
+        dense = medium_coo.to_dense()
+        csr = CSRMatrix.from_dense(dense)
+        smash = SMASHMatrix.from_dense(dense, SMASHConfig((2, 4)))
+        assert smash.compression_ratio() > csr.compression_ratio() * 0.9
+
+    def test_extremely_sparse_matrix_favours_csr(self):
+        # Figure 19: CSR wins for the sparsest, most scattered matrices.
+        rng = np.random.default_rng(3)
+        dense = np.zeros((64, 64))
+        idx = rng.choice(64 * 64, size=10, replace=False)
+        dense[idx // 64, idx % 64] = 1.0
+        csr = CSRMatrix.from_dense(dense)
+        smash = SMASHMatrix.from_dense(dense, SMASHConfig((2,)))
+        assert csr.compression_ratio() > smash.compression_ratio()

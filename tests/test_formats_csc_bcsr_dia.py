@@ -1,0 +1,122 @@
+"""Tests for the CSC, BCSR and DIA formats."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import FormatError
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.dia import DIAMatrix
+from repro.workloads.synthetic import banded_matrix, diagonal_matrix
+
+
+class TestCSC:
+    def test_round_trip(self, small_dense):
+        csc = CSCMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(csc.to_dense(), small_dense)
+
+    def test_paper_example_column_structure(self, paper_example_dense):
+        csc = CSCMatrix.from_dense(paper_example_dense)
+        assert csc.col_ptr.tolist() == [0, 3, 4, 5, 6]
+        rows, vals = csc.col_slice(0)
+        assert rows.tolist() == [0, 1, 3]
+        assert vals.tolist() == [3.2, 1.2, 5.3]
+
+    def test_col_nnz(self, paper_example_dense):
+        csc = CSCMatrix.from_dense(paper_example_dense)
+        assert [csc.col_nnz(j) for j in range(4)] == [3, 1, 1, 1]
+
+    def test_rejects_bad_col_ptr(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), [0, 1, 3], [0, 1], [1.0, 2.0])
+
+    def test_rejects_out_of_range_row(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), [0, 1, 2], [0, 9], [1.0, 2.0])
+
+    def test_storage_matches_csr_for_square(self, small_dense):
+        from repro.formats.csr import CSRMatrix
+
+        csr = CSRMatrix.from_dense(small_dense)
+        csc = CSCMatrix.from_dense(small_dense)
+        assert csr.storage_bytes() == csc.storage_bytes()
+
+
+class TestBCSR:
+    def test_round_trip(self, small_dense):
+        bcsr = BCSRMatrix.from_dense(small_dense, block_shape=(4, 4))
+        np.testing.assert_allclose(bcsr.to_dense(), small_dense)
+
+    def test_round_trip_non_divisible_shape(self, rng):
+        dense = np.zeros((10, 7))
+        mask = rng.random((10, 7)) < 0.3
+        dense[mask] = 1.0
+        bcsr = BCSRMatrix.from_dense(dense, block_shape=(4, 4))
+        np.testing.assert_allclose(bcsr.to_dense(), dense)
+
+    def test_nnz_excludes_padding(self, small_dense):
+        bcsr = BCSRMatrix.from_dense(small_dense, block_shape=(4, 4))
+        assert bcsr.nnz == int(np.count_nonzero(small_dense))
+        assert bcsr.stored_elements >= bcsr.nnz
+
+    def test_block_fill_ratio_bounds(self, small_dense):
+        bcsr = BCSRMatrix.from_dense(small_dense, block_shape=(4, 4))
+        assert 0.0 < bcsr.block_fill_ratio() <= 1.0
+
+    def test_dense_block_matrix_fill_is_one(self):
+        dense = np.ones((8, 8))
+        bcsr = BCSRMatrix.from_dense(dense, block_shape=(4, 4))
+        assert bcsr.block_fill_ratio() == 1.0
+        assert bcsr.n_blocks == 4
+
+    def test_empty_matrix_has_no_blocks(self):
+        bcsr = BCSRMatrix.from_dense(np.zeros((8, 8)))
+        assert bcsr.n_blocks == 0
+        assert bcsr.nnz == 0
+
+    def test_rejects_bad_block_shape(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix.from_dense(np.ones((4, 4)), block_shape=(0, 4))
+
+    def test_storage_grows_with_padding(self):
+        # A single non-zero still costs a whole block of values.
+        dense = np.zeros((4, 4))
+        dense[0, 0] = 1.0
+        bcsr = BCSRMatrix.from_dense(dense, block_shape=(4, 4))
+        assert bcsr.stored_elements == 16
+
+
+class TestDIA:
+    def test_round_trip_banded(self):
+        coo = banded_matrix(12, 12, bandwidth=1, seed=3)
+        dense = coo.to_dense()
+        dia = DIAMatrix.from_dense(dense)
+        np.testing.assert_allclose(dia.to_dense(), dense)
+
+    def test_diagonal_matrix_uses_single_diagonal(self):
+        dense = diagonal_matrix(10, seed=1).to_dense()
+        dia = DIAMatrix.from_dense(dense)
+        assert dia.n_diagonals == 1
+        assert dia.offsets.tolist() == [0]
+
+    def test_storage_efficient_for_diagonal_inefficient_for_scattered(self, rng):
+        diag_dense = diagonal_matrix(32, seed=2).to_dense()
+        scattered = np.zeros((32, 32))
+        idx = rng.choice(32 * 32, size=32, replace=False)
+        scattered[idx // 32, idx % 32] = 1.0
+        dia_diag = DIAMatrix.from_dense(diag_dense)
+        dia_scattered = DIAMatrix.from_dense(scattered)
+        assert dia_diag.storage_bytes() < dia_scattered.storage_bytes()
+
+    def test_empty_matrix(self):
+        dia = DIAMatrix.from_dense(np.zeros((4, 4)))
+        assert dia.n_diagonals == 0
+        assert dia.nnz == 0
+
+    def test_rejects_duplicate_offsets(self):
+        with pytest.raises(FormatError):
+            DIAMatrix((3, 3), [0, 0], np.zeros((2, 3)))
+
+    def test_rejects_wrong_data_shape(self):
+        with pytest.raises(FormatError):
+            DIAMatrix((3, 3), [0], np.zeros((2, 3)))

@@ -1,0 +1,98 @@
+"""Tests for the CSR format."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import FormatError
+from repro.formats.csr import CSRMatrix
+
+
+class TestConstruction:
+    def test_paper_figure1_example(self, paper_example_dense):
+        csr = CSRMatrix.from_dense(paper_example_dense)
+        assert csr.row_ptr.tolist() == [0, 1, 3, 4, 6]
+        assert csr.col_ind.tolist() == [0, 0, 2, 3, 0, 1]
+        assert csr.values.tolist() == [3.2, 1.2, 4.2, 5.1, 5.3, 3.3]
+
+    def test_from_dense_round_trip(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(csr.to_dense(), small_dense)
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.from_dense(np.zeros((5, 7)))
+        assert csr.nnz == 0
+        assert csr.shape == (5, 7)
+        np.testing.assert_array_equal(csr.to_dense(), np.zeros((5, 7)))
+
+    def test_explicit_arrays(self):
+        csr = CSRMatrix((2, 3), [0, 1, 2], [2, 0], [1.5, 2.5])
+        dense = csr.to_dense()
+        assert dense[0, 2] == 1.5
+        assert dense[1, 0] == 2.5
+
+    def test_rejects_bad_row_ptr_start(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [1, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_rejects_row_ptr_not_matching_nnz(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1, 3], [0, 1], [1.0, 2.0])
+
+    def test_rejects_decreasing_row_ptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((3, 3), [0, 2, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_rejects_out_of_range_column(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1, 2], [0, 5], [1.0, 2.0])
+
+    def test_rejects_unsorted_columns_within_row(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 4), [0, 2], [3, 1], [1.0, 2.0])
+
+    def test_rejects_non_2d_input(self):
+        with pytest.raises(FormatError):
+            CSRMatrix.from_dense(np.zeros(4))
+
+
+class TestAccessors:
+    def test_row_nnz_counts(self, paper_example_dense):
+        csr = CSRMatrix.from_dense(paper_example_dense)
+        assert [csr.row_nnz(i) for i in range(4)] == [1, 2, 1, 2]
+
+    def test_row_slice_contents(self, paper_example_dense):
+        csr = CSRMatrix.from_dense(paper_example_dense)
+        cols, vals = csr.row_slice(1)
+        assert cols.tolist() == [0, 2]
+        assert vals.tolist() == [1.2, 4.2]
+
+    def test_nnz_and_density(self, paper_example_dense):
+        csr = CSRMatrix.from_dense(paper_example_dense)
+        assert csr.nnz == 6
+        assert csr.density == pytest.approx(6 / 16)
+        assert csr.sparsity_percent == pytest.approx(37.5)
+
+    def test_storage_bytes_accounts_all_arrays(self, paper_example_dense):
+        csr = CSRMatrix.from_dense(paper_example_dense)
+        # row_ptr: 5 * 4 bytes, col_ind: 6 * 4 bytes, values: 6 * 8 bytes.
+        assert csr.storage_bytes() == 5 * 4 + 6 * 4 + 6 * 8
+
+    def test_compression_ratio_better_than_one_for_sparse(self, sparse_coo):
+        csr = CSRMatrix.from_dense(sparse_coo.to_dense())
+        assert csr.compression_ratio() > 1.0
+
+
+class TestSpmv:
+    def test_matches_numpy(self, small_dense, rng):
+        csr = CSRMatrix.from_dense(small_dense)
+        x = rng.uniform(size=small_dense.shape[1])
+        np.testing.assert_allclose(csr.spmv(x), small_dense @ x)
+
+    def test_rejects_wrong_vector_length(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        with pytest.raises(FormatError):
+            csr.spmv(np.zeros(small_dense.shape[1] + 1))
+
+    def test_zero_matrix_gives_zero_vector(self):
+        csr = CSRMatrix.from_dense(np.zeros((4, 4)))
+        np.testing.assert_array_equal(csr.spmv(np.ones(4)), np.zeros(4))

@@ -1,0 +1,122 @@
+"""Tests for the dense wrapper and the format conversion helpers."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import FormatError
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.convert import (
+    coo_to_csc,
+    coo_to_csr,
+    csc_to_csr,
+    csr_to_bcsr,
+    csr_to_coo,
+    csr_to_csc,
+    dense_to_coo,
+    to_format,
+)
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dense import DenseMatrix
+from repro.formats.dia import DIAMatrix
+
+
+class TestDenseMatrix:
+    def test_round_trip(self, small_dense):
+        dense = DenseMatrix(small_dense)
+        np.testing.assert_allclose(dense.to_dense(), small_dense)
+
+    def test_zeros_constructor(self):
+        dense = DenseMatrix.zeros(3, 5)
+        assert dense.shape == (3, 5)
+        assert dense.nnz == 0
+
+    def test_getitem_setitem(self):
+        dense = DenseMatrix.zeros(2, 2)
+        dense[0, 1] = 4.0
+        assert dense[0, 1] == 4.0
+        assert dense.nnz == 1
+
+    def test_equality(self, small_dense):
+        assert DenseMatrix(small_dense) == DenseMatrix(small_dense.copy())
+        assert not (DenseMatrix(small_dense) == DenseMatrix(small_dense + 1.0))
+
+    def test_storage_is_full_size(self):
+        dense = DenseMatrix.zeros(4, 4)
+        assert dense.storage_bytes() == 4 * 4 * 8
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(FormatError):
+            DenseMatrix(np.zeros(4))
+
+
+class TestConversions:
+    def test_coo_to_csr_matches_dense(self, small_dense):
+        coo = dense_to_coo(small_dense)
+        csr = coo_to_csr(coo)
+        np.testing.assert_allclose(csr.to_dense(), small_dense)
+
+    def test_coo_to_csc_matches_dense(self, small_dense):
+        coo = dense_to_coo(small_dense)
+        csc = coo_to_csc(coo)
+        np.testing.assert_allclose(csc.to_dense(), small_dense)
+
+    def test_csr_to_coo_round_trip(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        coo = csr_to_coo(csr)
+        np.testing.assert_allclose(coo.to_dense(), small_dense)
+
+    def test_csr_csc_round_trip(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        csc = csr_to_csc(csr)
+        back = csc_to_csr(csc)
+        np.testing.assert_allclose(back.to_dense(), small_dense)
+
+    def test_csr_to_bcsr(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        bcsr = csr_to_bcsr(csr, block_shape=(2, 2))
+        np.testing.assert_allclose(bcsr.to_dense(), small_dense)
+        assert bcsr.block_shape == (2, 2)
+
+    def test_conversions_preserve_nnz(self, small_dense):
+        coo = dense_to_coo(small_dense)
+        nnz = coo.nnz
+        assert coo_to_csr(coo).nnz == nnz
+        assert coo_to_csc(coo).nnz == nnz
+
+    def test_empty_matrix_conversions(self):
+        coo = COOMatrix((3, 3), [], [], [])
+        assert coo_to_csr(coo).nnz == 0
+        assert coo_to_csc(coo).nnz == 0
+
+
+class TestToFormat:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("dense", DenseMatrix),
+            ("coo", COOMatrix),
+            ("csr", CSRMatrix),
+            ("csc", CSCMatrix),
+            ("bcsr", BCSRMatrix),
+            ("dia", DIAMatrix),
+        ],
+    )
+    def test_dispatch_by_name(self, small_dense, name, cls):
+        result = to_format(small_dense, name)
+        assert isinstance(result, cls)
+        np.testing.assert_allclose(result.to_dense(), small_dense)
+
+    def test_accepts_format_instances(self, small_dense):
+        coo = dense_to_coo(small_dense)
+        csr = to_format(coo, "csr")
+        np.testing.assert_allclose(csr.to_dense(), small_dense)
+
+    def test_forwards_kwargs(self, small_dense):
+        bcsr = to_format(small_dense, "bcsr", block_shape=(2, 2))
+        assert bcsr.block_shape == (2, 2)
+
+    def test_unknown_format_raises(self, small_dense):
+        with pytest.raises(FormatError):
+            to_format(small_dense, "unknown")

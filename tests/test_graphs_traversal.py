@@ -1,0 +1,106 @@
+"""Tests for the BFS and connected-components graph workloads."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import generate_graph, road_network_graph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs_levels,
+    bfs_reference,
+    connected_components,
+    connected_components_reference,
+)
+from repro.sim.config import SimConfig
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SimConfig.scaled(16)
+
+
+@pytest.fixture
+def two_component_graph():
+    """Two disjoint chains: {0-1-2} and {3-4}."""
+    return Graph(5, [(0, 1), (1, 2), (3, 4)])
+
+
+class TestBFS:
+    def test_matches_reference_on_synthetic_graph(self, sim):
+        graph = generate_graph("G3", n_vertices=64)
+        expected = bfs_reference(graph, 0)
+        levels, report = bfs_levels(graph, 0, "taco_csr", sim_config=sim)
+        np.testing.assert_array_equal(levels, expected)
+        assert report.total_instructions > 0
+
+    @pytest.mark.parametrize("scheme", ["smash_hw", "smash_sw", "taco_bcsr"])
+    def test_all_schemes_agree(self, sim, scheme):
+        graph = road_network_graph(8, rewire_probability=0.1, seed=5)
+        expected = bfs_reference(graph, 3)
+        levels, _ = bfs_levels(graph, 3, scheme, sim_config=sim)
+        np.testing.assert_array_equal(levels, expected)
+
+    def test_unreachable_vertices_marked(self, two_component_graph, sim):
+        levels, _ = bfs_levels(two_component_graph, 0, sim_config=sim)
+        assert levels[3] == -1 and levels[4] == -1
+        assert levels[0] == 0 and levels[2] == 2
+
+    def test_source_out_of_range(self, two_component_graph):
+        with pytest.raises(ValueError):
+            bfs_levels(two_component_graph, 99)
+
+    def test_unknown_scheme(self, two_component_graph):
+        with pytest.raises(ValueError):
+            bfs_levels(two_component_graph, 0, "unknown")
+
+    def test_report_scales_with_bfs_depth(self, sim):
+        chain = Graph(12, [(i, i + 1) for i in range(11)])
+        star = Graph(12, [(0, i) for i in range(1, 12)])
+        _, chain_report = bfs_levels(chain, 0, sim_config=sim)
+        _, star_report = bfs_levels(star, 0, sim_config=sim)
+        # The chain needs 11 frontier expansions, the star only 1.
+        assert chain_report.total_instructions > star_report.total_instructions
+
+
+class TestConnectedComponents:
+    def test_matches_reference(self, sim):
+        graph = generate_graph("G2", n_vertices=64)
+        expected = connected_components_reference(graph)
+        labels, report = connected_components(graph, "taco_csr", sim_config=sim)
+        np.testing.assert_array_equal(labels, expected)
+        assert report.total_instructions > 0
+
+    def test_two_components_found(self, two_component_graph, sim):
+        labels, _ = connected_components(two_component_graph, sim_config=sim)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_isolated_vertices_keep_own_label(self, sim):
+        graph = Graph(4, [(0, 1)])
+        labels, _ = connected_components(graph, sim_config=sim)
+        assert labels[2] == 2 and labels[3] == 3
+
+    @pytest.mark.parametrize("scheme", ["smash_hw", "smash_sw"])
+    def test_smash_schemes_agree(self, sim, scheme):
+        graph = generate_graph("G1", n_vertices=48)
+        expected = connected_components_reference(graph)
+        labels, _ = connected_components(graph, scheme, sim_config=sim)
+        np.testing.assert_array_equal(labels, expected)
+
+    def test_directed_graph_rejected(self):
+        graph = Graph(3, [(0, 1)], directed=True)
+        with pytest.raises(ValueError):
+            connected_components(graph)
+
+    def test_empty_graph(self):
+        labels, report = connected_components(Graph(0, []))
+        assert labels.size == 0
+        assert report.total_instructions == 0
+
+    def test_reference_union_find_correct(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        labels = connected_components_reference(graph)
+        assert labels[0] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[5] == 5

@@ -1,0 +1,134 @@
+"""Tests for the BMU's SRAM buffers and register files."""
+
+import pytest
+
+from repro.core.bitmap import Bitmap
+from repro.hardware.registers import BMURegisters, OutputRegisters
+from repro.hardware.sram import SRAMBuffer
+
+
+class TestSRAMBuffer:
+    def test_default_capacity_matches_paper(self):
+        # Section 4.2.1: each buffer is 256 bytes = 2048 bits.
+        buffer = SRAMBuffer()
+        assert buffer.size_bytes == 256
+        assert buffer.capacity_bits == 2048
+
+    def test_load_window_and_get(self):
+        bitmap = Bitmap.from_indices(100, [3, 64, 99])
+        buffer = SRAMBuffer(32)
+        loaded = buffer.load_window(bitmap, 0)
+        assert loaded == 100
+        assert buffer.get(3) and buffer.get(64) and buffer.get(99)
+        assert not buffer.get(4)
+
+    def test_load_window_word_aligned_offset(self):
+        bitmap = Bitmap.from_indices(4096, [2100])
+        buffer = SRAMBuffer(64)  # 512 bits
+        buffer.load_window(bitmap, 2050)
+        # The window is aligned down to bit 2048 and covers 512 bits.
+        assert buffer.base_bit == 2048
+        assert buffer.contains_bit(2100)
+        assert buffer.next_set_bit(2048) == 2100
+
+    def test_window_smaller_than_capacity_at_tail(self):
+        bitmap = Bitmap.from_indices(100, [99])
+        buffer = SRAMBuffer(256)
+        loaded = buffer.load_window(bitmap, 64)
+        assert loaded == 36
+        assert buffer.next_set_bit(64) == 99
+
+    def test_next_set_bit_outside_window_is_none(self):
+        bitmap = Bitmap.from_indices(8192, [5000])
+        buffer = SRAMBuffer(64)
+        buffer.load_window(bitmap, 0)
+        assert buffer.next_set_bit(0) is None
+
+    def test_get_outside_window_raises(self):
+        bitmap = Bitmap.from_indices(8192, [5000])
+        buffer = SRAMBuffer(64)
+        buffer.load_window(bitmap, 0)
+        with pytest.raises(IndexError):
+            buffer.get(5000)
+
+    def test_clear(self):
+        bitmap = Bitmap.from_indices(64, [1])
+        buffer = SRAMBuffer(64)
+        buffer.load_window(bitmap, 0)
+        buffer.clear()
+        assert buffer.valid_bits == 0
+        assert buffer.popcount() == 0
+
+    def test_load_counter(self):
+        bitmap = Bitmap.from_indices(64, [1])
+        buffer = SRAMBuffer(64)
+        buffer.load_window(bitmap, 0)
+        buffer.load_window(bitmap, 0)
+        assert buffer.loads == 2
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            SRAMBuffer(13)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SRAMBuffer(64).load_window(Bitmap(64), -1)
+
+
+class TestBMURegisters:
+    def test_matinfo_and_bmapinfo_configure(self):
+        regs = BMURegisters()
+        assert not regs.configured
+        regs.set_matrix_info(100, 200)
+        regs.set_bitmap_info(0, 2)
+        assert regs.configured
+        assert regs.ratio(0) == 2
+
+    def test_ratio_missing_level_raises(self):
+        regs = BMURegisters()
+        with pytest.raises(KeyError):
+            regs.ratio(1)
+
+    def test_rejects_invalid_level(self):
+        regs = BMURegisters()
+        with pytest.raises(ValueError):
+            regs.set_bitmap_info(99, 2)
+
+    def test_rejects_invalid_ratio(self):
+        regs = BMURegisters()
+        with pytest.raises(ValueError):
+            regs.set_bitmap_info(0, 0)
+
+    def test_rejects_negative_dimensions(self):
+        regs = BMURegisters()
+        with pytest.raises(ValueError):
+            regs.set_matrix_info(-1, 4)
+
+    def test_reset(self):
+        regs = BMURegisters()
+        regs.set_matrix_info(4, 4)
+        regs.set_bitmap_info(0, 2)
+        regs.reset()
+        assert not regs.configured
+
+
+class TestOutputRegisters:
+    def test_update_and_read(self):
+        out = OutputRegisters()
+        out.update(3, 7, 5)
+        assert out.read() == (3, 7)
+        assert out.valid and not out.exhausted
+        assert out.nza_block_index == 5
+
+    def test_mark_exhausted(self):
+        out = OutputRegisters()
+        out.update(1, 1, 0)
+        out.mark_exhausted()
+        assert out.exhausted and not out.valid
+
+    def test_reset(self):
+        out = OutputRegisters()
+        out.update(1, 2, 3)
+        out.reset()
+        assert out.read() == (0, 0)
+        assert out.nza_block_index == -1

@@ -1,0 +1,152 @@
+"""Property-based tests over the instrumented kernels (hypothesis).
+
+The invariant being checked is the central correctness property of the whole
+reproduction: for any sparse matrix and any bitmap configuration, every
+scheme's kernel produces the same numeric result as dense numpy arithmetic,
+and the structural cost relationships the paper relies on (ideal indexing
+never executes more instructions than real indexing; the BMU never executes
+more instructions than the software scan) hold.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.config import SMASHConfig
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels.spadd import spadd_csr_instrumented, spadd_smash_hardware_instrumented
+from repro.kernels.spmm import spmm_csr_instrumented, spmm_smash_hardware_instrumented
+from repro.kernels.spmv import (
+    spmv_bcsr_instrumented,
+    spmv_csr_instrumented,
+    spmv_ideal_csr_instrumented,
+    spmv_smash_hardware_instrumented,
+    spmv_smash_software_instrumented,
+)
+from repro.sim.config import SimConfig
+
+SIM = SimConfig.scaled(16)
+
+
+def sparse_square_arrays(max_dim: int = 10):
+    """Small square dense arrays with mostly zero entries."""
+    return st.integers(2, max_dim).flatmap(
+        lambda n: hnp.arrays(
+            dtype=np.float64,
+            shape=(n, n),
+            elements=st.one_of(
+                st.just(0.0),
+                st.just(0.0),
+                st.floats(0.5, 5.0, allow_nan=False, allow_infinity=False),
+            ),
+        )
+    )
+
+
+def configs():
+    return st.sampled_from(
+        [SMASHConfig((2,)), SMASHConfig((4,)), SMASHConfig((2, 4)), SMASHConfig((2, 4, 16))]
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense=sparse_square_arrays(), config=configs())
+def test_spmv_all_schemes_match_numpy(dense, config):
+    n = dense.shape[0]
+    x = np.linspace(0.5, 1.5, n)
+    expected = dense @ x
+    csr = CSRMatrix.from_dense(dense)
+    smash = SMASHMatrix.from_dense(dense, config)
+    bcsr = BCSRMatrix.from_dense(dense, (2, 2))
+
+    for func, operand in (
+        (spmv_csr_instrumented, csr),
+        (spmv_ideal_csr_instrumented, csr),
+        (spmv_bcsr_instrumented, bcsr),
+        (spmv_smash_software_instrumented, smash),
+        (spmv_smash_hardware_instrumented, smash),
+    ):
+        result, _report = func(operand, x, SIM)
+        np.testing.assert_allclose(result, expected, rtol=1e-10, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense=sparse_square_arrays(), config=configs())
+def test_spmv_structural_cost_invariants(dense, config):
+    # The invariant concerns per-block work, so it needs at least one
+    # non-zero block (an empty matrix only pays SMASH's constant setup cost).
+    assume(np.count_nonzero(dense) > 0)
+    n = dense.shape[0]
+    x = np.ones(n)
+    csr = CSRMatrix.from_dense(dense)
+    smash = SMASHMatrix.from_dense(dense, config)
+
+    _, real = spmv_csr_instrumented(csr, x, SIM)
+    _, ideal = spmv_ideal_csr_instrumented(csr, x, SIM)
+    _, hw = spmv_smash_hardware_instrumented(smash, x, SIM)
+    _, sw = spmv_smash_software_instrumented(smash, x, SIM)
+
+    assert ideal.total_instructions <= real.total_instructions
+    assert hw.total_instructions <= sw.total_instructions
+
+
+@settings(max_examples=15, deadline=None)
+@given(dense_a=sparse_square_arrays(8), dense_b=sparse_square_arrays(8))
+def test_spmm_schemes_match_numpy(dense_a, dense_b):
+    n = min(dense_a.shape[0], dense_b.shape[0])
+    # The instrumented SMASH SpMM requires the row length to be a multiple of
+    # the block size (2 here), so round the test problem down to even size.
+    n -= n % 2
+    assume(n >= 2)
+    dense_a, dense_b = dense_a[:n, :n], dense_b[:n, :n]
+    expected = dense_a @ dense_b
+
+    csr_result, _ = spmm_csr_instrumented(
+        CSRMatrix.from_dense(dense_a), CSCMatrix.from_dense(dense_b), SIM
+    )
+    np.testing.assert_allclose(csr_result, expected, rtol=1e-10, atol=1e-10)
+
+    config = SMASHConfig((2,))
+    smash_result, _ = spmm_smash_hardware_instrumented(
+        SMASHMatrix.from_dense(dense_a, config),
+        SMASHMatrix.from_dense(dense_b.T.copy(), config),
+        SIM,
+    )
+    np.testing.assert_allclose(smash_result, expected, rtol=1e-10, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(dense_a=sparse_square_arrays(8), dense_b=sparse_square_arrays(8), config=configs())
+def test_spadd_schemes_match_numpy(dense_a, dense_b, config):
+    n = min(dense_a.shape[0], dense_b.shape[0])
+    dense_a, dense_b = dense_a[:n, :n], dense_b[:n, :n]
+    expected = dense_a + dense_b
+
+    csr_result, _ = spadd_csr_instrumented(
+        CSRMatrix.from_dense(dense_a), CSRMatrix.from_dense(dense_b), SIM
+    )
+    np.testing.assert_allclose(csr_result, expected, rtol=1e-12, atol=1e-12)
+
+    smash_result, _ = spadd_smash_hardware_instrumented(
+        SMASHMatrix.from_dense(dense_a, config),
+        SMASHMatrix.from_dense(dense_b, config),
+        SIM,
+    )
+    np.testing.assert_allclose(smash_result, expected, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense=sparse_square_arrays(), config=configs())
+def test_reports_are_internally_consistent(dense, config):
+    x = np.ones(dense.shape[0])
+    smash = SMASHMatrix.from_dense(dense, config)
+    _, report = spmv_smash_hardware_instrumented(smash, x, SIM)
+    assert report.cycles >= report.issue_cycles >= 0.0
+    assert report.memory_stall_cycles >= 0.0
+    assert 0.0 <= report.l1_miss_rate <= 1.0
+    assert 0.0 <= report.l2_miss_rate <= 1.0
+    assert report.total_instructions == sum(report.instructions.counts.values())

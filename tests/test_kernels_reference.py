@@ -1,0 +1,150 @@
+"""Tests for the functional (uninstrumented) kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SMASHConfig
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels.reference import (
+    spadd_csr,
+    spadd_smash,
+    spmm_csr_csc,
+    spmm_smash,
+    spmv_bcsr,
+    spmv_csr,
+    spmv_smash,
+)
+
+
+@pytest.fixture
+def x16(rng):
+    return rng.uniform(0.5, 1.5, size=16)
+
+
+class TestSpMV:
+    def test_csr_matches_numpy(self, small_dense, x16):
+        result = spmv_csr(CSRMatrix.from_dense(small_dense), x16)
+        np.testing.assert_allclose(result, small_dense @ x16)
+
+    def test_bcsr_matches_numpy(self, small_dense, x16):
+        result = spmv_bcsr(BCSRMatrix.from_dense(small_dense, (4, 4)), x16)
+        np.testing.assert_allclose(result, small_dense @ x16)
+
+    def test_bcsr_non_divisible_shape(self, rng):
+        dense = np.zeros((10, 13))
+        mask = rng.random(dense.shape) < 0.2
+        dense[mask] = 1.0
+        x = rng.uniform(size=13)
+        result = spmv_bcsr(BCSRMatrix.from_dense(dense, (4, 4)), x)
+        np.testing.assert_allclose(result, dense @ x)
+
+    @pytest.mark.parametrize("label", [(2,), (4,), (2, 4), (2, 4, 16), (8, 4, 2)])
+    def test_smash_matches_numpy_all_configs(self, small_dense, x16, label):
+        matrix = SMASHMatrix.from_dense(small_dense, SMASHConfig(label))
+        np.testing.assert_allclose(spmv_smash(matrix, x16), small_dense @ x16)
+
+    def test_smash_on_rectangular_matrix(self, rng):
+        dense = np.zeros((6, 20))
+        mask = rng.random(dense.shape) < 0.15
+        dense[mask] = rng.uniform(0.5, 1.5, size=mask.sum())
+        x = rng.uniform(size=20)
+        matrix = SMASHMatrix.from_dense(dense, SMASHConfig((4, 4)))
+        np.testing.assert_allclose(spmv_smash(matrix, x), dense @ x)
+
+    def test_paper_example(self, paper_example_dense):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        expected = paper_example_dense @ x
+        csr = CSRMatrix.from_dense(paper_example_dense)
+        smash = SMASHMatrix.from_dense(paper_example_dense, SMASHConfig((2,)))
+        np.testing.assert_allclose(spmv_csr(csr, x), expected)
+        np.testing.assert_allclose(spmv_smash(smash, x), expected)
+
+    def test_wrong_vector_length_raises(self, small_dense):
+        with pytest.raises(ValueError):
+            spmv_csr(CSRMatrix.from_dense(small_dense), np.zeros(3))
+        with pytest.raises(ValueError):
+            spmv_smash(SMASHMatrix.from_dense(small_dense), np.zeros(3))
+        with pytest.raises(ValueError):
+            spmv_bcsr(BCSRMatrix.from_dense(small_dense), np.zeros(3))
+
+    def test_zero_matrix(self, x16):
+        zero = np.zeros((16, 16))
+        np.testing.assert_array_equal(spmv_csr(CSRMatrix.from_dense(zero), x16), np.zeros(16))
+        np.testing.assert_array_equal(
+            spmv_smash(SMASHMatrix.from_dense(zero), x16), np.zeros(16)
+        )
+
+
+class TestSpMM:
+    def test_csr_csc_matches_numpy(self, small_dense, rng):
+        other = np.zeros((16, 16))
+        mask = rng.random(other.shape) < 0.15
+        other[mask] = rng.uniform(0.5, 1.5, size=mask.sum())
+        result = spmm_csr_csc(CSRMatrix.from_dense(small_dense), CSCMatrix.from_dense(other))
+        np.testing.assert_allclose(result, small_dense @ other)
+
+    def test_smash_matches_numpy(self, small_dense, rng):
+        other = np.zeros((16, 16))
+        mask = rng.random(other.shape) < 0.15
+        other[mask] = rng.uniform(0.5, 1.5, size=mask.sum())
+        config = SMASHConfig((2,))
+        a = SMASHMatrix.from_dense(small_dense, config)
+        b_t = SMASHMatrix.from_dense(other.T.copy(), config)
+        np.testing.assert_allclose(spmm_smash(a, b_t), small_dense @ other)
+
+    def test_smash_square_self_product(self, medium_coo):
+        dense = medium_coo.to_dense()
+        config = SMASHConfig((2,))
+        a = SMASHMatrix.from_dense(dense, config)
+        b_t = SMASHMatrix.from_dense(dense.T.copy(), config)
+        np.testing.assert_allclose(spmm_smash(a, b_t), dense @ dense)
+
+    def test_dimension_mismatch_raises(self, small_dense):
+        short = np.zeros((8, 16))
+        with pytest.raises(ValueError):
+            spmm_csr_csc(CSRMatrix.from_dense(small_dense), CSCMatrix.from_dense(short))
+        with pytest.raises(ValueError):
+            spmm_smash(
+                SMASHMatrix.from_dense(small_dense),
+                SMASHMatrix.from_dense(np.zeros((8, 8))),
+            )
+
+    def test_identity_product(self):
+        identity = np.eye(8)
+        result = spmm_csr_csc(CSRMatrix.from_dense(identity), CSCMatrix.from_dense(identity))
+        np.testing.assert_allclose(result, identity)
+
+
+class TestSpAdd:
+    def test_csr_matches_numpy(self, small_dense, rng):
+        other = np.zeros((16, 16))
+        mask = rng.random(other.shape) < 0.15
+        other[mask] = rng.uniform(0.5, 1.5, size=mask.sum())
+        result = spadd_csr(CSRMatrix.from_dense(small_dense), CSRMatrix.from_dense(other))
+        np.testing.assert_allclose(result, small_dense + other)
+
+    def test_smash_matches_numpy(self, small_dense, rng):
+        other = np.zeros((16, 16))
+        mask = rng.random(other.shape) < 0.15
+        other[mask] = rng.uniform(0.5, 1.5, size=mask.sum())
+        config = SMASHConfig((2, 4))
+        result = spadd_smash(
+            SMASHMatrix.from_dense(small_dense, config), SMASHMatrix.from_dense(other, config)
+        )
+        np.testing.assert_allclose(result, small_dense + other)
+
+    def test_add_with_zero_matrix(self, small_dense):
+        zero = np.zeros_like(small_dense)
+        result = spadd_csr(CSRMatrix.from_dense(small_dense), CSRMatrix.from_dense(zero))
+        np.testing.assert_allclose(result, small_dense)
+
+    def test_shape_mismatch_raises(self, small_dense):
+        with pytest.raises(ValueError):
+            spadd_csr(CSRMatrix.from_dense(small_dense), CSRMatrix.from_dense(np.zeros((4, 4))))
+        with pytest.raises(ValueError):
+            spadd_smash(
+                SMASHMatrix.from_dense(small_dense), SMASHMatrix.from_dense(np.zeros((4, 4)))
+            )

@@ -1,0 +1,180 @@
+"""Tests for the instrumented SpMM and sparse-addition kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SMASHConfig
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels.spadd import (
+    spadd_csr_instrumented,
+    spadd_ideal_csr_instrumented,
+    spadd_smash_hardware_instrumented,
+)
+from repro.kernels.spmm import (
+    spmm_bcsr_instrumented,
+    spmm_csr_instrumented,
+    spmm_ideal_csr_instrumented,
+    spmm_mkl_csr_instrumented,
+    spmm_smash_hardware_instrumented,
+    spmm_smash_software_instrumented,
+)
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import InstructionClass
+from repro.workloads.synthetic import clustered_matrix
+
+
+@pytest.fixture
+def dense_a():
+    return clustered_matrix(32, 32, density=0.08, cluster_size=4, cluster_height=2, seed=1).to_dense()
+
+
+@pytest.fixture
+def dense_b():
+    return clustered_matrix(32, 32, density=0.08, cluster_size=4, cluster_height=2, seed=2).to_dense()
+
+
+@pytest.fixture
+def sim():
+    return SimConfig.scaled(16)
+
+
+class TestSpMMCorrectness:
+    def test_csr_family_matches_numpy(self, dense_a, dense_b, sim):
+        expected = dense_a @ dense_b
+        a_csr = CSRMatrix.from_dense(dense_a)
+        b_csc = CSCMatrix.from_dense(dense_b)
+        for func in (spmm_csr_instrumented, spmm_ideal_csr_instrumented, spmm_mkl_csr_instrumented):
+            result, report = func(a_csr, b_csc, sim)
+            np.testing.assert_allclose(result, expected, err_msg=report.scheme)
+
+    def test_bcsr_matches_numpy(self, dense_a, dense_b, sim):
+        result, _ = spmm_bcsr_instrumented(
+            BCSRMatrix.from_dense(dense_a, (4, 4)), CSCMatrix.from_dense(dense_b), sim
+        )
+        np.testing.assert_allclose(result, dense_a @ dense_b)
+
+    @pytest.mark.parametrize("block", [2, 4])
+    def test_smash_variants_match_numpy(self, dense_a, dense_b, sim, block):
+        config = SMASHConfig((block,))
+        a = SMASHMatrix.from_dense(dense_a, config)
+        b_t = SMASHMatrix.from_dense(dense_b.T.copy(), config)
+        for func in (spmm_smash_software_instrumented, spmm_smash_hardware_instrumented):
+            result, report = func(a, b_t, sim)
+            np.testing.assert_allclose(result, dense_a @ dense_b, err_msg=report.scheme)
+
+    def test_dimension_mismatch_raises(self, dense_a, sim):
+        a_csr = CSRMatrix.from_dense(dense_a)
+        b_csc = CSCMatrix.from_dense(np.zeros((16, 16)))
+        with pytest.raises(ValueError):
+            spmm_csr_instrumented(a_csr, b_csc, sim)
+
+    def test_smash_block_size_mismatch_raises(self, dense_a, dense_b, sim):
+        a = SMASHMatrix.from_dense(dense_a, SMASHConfig((2,)))
+        b_t = SMASHMatrix.from_dense(dense_b.T.copy(), SMASHConfig((4,)))
+        with pytest.raises(ValueError):
+            spmm_smash_hardware_instrumented(a, b_t, sim)
+
+    def test_smash_non_divisible_row_length_raises(self, sim):
+        # Blocks must not straddle row boundaries: a 5-column matrix with a
+        # block size of 2 is rejected with a clear message.
+        dense = np.zeros((5, 5))
+        dense[0, 0] = 1.0
+        config = SMASHConfig((2,))
+        a = SMASHMatrix.from_dense(dense, config)
+        b_t = SMASHMatrix.from_dense(dense.T.copy(), config)
+        with pytest.raises(ValueError, match="multiple of the Bitmap-0 block size"):
+            spmm_smash_hardware_instrumented(a, b_t, sim)
+
+    def test_empty_operand_produces_zero(self, dense_a, sim):
+        a_csr = CSRMatrix.from_dense(dense_a)
+        b_csc = CSCMatrix.from_dense(np.zeros((32, 32)))
+        result, _ = spmm_csr_instrumented(a_csr, b_csc, sim)
+        np.testing.assert_array_equal(result, np.zeros((32, 32)))
+
+
+class TestSpMMCostStructure:
+    def test_index_matching_dominates_csr(self, dense_a, dense_b, sim):
+        a_csr = CSRMatrix.from_dense(dense_a)
+        b_csc = CSCMatrix.from_dense(dense_b)
+        _, report = spmm_csr_instrumented(a_csr, b_csc, sim)
+        # SpMM's index matching makes indexing a large share of instructions.
+        assert report.instructions.get(InstructionClass.INDEX) > 0.25 * report.total_instructions
+
+    def test_ideal_indexing_is_much_cheaper(self, dense_a, dense_b, sim):
+        a_csr = CSRMatrix.from_dense(dense_a)
+        b_csc = CSCMatrix.from_dense(dense_b)
+        _, baseline = spmm_csr_instrumented(a_csr, b_csc, sim)
+        _, ideal = spmm_ideal_csr_instrumented(a_csr, b_csc, sim)
+        assert ideal.total_instructions < 0.8 * baseline.total_instructions
+        assert ideal.speedup_over(baseline) > 1.2
+
+    def test_smash_hw_beats_csr(self, dense_a, dense_b, sim):
+        a_csr = CSRMatrix.from_dense(dense_a)
+        b_csc = CSCMatrix.from_dense(dense_b)
+        config = SMASHConfig((2,))
+        a = SMASHMatrix.from_dense(dense_a, config)
+        b_t = SMASHMatrix.from_dense(dense_b.T.copy(), config)
+        _, csr_report = spmm_csr_instrumented(a_csr, b_csc, sim)
+        _, smash_report = spmm_smash_hardware_instrumented(a, b_t, sim)
+        assert smash_report.speedup_over(csr_report) > 1.0
+
+    def test_smash_hw_uses_bmu_sw_does_not(self, dense_a, dense_b, sim):
+        config = SMASHConfig((2,))
+        a = SMASHMatrix.from_dense(dense_a, config)
+        b_t = SMASHMatrix.from_dense(dense_b.T.copy(), config)
+        _, hw = spmm_smash_hardware_instrumented(a, b_t, sim)
+        _, sw = spmm_smash_software_instrumented(a, b_t, sim)
+        assert hw.instructions.get(InstructionClass.BMU) > 0
+        assert sw.instructions.get(InstructionClass.BMU) == 0
+        assert hw.total_instructions < sw.total_instructions
+
+
+class TestSpAdd:
+    def test_csr_matches_numpy(self, dense_a, dense_b, sim):
+        result, report = spadd_csr_instrumented(
+            CSRMatrix.from_dense(dense_a), CSRMatrix.from_dense(dense_b), sim
+        )
+        np.testing.assert_allclose(result, dense_a + dense_b)
+        assert report.total_instructions > 0
+
+    def test_ideal_matches_numpy_with_fewer_instructions(self, dense_a, dense_b, sim):
+        a, b = CSRMatrix.from_dense(dense_a), CSRMatrix.from_dense(dense_b)
+        baseline_result, baseline = spadd_csr_instrumented(a, b, sim)
+        ideal_result, ideal = spadd_ideal_csr_instrumented(a, b, sim)
+        np.testing.assert_allclose(ideal_result, baseline_result)
+        assert ideal.total_instructions < baseline.total_instructions
+
+    def test_smash_matches_numpy(self, dense_a, dense_b, sim):
+        config = SMASHConfig((2, 4))
+        result, report = spadd_smash_hardware_instrumented(
+            SMASHMatrix.from_dense(dense_a, config),
+            SMASHMatrix.from_dense(dense_b, config),
+            sim,
+        )
+        np.testing.assert_allclose(result, dense_a + dense_b)
+        assert report.instructions.get(InstructionClass.BMU) > 0
+
+    def test_smash_block_size_mismatch_raises(self, dense_a, dense_b, sim):
+        with pytest.raises(ValueError):
+            spadd_smash_hardware_instrumented(
+                SMASHMatrix.from_dense(dense_a, SMASHConfig((2,))),
+                SMASHMatrix.from_dense(dense_b, SMASHConfig((4,))),
+                sim,
+            )
+
+    def test_shape_mismatch_raises(self, dense_a, sim):
+        with pytest.raises(ValueError):
+            spadd_csr_instrumented(
+                CSRMatrix.from_dense(dense_a), CSRMatrix.from_dense(np.zeros((8, 8))), sim
+            )
+
+    def test_add_disjoint_matrices(self, sim):
+        a = np.zeros((8, 8))
+        b = np.zeros((8, 8))
+        a[0, 0] = 1.0
+        b[7, 7] = 2.0
+        result, _ = spadd_csr_instrumented(CSRMatrix.from_dense(a), CSRMatrix.from_dense(b), sim)
+        np.testing.assert_allclose(result, a + b)

@@ -1,0 +1,161 @@
+"""Tests for the sparse iterative solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SMASHConfig
+from repro.formats.coo import COOMatrix
+from repro.sim.config import SimConfig
+from repro.solvers import (
+    SolverResult,
+    conjugate_gradient_solve,
+    diagonally_dominant_system,
+    jacobi_solve,
+)
+from repro.solvers.common import SpMVEngine
+
+
+@pytest.fixture(scope="module")
+def system():
+    return diagonally_dominant_system(48, density=0.08, seed=3)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SimConfig.scaled(16)
+
+
+class TestSystemGenerator:
+    def test_symmetric_and_diagonally_dominant(self, system):
+        matrix, _b = system
+        dense = matrix.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        off_diag = np.abs(dense).sum(axis=1) - np.abs(np.diag(dense))
+        assert np.all(np.abs(np.diag(dense)) > off_diag)
+
+    def test_positive_definite(self, system):
+        matrix, _b = system
+        eigenvalues = np.linalg.eigvalsh(matrix.to_dense())
+        assert np.all(eigenvalues > 0)
+
+    def test_right_hand_side_length(self, system):
+        matrix, b = system
+        assert b.shape == (matrix.rows,)
+
+
+class TestJacobi:
+    def test_converges_to_numpy_solution(self, system, sim):
+        matrix, b = system
+        expected = np.linalg.solve(matrix.to_dense(), b)
+        result = jacobi_solve(matrix, b, "taco_csr", max_iterations=500, tolerance=1e-10, sim_config=sim)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, expected, atol=1e-6)
+
+    @pytest.mark.parametrize("scheme", ["smash_hw", "smash_sw", "taco_bcsr"])
+    def test_all_schemes_agree(self, system, sim, scheme):
+        matrix, b = system
+        baseline = jacobi_solve(matrix, b, "taco_csr", max_iterations=300, sim_config=sim)
+        other = jacobi_solve(
+            matrix, b, scheme, max_iterations=300,
+            smash_config=SMASHConfig((2, 4)), sim_config=sim,
+        )
+        np.testing.assert_allclose(other.solution, baseline.solution, atol=1e-8)
+        assert other.iterations == baseline.iterations
+
+    def test_cost_report_covers_all_iterations(self, system, sim):
+        matrix, b = system
+        result = jacobi_solve(matrix, b, "taco_csr", max_iterations=300, sim_config=sim)
+        assert result.report.total_instructions > 0
+        assert result.report.kernel == "jacobi"
+
+    def test_rejects_zero_diagonal(self, sim):
+        matrix = COOMatrix.from_triplets((3, 3), [(0, 1, 1.0), (1, 0, 1.0), (2, 2, 2.0)])
+        with pytest.raises(ValueError):
+            jacobi_solve(matrix, np.ones(3), sim_config=sim)
+
+    def test_rejects_wrong_rhs_length(self, system, sim):
+        matrix, _b = system
+        with pytest.raises(ValueError):
+            jacobi_solve(matrix, np.ones(matrix.rows + 1), sim_config=sim)
+
+    def test_non_convergence_reported(self, system, sim):
+        matrix, b = system
+        result = jacobi_solve(matrix, b, "taco_csr", max_iterations=2, tolerance=1e-14, sim_config=sim)
+        assert not result.converged
+        assert result.iterations == 2
+
+
+class TestConjugateGradient:
+    def test_converges_to_numpy_solution(self, system, sim):
+        matrix, b = system
+        expected = np.linalg.solve(matrix.to_dense(), b)
+        result = conjugate_gradient_solve(matrix, b, "taco_csr", sim_config=sim)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, expected, atol=1e-6)
+
+    def test_cg_converges_faster_than_jacobi(self, system, sim):
+        matrix, b = system
+        cg = conjugate_gradient_solve(matrix, b, "taco_csr", tolerance=1e-8, sim_config=sim)
+        jacobi = jacobi_solve(matrix, b, "taco_csr", tolerance=1e-8, max_iterations=500, sim_config=sim)
+        assert cg.iterations <= jacobi.iterations
+
+    @pytest.mark.parametrize("scheme", ["smash_hw", "smash_sw"])
+    def test_smash_schemes_agree_with_csr(self, system, sim, scheme):
+        matrix, b = system
+        baseline = conjugate_gradient_solve(matrix, b, "taco_csr", sim_config=sim)
+        other = conjugate_gradient_solve(
+            matrix, b, scheme, smash_config=SMASHConfig((2, 4, 16)), sim_config=sim
+        )
+        np.testing.assert_allclose(other.solution, baseline.solution, atol=1e-7)
+
+    def test_smash_speedup_on_solver(self, system, sim):
+        # The solver is SpMV-bound, so the kernel-level benefit carries over.
+        matrix, b = system
+        csr = conjugate_gradient_solve(matrix, b, "taco_csr", sim_config=sim)
+        smash = conjugate_gradient_solve(
+            matrix, b, "smash_hw", smash_config=SMASHConfig((2, 4)), sim_config=sim
+        )
+        assert smash.report.speedup_over(csr.report) > 0.9
+
+    def test_zero_rhs_trivially_converged(self, system, sim):
+        matrix, _b = system
+        result = conjugate_gradient_solve(matrix, np.zeros(matrix.rows), sim_config=sim)
+        assert result.converged
+        assert result.iterations == 0
+        np.testing.assert_array_equal(result.solution, np.zeros(matrix.rows))
+
+    def test_rejects_wrong_rhs_length(self, system, sim):
+        matrix, _b = system
+        with pytest.raises(ValueError):
+            conjugate_gradient_solve(matrix, np.ones(matrix.rows + 2), sim_config=sim)
+
+
+class TestSpMVEngine:
+    def test_rejects_unknown_scheme(self, system):
+        matrix, _b = system
+        with pytest.raises(ValueError):
+            SpMVEngine(matrix, "unknown")
+
+    def test_rejects_rectangular_matrix(self):
+        matrix = COOMatrix.from_triplets((2, 3), [(0, 0, 1.0)])
+        with pytest.raises(ValueError):
+            SpMVEngine(matrix, "taco_csr")
+
+    def test_combined_report_requires_a_run(self, system):
+        matrix, _b = system
+        engine = SpMVEngine(matrix, "taco_csr")
+        with pytest.raises(RuntimeError):
+            engine.combined_report("jacobi")
+
+    def test_spmv_call_counting(self, system, sim):
+        matrix, _b = system
+        engine = SpMVEngine(matrix, "taco_csr", sim_config=sim)
+        engine.multiply(np.ones(matrix.cols))
+        engine.multiply(np.ones(matrix.cols))
+        assert engine.spmv_calls == 2
+
+    def test_solver_result_repr(self, system, sim):
+        matrix, b = system
+        result = jacobi_solve(matrix, b, max_iterations=50, sim_config=sim)
+        assert isinstance(result, SolverResult)
+        assert "iterations" in repr(result)
