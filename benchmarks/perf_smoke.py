@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Wall-clock smoke benchmark: SpMV kernel-seconds across all schemes.
+
+Runs the instrumented SpMV sweep (every scheme, one matrix) and records the
+wall-clock time each kernel took — plus the modelled instruction/DRAM
+totals as a fingerprint — to a ``BENCH_*.json`` file, so the performance
+trajectory of the instrumentation pipeline is tracked from PR to PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py            # default sweep
+    PYTHONPATH=src python benchmarks/perf_smoke.py --dim 512  # quicker run
+
+The default sweep (2048 x 2048, 1% density) is the acceptance workload of
+the batched-trace refactor: the per-element seed implementation needed
+~307 s for it; the batched engine runs it in a couple of seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.kernels.schemes import SCHEMES, run_spmv  # noqa: E402
+from repro.sim.config import SimConfig  # noqa: E402
+from repro.workloads.synthetic import uniform_random_matrix  # noqa: E402
+
+
+def run_sweep(dim: int, density: float, seed: int, cache_scale: int) -> dict:
+    """Time one instrumented SpMV per scheme; return the results payload."""
+    coo = uniform_random_matrix(dim, dim, density=density, seed=seed)
+    sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
+    schemes = {}
+    total = 0.0
+    for scheme in SCHEMES:
+        start = time.perf_counter()
+        result = run_spmv(scheme, coo, sim_config=sim)
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        schemes[scheme] = {
+            "kernel_seconds": round(elapsed, 4),
+            "modelled_instructions": result.report.total_instructions,
+            "modelled_dram_accesses": result.report.dram_accesses,
+            "modelled_cycles": round(result.report.cycles, 1),
+        }
+        print(f"  {scheme:10s} {elapsed:8.3f}s", flush=True)
+    return {
+        "benchmark": "spmv_smoke",
+        "matrix": {"rows": dim, "cols": dim, "density": density, "nnz": coo.nnz, "seed": seed},
+        "cache_scale": cache_scale,
+        "python": platform.python_version(),
+        "schemes": schemes,
+        "total_kernel_seconds": round(total, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dim", type=int, default=2048, help="matrix dimension (square)")
+    parser.add_argument("--density", type=float, default=0.01, help="non-zero density")
+    parser.add_argument("--seed", type=int, default=3, help="matrix generator seed")
+    parser.add_argument("--cache-scale", type=int, default=16, help="SimConfig.scaled factor")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_spmv_smoke.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"SpMV smoke sweep: {args.dim}x{args.dim}, density {args.density}")
+    payload = run_sweep(args.dim, args.density, args.seed, args.cache_scale)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"total {payload['total_kernel_seconds']}s -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

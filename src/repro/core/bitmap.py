@@ -16,6 +16,28 @@ import numpy as np
 
 WORD_BITS = 64
 
+#: numpy >= 2.0 ships a vectorized popcount; older releases fall back to a
+#: bit-unpacking reduction that is still array-at-a-time.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _word_popcounts(words: np.ndarray) -> np.ndarray:
+    """Per-word set-bit counts of a uint64 array, vectorized."""
+    if words.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).astype(np.int64)
+    as_bytes = words.astype("<u8", copy=False).view(np.uint8)
+    return np.unpackbits(as_bytes).reshape(-1, WORD_BITS).sum(axis=1, dtype=np.int64)
+
+
+def _pack_bool_words(bits: np.ndarray, n_words: int) -> np.ndarray:
+    """Pack a boolean array into LSB-first uint64 words (``n_words`` long)."""
+    packed = np.packbits(bits, bitorder="little")
+    buffer = np.zeros(n_words * (WORD_BITS // 8), dtype=np.uint8)
+    buffer[: packed.size] = packed
+    return buffer.view("<u8").astype(np.uint64)
+
 
 class Bitmap:
     """A fixed-length bitset packed into 64-bit words."""
@@ -47,19 +69,30 @@ class Bitmap:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_bools(cls, bits: Iterable[bool]) -> "Bitmap":
-        """Build a bitmap from an iterable of booleans."""
-        bits = np.asarray(list(bits), dtype=bool)
+        """Build a bitmap from an iterable (or array) of booleans."""
+        if not isinstance(bits, np.ndarray):
+            bits = list(bits)
+        bits = np.asarray(bits, dtype=bool)
         bitmap = cls(bits.size)
-        for index in np.nonzero(bits)[0]:
-            bitmap.set(int(index))
+        if bits.size:
+            bitmap.words = _pack_bool_words(bits, bitmap.words.size)
         return bitmap
 
     @classmethod
     def from_indices(cls, n_bits: int, indices: Iterable[int]) -> "Bitmap":
         """Build a bitmap of length ``n_bits`` with the given bits set."""
+        if not isinstance(indices, np.ndarray):
+            indices = list(indices)
+        idx = np.asarray(indices, dtype=np.int64)
         bitmap = cls(n_bits)
-        for index in indices:
-            bitmap.set(int(index))
+        if idx.size == 0:
+            return bitmap
+        if idx.min() < 0 or idx.max() >= n_bits:
+            bad = int(idx.min()) if idx.min() < 0 else int(idx.max())
+            raise IndexError(f"bit index {bad} out of range [0, {n_bits})")
+        bits = np.zeros(n_bits, dtype=bool)
+        bits[idx] = True
+        bitmap.words = _pack_bool_words(bits, bitmap.words.size)
         return bitmap
 
     # ------------------------------------------------------------------ #
@@ -106,21 +139,36 @@ class Bitmap:
     # ------------------------------------------------------------------ #
     def popcount(self) -> int:
         """Number of set bits."""
-        return int(sum(int(word).bit_count() for word in self.words))
+        return int(_word_popcounts(self.words).sum())
+
+    def count_set_bits_before(self, bit_index: int) -> int:
+        """Number of set bits strictly below ``bit_index`` (vectorized)."""
+        if bit_index <= 0 or self.words.size == 0:
+            return 0
+        full_words = min(bit_index // WORD_BITS, self.n_words)
+        count = int(_word_popcounts(self.words[:full_words]).sum())
+        remainder = bit_index % WORD_BITS
+        if remainder and full_words < self.n_words:
+            mask = (1 << remainder) - 1
+            count += (int(self.words[full_words]) & mask).bit_count()
+        return count
+
+    def set_bit_array(self) -> np.ndarray:
+        """Indices of all set bits as an int64 array, ascending (vectorized)."""
+        if self.words.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        bits = np.unpackbits(
+            self.words.astype("<u8", copy=False).view(np.uint8), bitorder="little"
+        )
+        return np.flatnonzero(bits[: self.n_bits]).astype(np.int64)
 
     def iter_set_bits(self) -> Iterator[int]:
         """Yield the indices of set bits in ascending order."""
-        for word_index, word in enumerate(self.words):
-            value = int(word)
-            base = word_index * WORD_BITS
-            while value:
-                lsb = value & -value
-                yield base + lsb.bit_length() - 1
-                value ^= lsb
+        return iter(self.set_bit_array().tolist())
 
     def set_bit_indices(self) -> List[int]:
         """All set-bit indices as a list."""
-        return list(self.iter_set_bits())
+        return self.set_bit_array().tolist()
 
     def next_set_bit(self, start: int) -> int | None:
         """Index of the first set bit at or after ``start`` (None if absent)."""
@@ -141,11 +189,13 @@ class Bitmap:
             word = int(self.words[word_index])
 
     def to_bool_array(self) -> np.ndarray:
-        """Expand to a boolean numpy array of length ``n_bits``."""
-        result = np.zeros(self.n_bits, dtype=bool)
-        for index in self.iter_set_bits():
-            result[index] = True
-        return result
+        """Expand to a boolean numpy array of length ``n_bits`` (vectorized)."""
+        if self.words.size == 0:
+            return np.zeros(self.n_bits, dtype=bool)
+        bits = np.unpackbits(
+            self.words.astype("<u8", copy=False).view(np.uint8), bitorder="little"
+        )
+        return bits[: self.n_bits].astype(bool)
 
     # ------------------------------------------------------------------ #
     # Storage accounting

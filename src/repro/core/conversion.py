@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.config import SMASHConfig
 from repro.core.hierarchy import BitmapHierarchy
 from repro.core.nza import NZA
-from repro.core.smash_matrix import SMASHMatrix
+from repro.core.smash_matrix import SMASHMatrix, pack_linear_blocks
 from repro.formats.csr import CSRMatrix
 from repro.sim.config import SimConfig
 
@@ -71,25 +71,14 @@ def csr_to_smash(
     total = rows * cols
     n_blocks = -(-total // block) if total else 0
 
-    block_values: dict[int, np.ndarray] = {}
-    for i in range(rows):
-        start, end = csr.row_ptr[i], csr.row_ptr[i + 1]
-        for k in range(start, end):
-            j = int(csr.col_ind[k])
-            linear = i * cols + j
-            block_index = linear // block
-            offset = linear - block_index * block
-            if block_index not in block_values:
-                block_values[block_index] = np.zeros(block, dtype=np.float64)
-            block_values[block_index][offset] = csr.values[k]
-
-    flags = np.zeros(n_blocks, dtype=bool)
-    ordered_blocks = []
-    for block_index in sorted(block_values):
-        flags[block_index] = True
-        ordered_blocks.append(block_values[block_index])
+    # Vectorized walk: every stored CSR entry (explicit zeros included, as in
+    # the per-entry reference conversion) marks its block and scatters its
+    # value into the packed NZA.
+    row_of = np.repeat(np.arange(rows, dtype=np.int64), np.diff(csr.row_ptr))
+    linear = row_of * cols + csr.col_ind.astype(np.int64, copy=False)
+    flags, data = pack_linear_blocks(linear, csr.values, block, n_blocks)
     hierarchy = BitmapHierarchy.from_block_flags(config, flags)
-    nza = NZA.from_blocks(block, ordered_blocks)
+    nza = NZA(block, data)
     smash = SMASHMatrix((rows, cols), config, hierarchy, nza)
 
     # Cost model: one load of col_ind + values per non-zero, a few index ops
@@ -113,26 +102,21 @@ def smash_to_csr(smash: SMASHMatrix) -> Tuple[CSRMatrix, ConversionCost]:
     true non-zeros, then packs them into CSR arrays.
     """
     rows, cols = smash.shape
-    triplet_rows = []
-    triplet_cols = []
-    triplet_vals = []
-    for _bit, row, col, values in smash.iter_blocks():
-        linear = row * cols + col
-        for offset, value in enumerate(values):
-            if value != 0.0:
-                element = linear + offset
-                triplet_rows.append(element // cols)
-                triplet_cols.append(element % cols)
-                triplet_vals.append(float(value))
-
-    row_arr = np.array(triplet_rows, dtype=np.int64)
-    col_arr = np.array(triplet_cols, dtype=np.int64)
-    val_arr = np.array(triplet_vals, dtype=np.float64)
-    order = np.argsort(row_arr * cols + col_arr, kind="stable") if row_arr.size else np.zeros(0, np.int64)
-    row_arr, col_arr, val_arr = row_arr[order], col_arr[order], val_arr[order]
+    block = smash.block_size
+    bits = smash.hierarchy.base.set_bit_array()
+    # Element positions of every stored NZA value, in storage order (which is
+    # already row-major ascending because Bitmap-0 bits are ascending).
+    element = np.repeat(bits * block, block) + np.tile(
+        np.arange(block, dtype=np.int64), bits.size
+    )
+    values = smash.nza.data
+    keep = values != 0.0
+    element = element[keep]
+    val_arr = values[keep]
+    row_arr = element // cols
+    col_arr = element % cols
     row_ptr = np.zeros(rows + 1, dtype=np.int64)
-    np.add.at(row_ptr, row_arr + 1, 1)
-    row_ptr = np.cumsum(row_ptr)
+    np.cumsum(np.bincount(row_arr, minlength=rows), out=row_ptr[1:])
     csr = CSRMatrix((rows, cols), row_ptr, col_arr, val_arr)
 
     stored = smash.nza.stored_elements

@@ -140,16 +140,7 @@ class SoftwareIndexer:
 
     def _count_blocks_before(self, base_bit: int) -> int:
         """Number of set Bitmap-0 bits strictly before ``base_bit``."""
-        count = 0
-        base = self.matrix.hierarchy.base
-        full_words = base_bit // 64
-        for word_index in range(full_words):
-            count += int(base.word(word_index)).bit_count()
-        remainder = base_bit % 64
-        if remainder and full_words < base.n_words:
-            mask = (1 << remainder) - 1
-            count += (int(base.word(full_words)) & mask).bit_count()
-        return count
+        return self.matrix.hierarchy.base.count_set_bits_before(base_bit)
 
     def _scan_level0_range(
         self, start_bit: int, end_bit: int, nza_index: int

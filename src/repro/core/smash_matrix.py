@@ -12,6 +12,27 @@ from repro.core.nza import NZA
 from repro.formats.base import MatrixFormat, FormatError, check_shape
 
 
+def pack_linear_blocks(
+    linear: np.ndarray, values: np.ndarray, block: int, n_blocks: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group entries at row-major positions ``linear`` into NZA blocks.
+
+    Returns ``(flags, data)``: the per-block non-empty flags (length
+    ``n_blocks``) and the packed block-major value array holding one
+    ``block``-sized slot per flagged block, in ascending block order —
+    exactly the Bitmap-0 / NZA layout. Shared by the sparse-native
+    constructors and the CSR conversion so the grouping semantics cannot
+    diverge.
+    """
+    block_index = linear // block
+    flags = np.zeros(n_blocks, dtype=bool)
+    flags[block_index] = True
+    unique_blocks, slot = np.unique(block_index, return_inverse=True)
+    data = np.zeros(unique_blocks.size * block, dtype=np.float64)
+    data[slot * block + (linear - block_index * block)] = values
+    return flags, data
+
+
 class SMASHMatrix(MatrixFormat):
     """A sparse matrix encoded with SMASH's hierarchical bitmap scheme.
 
@@ -54,6 +75,32 @@ class SMASHMatrix(MatrixFormat):
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(cls, coo, config: Optional[SMASHConfig] = None) -> "SMASHMatrix":
+        """Encode a COO matrix directly, without a dense intermediate.
+
+        The non-zero coordinates are mapped to their row-major linear
+        positions, grouped into Bitmap-0 blocks with O(nnz) sorting work,
+        and scattered into the NZA; the bitmap hierarchy is derived from the
+        resulting block flags. Produces exactly the same encoding as
+        ``from_dense(coo.to_dense())`` without paying for a rows x cols
+        float array (the bitmaps themselves still scale with the matrix
+        area, as the encoding requires).
+        """
+        config = config or SMASHConfig()
+        rows, cols = coo.shape
+        block = config.block_size
+        total = rows * cols
+        n_blocks = -(-total // block) if total else 0
+        keep = coo.values != 0.0
+        linear = (
+            coo.row[keep].astype(np.int64, copy=False) * cols
+            + coo.col[keep].astype(np.int64, copy=False)
+        )
+        flags, data = pack_linear_blocks(linear, coo.values[keep], block, n_blocks)
+        hierarchy = BitmapHierarchy.from_block_flags(config, flags)
+        return cls((rows, cols), config, hierarchy, NZA(block, data))
+
     @classmethod
     def from_dense(
         cls,

@@ -507,7 +507,7 @@ def experiment_fig19(
             continue
         csr = coo_to_csr(coo)
         config = SMASHConfig((block_size,) + spec.smash_config().ratios[1:])
-        smash = SMASHMatrix.from_dense(coo.to_dense(), config)
+        smash = SMASHMatrix.from_coo(coo, config)
         entry = _paper_scale_storage(spec, smash, block_size)
         entry["scaled_csr"] = csr.compression_ratio()
         entry["scaled_smash"] = smash.compression_ratio()

@@ -65,6 +65,38 @@ class BCSRMatrix(MatrixFormat):
                 raise FormatError("block column index out of bounds")
 
     @classmethod
+    def from_coo(cls, coo, block_shape: Tuple[int, int] = (4, 4)) -> "BCSRMatrix":
+        """Compress a COO matrix into BCSR without materializing a dense array.
+
+        Non-zero entries are grouped by their ``(block row, block column)``
+        tile with O(nnz) sorting work, so the conversion cost is independent
+        of the matrix dimensions. Produces exactly the same encoding as
+        ``from_dense(coo.to_dense())``.
+        """
+        rows, cols = coo.shape
+        br, bc = int(block_shape[0]), int(block_shape[1])
+        if br <= 0 or bc <= 0:
+            raise FormatError("block dimensions must be positive")
+        block_rows = -(-rows // br)
+        block_cols = -(-cols // bc)
+        keep = coo.values != 0.0
+        row = coo.row[keep].astype(np.int64, copy=False)
+        col = coo.col[keep].astype(np.int64, copy=False)
+        values = coo.values[keep]
+        keys = (row // br) * block_cols + (col // bc)
+        unique_keys, slot = np.unique(keys, return_inverse=True)
+        blocks = np.zeros((unique_keys.size, br, bc), dtype=np.float64)
+        blocks[slot, row % br, col % bc] = values
+        block_row_ptr = np.zeros(block_rows + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(unique_keys // block_cols, minlength=block_rows),
+            out=block_row_ptr[1:],
+        )
+        return cls(
+            (rows, cols), (br, bc), block_row_ptr, unique_keys % block_cols, blocks
+        )
+
+    @classmethod
     def from_dense(cls, dense: np.ndarray, block_shape: Tuple[int, int] = (4, 4)) -> "BCSRMatrix":
         """Compress a dense array into BCSR with the given block shape."""
         dense = np.asarray(dense, dtype=np.float64)

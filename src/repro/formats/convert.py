@@ -67,8 +67,12 @@ def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
 
 
 def csr_to_bcsr(csr: CSRMatrix, block_shape=(4, 4)) -> BCSRMatrix:
-    """Convert CSR to BCSR by regrouping non-zeros into dense blocks."""
-    return BCSRMatrix.from_dense(csr.to_dense(), block_shape=block_shape)
+    """Convert CSR to BCSR by regrouping non-zeros into dense blocks.
+
+    Sparse-to-sparse: the non-zeros are regrouped directly, no dense
+    intermediate is materialized.
+    """
+    return BCSRMatrix.from_coo(csr_to_coo(csr), block_shape=block_shape)
 
 
 _FORMAT_BUILDERS = {
@@ -91,11 +95,16 @@ def to_format(matrix: Union[np.ndarray, MatrixFormat], name: str, **kwargs) -> A
     key = name.lower()
     if key not in _FORMAT_BUILDERS:
         raise FormatError(f"unknown format {name!r}; expected one of {sorted(_FORMAT_BUILDERS)}")
-    dense = matrix.to_dense() if isinstance(matrix, MatrixFormat) else np.asarray(matrix, np.float64)
+    # Sparse-to-sparse fast paths that skip the dense detour.
     if key == "coo" and isinstance(matrix, CSRMatrix):
         return csr_to_coo(matrix)
     if key == "csr" and isinstance(matrix, COOMatrix):
         return coo_to_csr(matrix)
     if key == "csc" and isinstance(matrix, COOMatrix):
         return coo_to_csc(matrix)
+    if key == "bcsr" and isinstance(matrix, COOMatrix):
+        return BCSRMatrix.from_coo(matrix, **kwargs)
+    if key == "bcsr" and isinstance(matrix, CSRMatrix):
+        return csr_to_bcsr(matrix, **kwargs)
+    dense = matrix.to_dense() if isinstance(matrix, MatrixFormat) else np.asarray(matrix, np.float64)
     return _FORMAT_BUILDERS[key](dense, **kwargs)

@@ -22,18 +22,9 @@ import numpy as np
 from repro.core.config import SMASHConfig
 from repro.graphs.graph import Graph
 from repro.kernels.schemes import prepare_operand
-from repro.kernels import spmv as _spmv
+from repro.kernels.registry import get_kernel
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport, InstructionClass, merge_reports
-
-_SPMV_DISPATCH = {
-    "taco_csr": _spmv.spmv_csr_instrumented,
-    "ideal_csr": _spmv.spmv_ideal_csr_instrumented,
-    "mkl_csr": _spmv.spmv_mkl_csr_instrumented,
-    "taco_bcsr": _spmv.spmv_bcsr_instrumented,
-    "smash_sw": _spmv.spmv_smash_software_instrumented,
-    "smash_hw": _spmv.spmv_smash_hardware_instrumented,
-}
 
 
 def betweenness_reference(graph: Graph, sources: Optional[Sequence[int]] = None) -> np.ndarray:
@@ -93,8 +84,7 @@ def betweenness_centrality(
     exact betweenness is too expensive. Returns the centrality scores and the
     aggregated cost report of every SpMV performed.
     """
-    if scheme not in _SPMV_DISPATCH:
-        raise ValueError(f"unknown scheme {scheme!r}; expected one of {sorted(_SPMV_DISPATCH)}")
+    kernel = get_kernel("spmv", scheme)
     n = graph.n_vertices
     if n == 0:
         from repro.graphs.pagerank import merge_placeholder
@@ -107,7 +97,6 @@ def betweenness_centrality(
     # graphs we encode the transpose explicitly.
     operand_matrix = adjacency_coo if not graph.directed else adjacency_coo.transpose()
     operand = prepare_operand(operand_matrix, scheme, smash_config, orientation="row")
-    kernel = _SPMV_DISPATCH[scheme]
     adjacency = [graph.neighbors(v) for v in range(n)]
 
     source_list = list(sources) if sources is not None else list(range(min(n, max_sources)))

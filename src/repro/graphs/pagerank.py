@@ -18,19 +18,10 @@ import numpy as np
 from repro.core.config import SMASHConfig
 from repro.graphs.graph import Graph
 from repro.kernels.schemes import prepare_operand
-from repro.kernels import spmv as _spmv
+from repro.kernels.registry import get_kernel
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport, InstructionClass, merge_reports
 
-#: Dispatch table of the instrumented SpMV kernels usable by PageRank.
-_SPMV_DISPATCH = {
-    "taco_csr": _spmv.spmv_csr_instrumented,
-    "ideal_csr": _spmv.spmv_ideal_csr_instrumented,
-    "mkl_csr": _spmv.spmv_mkl_csr_instrumented,
-    "taco_bcsr": _spmv.spmv_bcsr_instrumented,
-    "smash_sw": _spmv.spmv_smash_software_instrumented,
-    "smash_hw": _spmv.spmv_smash_hardware_instrumented,
-}
 
 
 def pagerank_reference(
@@ -69,8 +60,7 @@ def pagerank(
     all iterations (the SpMV cost plus the per-vertex damping update, which
     is charged as streaming vector work).
     """
-    if scheme not in _SPMV_DISPATCH:
-        raise ValueError(f"unknown scheme {scheme!r}; expected one of {sorted(_SPMV_DISPATCH)}")
+    kernel = get_kernel("spmv", scheme)
     n = graph.n_vertices
     if n == 0:
         empty = merge_placeholder(scheme)
@@ -78,7 +68,6 @@ def pagerank(
 
     transition = graph.transition_matrix()
     operand = prepare_operand(transition, scheme, smash_config, orientation="row")
-    kernel = _SPMV_DISPATCH[scheme]
 
     ranks = np.full(n, 1.0 / n)
     teleport = (1.0 - damping) / n

@@ -18,18 +18,9 @@ import numpy as np
 from repro.core.config import SMASHConfig
 from repro.graphs.graph import Graph
 from repro.kernels.schemes import prepare_operand
-from repro.kernels import spmv as _spmv
+from repro.kernels.registry import get_kernel
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport, InstructionClass, merge_reports
-
-_SPMV_DISPATCH = {
-    "taco_csr": _spmv.spmv_csr_instrumented,
-    "ideal_csr": _spmv.spmv_ideal_csr_instrumented,
-    "mkl_csr": _spmv.spmv_mkl_csr_instrumented,
-    "taco_bcsr": _spmv.spmv_bcsr_instrumented,
-    "smash_sw": _spmv.spmv_smash_software_instrumented,
-    "smash_hw": _spmv.spmv_smash_hardware_instrumented,
-}
 
 
 def bfs_levels(
@@ -44,8 +35,7 @@ def bfs_levels(
     Returns an array of BFS levels (-1 for unreachable vertices) and the
     aggregated cost report of the per-level sparse matrix-vector products.
     """
-    if scheme not in _SPMV_DISPATCH:
-        raise ValueError(f"unknown scheme {scheme!r}; expected one of {sorted(_SPMV_DISPATCH)}")
+    kernel = get_kernel("spmv", scheme)
     n = graph.n_vertices
     if not 0 <= source < n:
         raise ValueError(f"source vertex {source} out of range for {n} vertices")
@@ -53,7 +43,6 @@ def bfs_levels(
     adjacency = graph.adjacency_matrix()
     operand_matrix = adjacency if not graph.directed else adjacency.transpose()
     operand = prepare_operand(operand_matrix, scheme, smash_config, orientation="row")
-    kernel = _SPMV_DISPATCH[scheme]
 
     levels = np.full(n, -1, dtype=np.int64)
     levels[source] = 0
@@ -106,8 +95,7 @@ def connected_components(
     vector work), until no label changes. Returns the component label of
     every vertex and the aggregated cost report.
     """
-    if scheme not in _SPMV_DISPATCH:
-        raise ValueError(f"unknown scheme {scheme!r}; expected one of {sorted(_SPMV_DISPATCH)}")
+    kernel = get_kernel("spmv", scheme)
     if graph.directed:
         raise ValueError("connected components is defined here for undirected graphs")
     n = graph.n_vertices
@@ -118,7 +106,6 @@ def connected_components(
 
     adjacency = graph.adjacency_matrix()
     operand = prepare_operand(adjacency, scheme, smash_config, orientation="row")
-    kernel = _SPMV_DISPATCH[scheme]
     neighbor_lists = [graph.neighbors(v) for v in range(n)]
 
     labels = np.arange(n, dtype=np.int64)

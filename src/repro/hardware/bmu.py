@@ -95,15 +95,7 @@ class BMUGroup:
 
     @staticmethod
     def _count_set_bits_before(bitmap: Bitmap, bit_index: int) -> int:
-        count = 0
-        full_words = bit_index // 64
-        for word in range(min(full_words, bitmap.n_words)):
-            count += int(bitmap.word(word)).bit_count()
-        remainder = bit_index % 64
-        if remainder and full_words < bitmap.n_words:
-            mask = (1 << remainder) - 1
-            count += (int(bitmap.word(full_words)) & mask).bit_count()
-        return count
+        return bitmap.count_set_bits_before(bit_index)
 
     def set_scan_range(self, start_bit: int, end_bit: Optional[int] = None) -> None:
         """Restrict the scan to a Bitmap-0 bit range (used per row/column in SpMM)."""

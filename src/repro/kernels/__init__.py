@@ -6,15 +6,21 @@ Each kernel exists in two flavours:
   mathematical result as fast as Python/numpy allows — used for correctness
   validation and for the real-machine (wall-clock) benchmarks of Figure 9;
 * an **instrumented** path (:mod:`repro.kernels.spmv`, :mod:`~repro.kernels.spmm`,
-  :mod:`~repro.kernels.spadd`) that walks the data structures exactly as the
-  corresponding C implementation would, charging instructions and memory
-  accesses to the analytic performance model, and returns both the numeric
-  result and a :class:`~repro.sim.instrumentation.CostReport`.
+  :mod:`~repro.kernels.spadd`) that models the traversal the corresponding C
+  implementation would perform, charging instructions and memory accesses to
+  the analytic performance model through the batched trace engine, and
+  returns both the numeric result and a
+  :class:`~repro.sim.instrumentation.CostReport`.
 
-:mod:`repro.kernels.schemes` ties the two together: it prepares the right
+The original per-element instrumented kernels are preserved in
+:mod:`repro.kernels.legacy` as the executable specification the batched
+kernels are tested against (``tests/test_trace_equivalence.py``).
+
+:mod:`repro.kernels.schemes` ties everything together: it prepares the right
 matrix representation for a scheme name (``taco_csr``, ``taco_bcsr``,
-``mkl_csr``, ``smash_sw``, ``smash_hw``, ``ideal_csr``) and dispatches to the
-matching kernel.
+``mkl_csr``, ``smash_sw``, ``smash_hw``, ``ideal_csr``) and dispatches
+through the :mod:`repro.kernels.registry`, where every instrumented kernel
+registered itself with ``@register_kernel(kernel, scheme)``.
 """
 
 from repro.kernels.reference import (
@@ -46,6 +52,12 @@ from repro.kernels.spadd import (
     spadd_csr_instrumented,
     spadd_ideal_csr_instrumented,
     spadd_smash_hardware_instrumented,
+)
+from repro.kernels.registry import (
+    get_kernel,
+    kernels_for,
+    register_kernel,
+    registered_schemes,
 )
 from repro.kernels.schemes import (
     SCHEMES,
@@ -85,4 +97,8 @@ __all__ = [
     "run_spmv",
     "run_spmm",
     "run_spadd",
+    "register_kernel",
+    "get_kernel",
+    "kernels_for",
+    "registered_schemes",
 ]

@@ -1,0 +1,294 @@
+"""Vectorized trace planning for the SMASH kernels.
+
+The batched SMASH kernels replicate, array-at-a-time, the exact access
+sequences of the per-element reference implementations in
+:mod:`repro.kernels.legacy`:
+
+* :func:`block_bodies` assembles the per-block multiply-accumulate bodies of
+  SpMV (interleaved NZA and ``x`` loads plus the ``y`` store) for *all*
+  non-zero blocks in one shot;
+* :func:`software_scan_plan` reproduces the
+  :class:`~repro.core.indexing.SoftwareIndexer` traversal — which bitmap
+  words are loaded, in which order, and which blocks are found between two
+  word loads;
+* :func:`hardware_scan_plan` reproduces the BMU window walk — the initial
+  ``RDBMAP`` transfers and every buffer reload the ``PBMAP`` scan triggers,
+  positioned between the blocks they precede.
+
+All three work on the packed bitmap words directly (via
+:meth:`~repro.core.bitmap.Bitmap.set_bit_array` and ``searchsorted``), so the
+planning cost is O(set bits), not O(matrix elements).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.base import VALUE_BYTES as VAL
+from repro.sim.trace import (
+    KIND_STREAM,
+    KIND_WRITE,
+    TraceBuilder,
+    exclusive_cumsum,
+    grouped_arange,
+)
+
+#: Bytes per packed bitmap word (matches ``repro.core.indexing.WORD_BYTES``).
+WORD_BYTES = 8
+
+
+class BlockBodies:
+    """Pre-assembled SpMV block bodies for every non-zero block.
+
+    ``columns`` holds the concatenated per-block access pattern
+    ``[nza load, x load] * valid + [y store]``; ``starts``/``ends`` delimit
+    each block's slice so scan planners can splice word-load or buffer-reload
+    events between any two blocks.
+    """
+
+    __slots__ = ("bits", "valid", "starts", "ends", "ids", "offsets", "kinds")
+
+    def __init__(self, bits, valid, starts, ends, ids, offsets, kinds) -> None:
+        self.bits = bits
+        self.valid = valid
+        self.starts = starts
+        self.ends = ends
+        self.ids = ids
+        self.offsets = offsets
+        self.kinds = kinds
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.bits.size)
+
+    @property
+    def n_elements(self) -> int:
+        """Stored elements visited (bounded by the matrix tail)."""
+        return int(self.valid.sum())
+
+    def emit_range(self, builder: TraceBuilder, lo: int, hi: int) -> None:
+        """Append the bodies of blocks ``[lo, hi)`` to ``builder``."""
+        if hi <= lo:
+            return
+        a, b = int(self.starts[lo]), int(self.ends[hi - 1])
+        builder.add_columns(self.ids[a:b], self.offsets[a:b], self.kinds[a:b])
+
+
+def block_bodies(
+    matrix: SMASHMatrix,
+    builder: TraceBuilder,
+    nza_name: str = "A_nza",
+    x_name: str = "x",
+    y_name: str = "y",
+) -> BlockBodies:
+    """Assemble the SpMV bodies of every non-zero block, vectorized."""
+    bits = matrix.hierarchy.base.set_bit_array()
+    n = bits.size
+    block = matrix.block_size
+    rows, cols = matrix.shape
+    total = rows * cols
+    valid = np.minimum(block, total - bits * block)
+    lengths = 2 * valid + 1
+    starts = exclusive_cumsum(lengths)
+    ends = starts + lengths
+    total_len = int(lengths.sum())
+    ids = np.empty(total_len, dtype=np.int64)
+    offsets = np.empty(total_len, dtype=np.int64)
+    kinds = np.empty(total_len, dtype=np.uint8)
+
+    elem_block = np.repeat(np.arange(n, dtype=np.int64), valid)
+    elem = grouped_arange(valid)
+    pos = np.repeat(starts, valid) + 2 * elem
+    linear = bits[elem_block] * block + elem
+    ids[pos] = builder.structure_id(nza_name)
+    offsets[pos] = (elem_block * block + elem) * VAL
+    kinds[pos] = KIND_STREAM
+    ids[pos + 1] = builder.structure_id(x_name)
+    offsets[pos + 1] = (linear % cols) * VAL
+    kinds[pos + 1] = KIND_STREAM
+    store_pos = starts + 2 * valid
+    ids[store_pos] = builder.structure_id(y_name)
+    offsets[store_pos] = ((bits * block) // cols) * VAL
+    kinds[store_pos] = KIND_WRITE
+    return BlockBodies(bits, valid, starts, ends, ids, offsets, kinds)
+
+
+def accumulate_spmv(matrix: SMASHMatrix, bodies: BlockBodies, x: np.ndarray) -> np.ndarray:
+    """Numeric ``y = A @ x`` over the planned blocks (element order preserved)."""
+    y = np.zeros(matrix.rows, dtype=np.float64)
+    if bodies.n_blocks == 0:
+        return y
+    block = matrix.block_size
+    cols = matrix.cols
+    elem_block = np.repeat(np.arange(bodies.n_blocks, dtype=np.int64), bodies.valid)
+    elem = grouped_arange(bodies.valid)
+    linear = bodies.bits[elem_block] * block + elem
+    values = matrix.nza.data[elem_block * block + elem]
+    nz = values != 0.0
+    np.add.at(y, linear[nz] // cols, values[nz] * x[linear[nz] % cols])
+    return y
+
+
+# --------------------------------------------------------------------------- #
+# Software-only scan (Section 4.4) — mirrors SoftwareIndexer.iter_blocks
+# --------------------------------------------------------------------------- #
+def software_scan_plan(
+    matrix: SMASHMatrix,
+) -> Tuple[List[Tuple[int, int, int, int]], int]:
+    """Plan the software bitmap scan as word-load events plus block ranges.
+
+    Returns ``(segments, n_top_scans)`` where each segment
+    ``(level, word_index, blk_lo, blk_hi)`` means "load word ``word_index``
+    of bitmap ``level``, then emit blocks ``[blk_lo, blk_hi)``", in traversal
+    order. ``n_top_scans`` is the number of top-level set bits found (each
+    costs one bit-scan charge in the software cost model).
+    """
+    hierarchy = matrix.hierarchy
+    base = hierarchy.base
+    bits = base.set_bit_array()
+    words = base.words
+    n_words = base.n_words
+    levels = hierarchy.levels
+    segments: List[Tuple[int, int, int, int]] = []
+
+    if levels == 1:
+        bounds = np.searchsorted(bits, np.arange(n_words + 1, dtype=np.int64) * 64)
+        for w in range(n_words):
+            segments.append((0, w, int(bounds[w]), int(bounds[w + 1])))
+        return segments, 0
+
+    top_level = levels - 1
+    top = hierarchy.bitmap(top_level)
+    span = 1
+    for level in range(1, levels):
+        span *= hierarchy.config.ratios[level]
+    top_bits = top.set_bit_array()
+    n_top_words = top.n_words
+    top_word_bounds = np.searchsorted(top_bits, np.arange(n_top_words + 1, dtype=np.int64) * 64)
+    for tw in range(max(1, n_top_words)):
+        if n_top_words:
+            segments.append((top_level, tw, 0, 0))
+        if n_top_words == 0 or int(words.size) == 0:
+            continue
+        if int(top.words[tw]) == 0:
+            continue
+        for s in top_bits[top_word_bounds[tw]:top_word_bounds[tw + 1]].tolist():
+            base_start = s * span
+            base_end = min(base_start + span, base.n_bits)
+            start_word = base_start // 64
+            end_word = min(-(-base_end // 64) if base_end else 0, n_words)
+            for w in range(start_word, end_word):
+                lo = int(np.searchsorted(bits, max(base_start, w * 64)))
+                hi = int(np.searchsorted(bits, min(base_end, (w + 1) * 64)))
+                segments.append((0, w, lo, hi))
+    return segments, int(top_bits.size)
+
+
+# --------------------------------------------------------------------------- #
+# Hardware (BMU) scan — mirrors BMUGroup.scan_next's window walk
+# --------------------------------------------------------------------------- #
+def hardware_scan_plan(
+    matrix: SMASHMatrix,
+    buffer_bits: int,
+    n_buffers: int,
+) -> Tuple[List[int], List[Tuple[int, int]], int]:
+    """Plan the BMU's Bitmap-0 window walk.
+
+    Returns ``(setup_bytes, reloads, n_blocks)``:
+
+    * ``setup_bytes[level]`` — bytes transferred by the initial ``RDBMAP`` of
+      each buffered level (levels ``0..min(levels, n_buffers))``);
+    * ``reloads`` — ``(block_ordinal, n_bytes)`` for every buffer reload the
+      scan triggers, meaning the transfer happens after ``block_ordinal``
+      blocks have been emitted;
+    * ``n_blocks`` — total non-zero blocks the scan emits.
+    """
+    hierarchy = matrix.hierarchy
+    base = hierarchy.base
+    bits = base.set_bit_array()
+    n_bits = base.n_bits
+    levels = hierarchy.levels
+    buffered = min(levels, n_buffers)
+
+    setup_bytes: List[int] = []
+    for level in range(buffered):
+        bitmap = hierarchy.bitmap(level)
+        valid = max(0, min(buffer_bits, bitmap.n_bits))
+        setup_bytes.append(-(-valid // 8) if valid else buffer_bits // 8)
+
+    # Upper-level set bits for the all-zero-span skip (full bitmaps: the BMU
+    # keeps the complete source attached, only Bitmap-0 is windowed).
+    upper: Dict[int, Tuple[np.ndarray, int, int]] = {}
+    for level in range(1, n_buffers):
+        if level >= buffered:
+            continue
+        span = 1
+        for lower in range(1, level + 1):
+            span *= hierarchy.config.ratios[lower]
+        bitmap = hierarchy.bitmap(level)
+        upper[level] = (bitmap.set_bit_array(), span, bitmap.n_bits)
+
+    def skip(from_bit: int) -> int:
+        best = from_bit
+        for level in sorted(upper):
+            arr, span, level_bits = upper[level]
+            upper_bit = best // span
+            if upper_bit >= level_bits:
+                continue
+            pos = int(np.searchsorted(arr, upper_bit))
+            if pos == arr.size:
+                return n_bits
+            candidate = int(arr[pos]) * span
+            if candidate > best:
+                best = candidate
+        return best
+
+    reloads: List[Tuple[int, int]] = []
+    base_bit = 0
+    valid = max(0, min(buffer_bits, n_bits))
+    cursor = 0
+    emitted = 0
+    while True:
+        window_end = base_bit + valid
+        emitted = int(np.searchsorted(bits, min(window_end, n_bits)))
+        cursor = window_end
+        if cursor >= n_bits:
+            break
+        next_start = skip(cursor)
+        if next_start >= n_bits:
+            break
+        aligned = (next_start // 64) * 64
+        valid = max(0, min(buffer_bits, n_bits - aligned))
+        n_bytes = -(-valid // 8) if valid else buffer_bits // 8
+        reloads.append((emitted, n_bytes))
+        base_bit = aligned
+    return setup_bytes, reloads, int(bits.size)
+
+
+def bitmap_transfer_offsets(n_bytes: int) -> np.ndarray:
+    """Byte offsets of the cache-line transfers for one RDBMAP/reload."""
+    return np.arange(0, max(n_bytes, 1), 64, dtype=np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# Row/column block lists for the SMASH SpMM merge
+# --------------------------------------------------------------------------- #
+def row_block_table(matrix: SMASHMatrix) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`repro.kernels.legacy._row_block_lists`.
+
+    Returns ``(row_bounds, offsets, nza_indices)`` where blocks of row ``r``
+    are the slice ``[row_bounds[r], row_bounds[r + 1])`` of the two arrays
+    (``offsets`` is the block's starting column). Requires the row length to
+    be a multiple of the block size, as the kernels enforce.
+    """
+    bits = matrix.hierarchy.base.set_bit_array()
+    block = matrix.block_size
+    cols = matrix.cols
+    linear = bits * block
+    rows = linear // cols
+    offsets = linear % cols
+    row_bounds = np.searchsorted(rows, np.arange(matrix.rows + 1, dtype=np.int64))
+    return row_bounds, offsets, np.arange(bits.size, dtype=np.int64)

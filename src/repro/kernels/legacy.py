@@ -1,0 +1,733 @@
+"""Reference per-element implementations of the instrumented kernels.
+
+These are the original (pre-batching) kernels: every non-zero element issues
+its own ``instr.load()`` / ``instr.count()`` call, which in turn replays a
+one-access trace through the batched memory engine. They are retained as the
+executable specification of the cost model: the equivalence suite
+(``tests/test_trace_equivalence.py``) asserts that the vectorized kernels in
+:mod:`repro.kernels.spmv` / :mod:`repro.kernels.spmm` /
+:mod:`repro.kernels.spadd` reproduce these kernels' cost reports exactly
+(instruction counts, DRAM accesses, cycles, per-structure traffic) for every
+scheme. They are not registered with the kernel registry and should not be
+used for measurement at scale.
+"""
+
+from __future__ import annotations
+
+# =========================================================================== #
+# Reference SPMV kernels
+# =========================================================================== #
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.indexing import SoftwareIndexer
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.csr import CSRMatrix
+from repro.hardware.bmu import BitmapManagementUnit
+from repro.hardware.isa import SMASHISA
+from repro.kernels._costs import (
+    IDX,
+    VAL,
+    CSRCosts,
+    MKLCosts,
+    SMASHCosts,
+    register_bcsr,
+    register_csr,
+    register_smash,
+    register_vector,
+)
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport, InstructionClass, KernelInstrumentation
+
+KernelOutput = Tuple[np.ndarray, CostReport]
+
+
+def _check_vector(x: np.ndarray, cols: int) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (cols,):
+        raise ValueError(f"x must have length {cols}, got {x.shape}")
+    return x
+
+
+# --------------------------------------------------------------------------- #
+# CSR family
+# --------------------------------------------------------------------------- #
+def _spmv_csr_like(
+    csr: CSRMatrix,
+    x: np.ndarray,
+    scheme: str,
+    costs: CSRCosts,
+    ideal_indexing: bool,
+    config: Optional[SimConfig],
+) -> KernelOutput:
+    """Shared CSR traversal used by taco_csr, mkl_csr and ideal_csr."""
+    x = _check_vector(x, csr.cols)
+    instr = KernelInstrumentation("spmv", scheme, config)
+    register_csr(instr, "A", csr)
+    register_vector(instr, "x", csr.cols)
+    register_vector(instr, "y", csr.rows)
+
+    y = np.zeros(csr.rows, dtype=np.float64)
+    for i in range(csr.rows):
+        # Outer loop: read row_ptr[i+1] (row_ptr[i] is carried in a register).
+        instr.load("A_row_ptr", (i + 1) * IDX)
+        instr.count(InstructionClass.INDEX, costs.index_per_row if not ideal_indexing else 1)
+        instr.count(InstructionClass.BRANCH, costs.branch_per_row)
+        acc = 0.0
+        start, end = csr.row_ptr[i], csr.row_ptr[i + 1]
+        for j in range(start, end):
+            col = int(csr.col_ind[j])
+            if ideal_indexing:
+                # Positions are known for free: no col_ind load, no address
+                # arithmetic, and the x access is a plain streaming load.
+                instr.load("A_values", j * VAL)
+                instr.load("x", col * VAL, dependent=False)
+                instr.count(InstructionClass.INDEX, 1)
+            else:
+                instr.load("A_col_ind", j * IDX)
+                instr.load("A_values", j * VAL)
+                # The x access address depends on the loaded column index:
+                # this is the pointer-chasing access the paper highlights.
+                instr.load("x", col * VAL, dependent=True)
+                instr.count(InstructionClass.INDEX, costs.index_per_nnz)
+            instr.count(InstructionClass.COMPUTE, costs.compute_per_nnz)
+            instr.count(InstructionClass.BRANCH, costs.branch_per_nnz)
+            acc += csr.values[j] * x[col]
+        y[i] = acc
+        instr.store("y", i * VAL)
+    return y, instr.report()
+
+
+def spmv_csr_instrumented(
+    csr: CSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """TACO-style CSR SpMV (the paper's baseline)."""
+    return _spmv_csr_like(csr, x, "taco_csr", CSRCosts(), False, config)
+
+
+def spmv_ideal_csr_instrumented(
+    csr: CSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """CSR SpMV with idealized (free) position discovery, as in Figure 3."""
+    return _spmv_csr_like(csr, x, "ideal_csr", CSRCosts(), True, config)
+
+
+def spmv_mkl_csr_instrumented(
+    csr: CSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """MKL-like CSR SpMV: same traversal, lower loop overhead."""
+    return _spmv_csr_like(csr, x, "mkl_csr", MKLCosts(), False, config)
+
+
+# --------------------------------------------------------------------------- #
+# BCSR
+# --------------------------------------------------------------------------- #
+def spmv_bcsr_instrumented(
+    bcsr: BCSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """BCSR SpMV: one dense block multiply per stored block.
+
+    BCSR needs one column-index load and one dependent ``x`` access per
+    *block* instead of per element, but multiplies every stored element of
+    the block, including the padding zeros.
+    """
+    x = _check_vector(x, bcsr.cols)
+    instr = KernelInstrumentation("spmv", "taco_bcsr", config)
+    register_bcsr(instr, "A", bcsr)
+    register_vector(instr, "x", bcsr.cols)
+    register_vector(instr, "y", bcsr.rows)
+
+    br, bc = bcsr.block_shape
+    padded_x = np.zeros(bcsr.block_cols * bc, dtype=np.float64)
+    padded_x[: bcsr.cols] = x
+    y = np.zeros(bcsr.block_rows * br, dtype=np.float64)
+    block_elems = br * bc
+    for bi in range(bcsr.block_rows):
+        instr.load("A_block_row_ptr", (bi + 1) * IDX)
+        instr.count(InstructionClass.INDEX, 3)
+        instr.count(InstructionClass.BRANCH, 1)
+        for k in range(bcsr.block_row_ptr[bi], bcsr.block_row_ptr[bi + 1]):
+            bj = int(bcsr.block_col_ind[k])
+            instr.load("A_block_col_ind", k * IDX)
+            instr.count(InstructionClass.INDEX, 3)
+            instr.count(InstructionClass.BRANCH, 1)
+            # Block values stream in; the x sub-vector address depends on the
+            # loaded block column index (first access dependent, rest stream).
+            for e in range(block_elems):
+                instr.load("A_blocks", (k * block_elems + e) * VAL)
+            for c in range(bc):
+                instr.load("x", (bj * bc + c) * VAL, dependent=(c == 0))
+            instr.count(InstructionClass.COMPUTE, 2 * block_elems)
+            y[bi * br:(bi + 1) * br] += bcsr.blocks[k] @ padded_x[bj * bc:(bj + 1) * bc]
+        for r in range(br):
+            instr.store("y", (bi * br + r) * VAL)
+    return y[: bcsr.rows], instr.report()
+
+
+# --------------------------------------------------------------------------- #
+# SMASH (software-only and hardware-accelerated)
+# --------------------------------------------------------------------------- #
+def _spmv_smash_blocks(
+    matrix: SMASHMatrix,
+    x: np.ndarray,
+    y: np.ndarray,
+    instr: KernelInstrumentation,
+    block_iter,
+    costs: SMASHCosts,
+) -> None:
+    """Shared per-block multiply-accumulate loop of both SMASH variants."""
+    rows, cols = matrix.shape
+    total = rows * cols
+    block_size = matrix.block_size
+    for nza_index, row, col in block_iter:
+        base = row * cols + col
+        instr.count(InstructionClass.INDEX, costs.index_per_block)
+        instr.count(InstructionClass.BRANCH, costs.branch_per_block)
+        block = matrix.nza.block(nza_index)
+        for offset in range(block_size):
+            linear = base + offset
+            if linear >= total:
+                break
+            # NZA values and the x sub-vector are contiguous: both stream.
+            instr.load("A_nza", (nza_index * block_size + offset) * VAL)
+            instr.load("x", (linear % cols) * VAL, dependent=False)
+            instr.count(InstructionClass.COMPUTE, costs.compute_per_element)
+            if costs.index_per_element:
+                instr.count(InstructionClass.INDEX, costs.index_per_element)
+            value = block[offset]
+            if value != 0.0:
+                y[linear // cols] += value * x[linear % cols]
+        instr.store("y", row * VAL)
+        if costs.store_per_block > 1:
+            instr.count(InstructionClass.STORE, costs.store_per_block - 1)
+
+
+def spmv_smash_software_instrumented(
+    matrix: SMASHMatrix, x: np.ndarray, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """Software-only SMASH SpMV (Section 4.4): bitmap scanning on the CPU."""
+    x = _check_vector(x, matrix.cols)
+    instr = KernelInstrumentation("spmv", "smash_sw", config)
+    register_smash(instr, "A", matrix)
+    register_vector(instr, "x", matrix.cols)
+    register_vector(instr, "y", matrix.rows)
+
+    y = np.zeros(matrix.rows, dtype=np.float64)
+    indexer = SoftwareIndexer(matrix, instr)
+    _spmv_smash_blocks(matrix, x, y, instr, indexer.iter_blocks(), SMASHCosts())
+    report = instr.report()
+    return y, report
+
+
+def spmv_smash_hardware_instrumented(
+    matrix: SMASHMatrix,
+    x: np.ndarray,
+    config: Optional[SimConfig] = None,
+    bmu: Optional[BitmapManagementUnit] = None,
+) -> KernelOutput:
+    """Hardware-accelerated SMASH SpMV (Algorithm 1 of the paper).
+
+    Indexing is performed by the BMU through the SMASH ISA: each non-zero
+    block costs one ``PBMAP`` and one ``RDIND``; the bitmap traffic is the
+    BMU's buffer refills rather than per-element loads.
+    """
+    x = _check_vector(x, matrix.cols)
+    instr = KernelInstrumentation("spmv", "smash_hw", config)
+    register_smash(instr, "A", matrix)
+    register_vector(instr, "x", matrix.cols)
+    register_vector(instr, "y", matrix.rows)
+
+    isa = SMASHISA(bmu or BitmapManagementUnit(), instr)
+    y = np.zeros(matrix.rows, dtype=np.float64)
+    _spmv_smash_blocks(matrix, x, y, instr, isa.iter_nonzero_blocks(matrix), SMASHCosts())
+    report = instr.report()
+    report.metadata["pbmap_count"] = float(isa.bmu.group(0).pbmap_count)
+    report.metadata["bmu_buffer_reloads"] = float(isa.bmu.group(0).buffer_reloads)
+    return y, report
+
+
+# =========================================================================== #
+# Reference SPMM kernels
+# =========================================================================== #
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels._costs import (
+    IDX,
+    VAL,
+    CSRCosts,
+    MKLCosts,
+    register_bcsr,
+    register_csc,
+    register_csr,
+    register_smash,
+)
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport, InstructionClass, KernelInstrumentation
+
+KernelOutput = Tuple[np.ndarray, CostReport]
+
+
+def _check_dims(a_shape, b_shape) -> None:
+    if a_shape[1] != b_shape[0]:
+        raise ValueError(f"inner dimensions do not match: {a_shape} x {b_shape}")
+
+
+# --------------------------------------------------------------------------- #
+# CSR x CSC inner product
+# --------------------------------------------------------------------------- #
+def _spmm_csr_like(
+    a_csr: CSRMatrix,
+    b_csc: CSCMatrix,
+    scheme: str,
+    costs: CSRCosts,
+    ideal_indexing: bool,
+    config: Optional[SimConfig],
+) -> KernelOutput:
+    _check_dims(a_csr.shape, b_csc.shape)
+    instr = KernelInstrumentation("spmm", scheme, config)
+    register_csr(instr, "A", a_csr)
+    register_csc(instr, "B", b_csc)
+    instr.register_array("C", a_csr.rows * b_csc.cols * VAL)
+
+    c = np.zeros((a_csr.rows, b_csc.cols), dtype=np.float64)
+    per_step_index = 2 if not ideal_indexing else 0
+    per_step_branch = costs.branch_per_nnz if not ideal_indexing else 0
+
+    for i in range(a_csr.rows):
+        instr.load("A_row_ptr", (i + 1) * IDX)
+        instr.count(InstructionClass.INDEX, costs.index_per_row)
+        instr.count(InstructionClass.BRANCH, costs.branch_per_row)
+        a_start, a_end = int(a_csr.row_ptr[i]), int(a_csr.row_ptr[i + 1])
+        if a_start == a_end:
+            continue
+        a_cols = a_csr.col_ind[a_start:a_end]
+        a_vals = a_csr.values[a_start:a_end]
+        for j in range(b_csc.cols):
+            instr.load("B_col_ptr", (j + 1) * IDX)
+            instr.count(InstructionClass.INDEX, costs.index_per_row)
+            instr.count(InstructionClass.BRANCH, costs.branch_per_row)
+            b_start, b_end = int(b_csc.col_ptr[j]), int(b_csc.col_ptr[j + 1])
+            if b_start == b_end:
+                continue
+            b_rows = b_csc.row_ind[b_start:b_end]
+            b_vals = b_csc.values[b_start:b_end]
+            acc = 0.0
+            ka, kb = 0, 0
+            if ideal_indexing:
+                # Matching positions known a priori: only touch the matches.
+                matches, a_idx, b_idx = np.intersect1d(
+                    a_cols, b_rows, assume_unique=True, return_indices=True
+                )
+                for ma, mb in zip(a_idx, b_idx):
+                    instr.load("A_values", (a_start + int(ma)) * VAL)
+                    instr.load("B_values", (b_start + int(mb)) * VAL)
+                    instr.count(InstructionClass.COMPUTE, 2)
+                    acc += a_vals[ma] * b_vals[mb]
+            else:
+                while ka < a_cols.size and kb < b_rows.size:
+                    # Index matching: load both indices and compare.
+                    instr.load("A_col_ind", (a_start + ka) * IDX)
+                    instr.load("B_row_ind", (b_start + kb) * IDX)
+                    instr.count(InstructionClass.INDEX, per_step_index)
+                    instr.count(InstructionClass.BRANCH, per_step_branch)
+                    pos_a, pos_b = int(a_cols[ka]), int(b_rows[kb])
+                    if pos_a == pos_b:
+                        instr.load("A_values", (a_start + ka) * VAL)
+                        instr.load("B_values", (b_start + kb) * VAL)
+                        instr.count(InstructionClass.COMPUTE, costs.compute_per_nnz)
+                        acc += a_vals[ka] * b_vals[kb]
+                        ka += 1
+                        kb += 1
+                    elif pos_a < pos_b:
+                        ka += 1
+                    else:
+                        kb += 1
+            if acc != 0.0:
+                c[i, j] = acc
+                instr.store("C", (i * b_csc.cols + j) * VAL)
+    return c, instr.report()
+
+
+def spmm_csr_instrumented(
+    a_csr: CSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """TACO-style CSR x CSC inner-product SpMM (the paper's baseline)."""
+    return _spmm_csr_like(a_csr, b_csc, "taco_csr", CSRCosts(), False, config)
+
+
+def spmm_ideal_csr_instrumented(
+    a_csr: CSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """SpMM with idealized (free) index matching, as in Figure 3."""
+    return _spmm_csr_like(a_csr, b_csc, "ideal_csr", CSRCosts(), True, config)
+
+
+def spmm_mkl_csr_instrumented(
+    a_csr: CSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """MKL-like CSR x CSC SpMM: same traversal, lower loop overhead."""
+    return _spmm_csr_like(a_csr, b_csc, "mkl_csr", MKLCosts(), False, config)
+
+
+# --------------------------------------------------------------------------- #
+# BCSR x CSC
+# --------------------------------------------------------------------------- #
+def spmm_bcsr_instrumented(
+    a_bcsr: BCSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """BCSR(A) x CSC(B) inner-product SpMM.
+
+    Index matching happens at A's block granularity: for each block row of A
+    and each column of B, every stored block of the block row is matched
+    against the B entries whose row index falls inside the block's column
+    range. Each match multiplies a full block column (including padding
+    zeros) by the B value.
+    """
+    _check_dims(a_bcsr.shape, b_csc.shape)
+    instr = KernelInstrumentation("spmm", "taco_bcsr", config)
+    register_bcsr(instr, "A", a_bcsr)
+    register_csc(instr, "B", b_csc)
+    instr.register_array("C", a_bcsr.rows * b_csc.cols * VAL)
+
+    br, bc = a_bcsr.block_shape
+    c = np.zeros((a_bcsr.block_rows * br, b_csc.cols), dtype=np.float64)
+
+    for bi in range(a_bcsr.block_rows):
+        instr.load("A_block_row_ptr", (bi + 1) * IDX)
+        instr.count(InstructionClass.INDEX, 3)
+        instr.count(InstructionClass.BRANCH, 1)
+        blk_start, blk_end = int(a_bcsr.block_row_ptr[bi]), int(a_bcsr.block_row_ptr[bi + 1])
+        if blk_start == blk_end:
+            continue
+        for j in range(b_csc.cols):
+            instr.load("B_col_ptr", (j + 1) * IDX)
+            instr.count(InstructionClass.INDEX, 2)
+            instr.count(InstructionClass.BRANCH, 1)
+            b_start, b_end = int(b_csc.col_ptr[j]), int(b_csc.col_ptr[j + 1])
+            if b_start == b_end:
+                continue
+            b_rows = b_csc.row_ind[b_start:b_end]
+            b_vals = b_csc.values[b_start:b_end]
+            kb = 0
+            acc = np.zeros(br, dtype=np.float64)
+            touched = False
+            for k in range(blk_start, blk_end):
+                bj = int(a_bcsr.block_col_ind[k])
+                instr.load("A_block_col_ind", k * IDX)
+                instr.count(InstructionClass.INDEX, 2)
+                instr.count(InstructionClass.BRANCH, 1)
+                col_lo, col_hi = bj * bc, (bj + 1) * bc
+                # Advance the B pointer to the block's column range.
+                while kb < b_rows.size and b_rows[kb] < col_lo:
+                    instr.load("B_row_ind", (b_start + kb) * IDX)
+                    instr.count(InstructionClass.INDEX, 2)
+                    instr.count(InstructionClass.BRANCH, 1)
+                    kb += 1
+                kk = kb
+                while kk < b_rows.size and b_rows[kk] < col_hi:
+                    instr.load("B_row_ind", (b_start + kk) * IDX)
+                    instr.count(InstructionClass.INDEX, 2)
+                    instr.count(InstructionClass.BRANCH, 1)
+                    # One block column (br values) times the B value.
+                    local_col = int(b_rows[kk]) - col_lo
+                    for r in range(br):
+                        instr.load("A_blocks", (k * br * bc + r * bc + local_col) * VAL)
+                    instr.load("B_values", (b_start + kk) * VAL, dependent=True)
+                    instr.count(InstructionClass.COMPUTE, 2 * br)
+                    acc += a_bcsr.blocks[k][:, local_col] * b_vals[kk]
+                    touched = True
+                    kk += 1
+            if touched:
+                c[bi * br:(bi + 1) * br, j] += acc
+                for r in range(br):
+                    instr.store("C", ((bi * br + r) * b_csc.cols + j) * VAL)
+    return c[: a_bcsr.rows, :], instr.report()
+
+
+# --------------------------------------------------------------------------- #
+# SMASH (software-only and hardware-accelerated)
+# --------------------------------------------------------------------------- #
+def _row_block_lists(matrix: SMASHMatrix) -> List[List[Tuple[int, int]]]:
+    """Per-row lists of ``(offset_in_row, nza_block_index)``.
+
+    The SMASH encoding linearizes the matrix row-major, so as long as the row
+    length is a multiple of the block size (enforced by the callers) every
+    block belongs to exactly one row and ``offset_in_row`` is the column of
+    its first element.
+    """
+    result: List[List[Tuple[int, int]]] = [[] for _ in range(matrix.rows)]
+    for nza_index, block_bit in enumerate(matrix.hierarchy.base.iter_set_bits()):
+        row, col = matrix.block_position(block_bit)
+        result[row].append((col, nza_index))
+    return result
+
+
+def _spmm_smash_common(
+    a: SMASHMatrix,
+    b_transposed: SMASHMatrix,
+    scheme: str,
+    hardware: bool,
+    config: Optional[SimConfig],
+) -> KernelOutput:
+    """Shared implementation of the two SMASH SpMM variants.
+
+    ``b_transposed`` is the SMASH encoding of ``B^T``: its rows are B's
+    columns, which is the access order the inner-product algorithm needs
+    (the paper compresses B with a column-major bitmap for the same reason).
+    """
+    if a.cols != b_transposed.cols:
+        raise ValueError(
+            f"A has {a.cols} columns but B (transposed) rows have length {b_transposed.cols}"
+        )
+    if a.block_size != b_transposed.block_size:
+        raise ValueError("both operands must use the same Bitmap-0 block size for SpMM")
+    if a.cols % a.block_size != 0:
+        raise ValueError(
+            "the instrumented SMASH SpMM requires the row length to be a multiple of the "
+            "Bitmap-0 block size so that NZA blocks never straddle row boundaries; "
+            f"got {a.cols} columns with block size {a.block_size} "
+            "(pad the matrix or pick a block size that divides the column count)"
+        )
+    instr = KernelInstrumentation("spmm", scheme, config)
+    register_smash(instr, "A", a)
+    register_smash(instr, "B", b_transposed)
+    instr.register_array("A_bitmap0", a.hierarchy.base.storage_bytes())
+    instr.register_array("B_bitmap0", b_transposed.hierarchy.base.storage_bytes())
+    n_rows, n_cols = a.rows, b_transposed.rows
+    instr.register_array("C", n_rows * n_cols * VAL)
+
+    block = a.block_size
+    a_rows = _row_block_lists(a)
+    b_cols = _row_block_lists(b_transposed)
+    c = np.zeros((n_rows, n_cols), dtype=np.float64)
+
+    # Setup instructions (Algorithm 2 lines 2-5): MATINFO and BMAPINFO for
+    # both operands when the BMU is used.
+    if hardware:
+        instr.count(InstructionClass.BMU, 2 + a.config.levels + b_transposed.config.levels)
+
+    bitmap_words_per_row = max(1, -(-(a.cols // block) // 64))
+
+    for i in range(n_rows):
+        row_blocks = a_rows[i]
+        # Load the row's bitmap window: RDBMAP for the BMU, explicit word
+        # loads for the software scan.
+        if hardware:
+            instr.count(InstructionClass.BMU, 1)
+            instr.load("A_bitmap0", (i * bitmap_words_per_row) * 8, count_instruction=False)
+        else:
+            for w in range(bitmap_words_per_row):
+                instr.load("A_bitmap0", (i * bitmap_words_per_row + w) * 8)
+        if not row_blocks:
+            continue
+        for j in range(n_cols):
+            col_blocks = b_cols[j]
+            if hardware:
+                instr.count(InstructionClass.BMU, 1)
+                instr.load("B_bitmap0", (j * bitmap_words_per_row) * 8, count_instruction=False)
+            else:
+                for w in range(bitmap_words_per_row):
+                    instr.load("B_bitmap0", (j * bitmap_words_per_row + w) * 8)
+            if not col_blocks:
+                continue
+            acc = 0.0
+            ka, kb = 0, 0
+            while ka < len(row_blocks) and kb < len(col_blocks):
+                # One index-matching step at block granularity. With the BMU,
+                # finding each candidate costs a PBMAP + RDIND pair; in
+                # software it costs a bitmap scan (bit-scan + mask) instead.
+                if hardware:
+                    instr.count(InstructionClass.BMU, 2)
+                    instr.count(InstructionClass.INDEX, 1)
+                else:
+                    instr.count(InstructionClass.INDEX, 4)
+                instr.count(InstructionClass.BRANCH, 1)
+                off_a, nza_a = row_blocks[ka]
+                off_b, nza_b = col_blocks[kb]
+                if off_a == off_b:
+                    block_a = a.nza.block(nza_a)
+                    block_b = b_transposed.nza.block(nza_b)
+                    for e in range(block):
+                        instr.load("A_nza", (nza_a * block + e) * VAL)
+                        instr.load("B_nza", (nza_b * block + e) * VAL)
+                    instr.count(InstructionClass.COMPUTE, 2 * block)
+                    acc += float(np.dot(block_a, block_b))
+                    ka += 1
+                    kb += 1
+                elif off_a < off_b:
+                    ka += 1
+                else:
+                    kb += 1
+            if acc != 0.0:
+                c[i, j] = acc
+                instr.store("C", (i * n_cols + j) * VAL)
+    return c, instr.report()
+
+
+def spmm_smash_software_instrumented(
+    a: SMASHMatrix, b_transposed: SMASHMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """Software-only SMASH SpMM: block-granular index matching in software."""
+    return _spmm_smash_common(a, b_transposed, "smash_sw", False, config)
+
+
+def spmm_smash_hardware_instrumented(
+    a: SMASHMatrix, b_transposed: SMASHMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """Hardware-accelerated SMASH SpMM (Algorithm 2 of the paper)."""
+    return _spmm_smash_common(a, b_transposed, "smash_hw", True, config)
+
+
+# =========================================================================== #
+# Reference SPADD kernels
+# =========================================================================== #
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.smash_matrix import SMASHMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels._costs import IDX, VAL, register_csr, register_smash
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport, InstructionClass, KernelInstrumentation
+
+KernelOutput = Tuple[np.ndarray, CostReport]
+
+
+def _check_shapes(a_shape, b_shape) -> None:
+    if a_shape != b_shape:
+        raise ValueError(f"operand shapes do not match: {a_shape} vs {b_shape}")
+
+
+def _spadd_csr_like(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    scheme: str,
+    ideal_indexing: bool,
+    config: Optional[SimConfig],
+) -> KernelOutput:
+    _check_shapes(a.shape, b.shape)
+    instr = KernelInstrumentation("spadd", scheme, config)
+    register_csr(instr, "A", a)
+    register_csr(instr, "B", b)
+    instr.register_array("C", a.rows * a.cols * VAL)
+
+    c = np.zeros(a.shape, dtype=np.float64)
+    for i in range(a.rows):
+        instr.load("A_row_ptr", (i + 1) * IDX)
+        instr.load("B_row_ptr", (i + 1) * IDX)
+        instr.count(InstructionClass.INDEX, 2 if not ideal_indexing else 1)
+        instr.count(InstructionClass.BRANCH, 1)
+        a_start, a_end = int(a.row_ptr[i]), int(a.row_ptr[i + 1])
+        b_start, b_end = int(b.row_ptr[i]), int(b.row_ptr[i + 1])
+        ka, kb = a_start, b_start
+        while ka < a_end or kb < b_end:
+            take_a = kb >= b_end or (ka < a_end and a.col_ind[ka] <= b.col_ind[kb])
+            take_b = ka >= a_end or (kb < b_end and b.col_ind[kb] <= a.col_ind[ka])
+            if not ideal_indexing:
+                # Position discovery: load and compare the column indices.
+                if ka < a_end:
+                    instr.load("A_col_ind", ka * IDX)
+                if kb < b_end:
+                    instr.load("B_col_ind", kb * IDX)
+                instr.count(InstructionClass.INDEX, 3)
+                instr.count(InstructionClass.BRANCH, 1)
+            value = 0.0
+            col = 0
+            if take_a:
+                instr.load("A_values", ka * VAL)
+                value += a.values[ka]
+                col = int(a.col_ind[ka])
+                ka += 1
+            if take_b:
+                instr.load("B_values", kb * VAL)
+                value += b.values[kb]
+                col = int(b.col_ind[kb])
+                kb += 1
+            instr.count(InstructionClass.COMPUTE, 1)
+            c[i, col] = value
+            instr.store("C", (i * a.cols + col) * VAL)
+    return c, instr.report()
+
+
+def spadd_csr_instrumented(
+    a: CSRMatrix, b: CSRMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """CSR sparse addition with per-row index merging (the baseline)."""
+    return _spadd_csr_like(a, b, "taco_csr", False, config)
+
+
+def spadd_ideal_csr_instrumented(
+    a: CSRMatrix, b: CSRMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """Sparse addition with idealized (free) position discovery (Figure 3)."""
+    return _spadd_csr_like(a, b, "ideal_csr", True, config)
+
+
+def spadd_smash_hardware_instrumented(
+    a: SMASHMatrix, b: SMASHMatrix, config: Optional[SimConfig] = None
+) -> KernelOutput:
+    """SMASH sparse addition: the BMU supplies block positions of both operands.
+
+    The two Bitmap-0 streams are merged at block granularity; matching blocks
+    are added element-wise, unmatched blocks are copied. Each merge step
+    costs one PBMAP/RDIND pair per advanced operand.
+    """
+    _check_shapes(a.shape, b.shape)
+    if a.block_size != b.block_size:
+        raise ValueError("both operands must use the same Bitmap-0 block size")
+    instr = KernelInstrumentation("spadd", "smash_hw", config)
+    register_smash(instr, "A", a)
+    register_smash(instr, "B", b)
+    instr.register_array("C", a.rows * a.cols * VAL)
+
+    block = a.block_size
+    rows, cols = a.shape
+    total = rows * cols
+    c = np.zeros(a.shape, dtype=np.float64)
+
+    a_blocks = list(enumerate(a.hierarchy.base.iter_set_bits()))
+    b_blocks = list(enumerate(b.hierarchy.base.iter_set_bits()))
+    instr.count(InstructionClass.BMU, 2 + a.config.levels + b.config.levels)
+
+    def emit_block(matrix: SMASHMatrix, prefix: str, nza_index: int, block_bit: int) -> None:
+        base = block_bit * block
+        values = matrix.nza.block(nza_index)
+        for offset in range(block):
+            linear = base + offset
+            if linear >= total:
+                break
+            instr.load(f"{prefix}_nza", (nza_index * block + offset) * VAL)
+            instr.count(InstructionClass.COMPUTE, 1)
+            if values[offset] != 0.0:
+                c[linear // cols, linear % cols] += values[offset]
+                instr.store("C", linear * VAL)
+
+    ka, kb = 0, 0
+    while ka < len(a_blocks) or kb < len(b_blocks):
+        # Each merge step interrogates the BMU for both operands.
+        instr.count(InstructionClass.BMU, 2)
+        instr.count(InstructionClass.INDEX, 1)
+        instr.count(InstructionClass.BRANCH, 1)
+        bit_a = a_blocks[ka][1] if ka < len(a_blocks) else None
+        bit_b = b_blocks[kb][1] if kb < len(b_blocks) else None
+        if bit_b is None or (bit_a is not None and bit_a < bit_b):
+            emit_block(a, "A", a_blocks[ka][0], bit_a)
+            ka += 1
+        elif bit_a is None or bit_b < bit_a:
+            emit_block(b, "B", b_blocks[kb][0], bit_b)
+            kb += 1
+        else:
+            emit_block(a, "A", a_blocks[ka][0], bit_a)
+            emit_block(b, "B", b_blocks[kb][0], bit_b)
+            ka += 1
+            kb += 1
+    return c, instr.report()

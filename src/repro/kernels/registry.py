@@ -1,0 +1,71 @@
+"""Decorator-based registry mapping ``(kernel, scheme)`` to implementations.
+
+Before this registry every consumer of the instrumented kernels (the scheme
+runners, PageRank, BFS, Betweenness Centrality) kept its own copy of the same
+scheme -> function dispatch dict. Kernels now self-register at definition
+site::
+
+    @register_kernel("spmv", "taco_csr")
+    def spmv_csr_instrumented(csr, x, config=None):
+        ...
+
+and every consumer resolves implementations through :func:`get_kernel` /
+:func:`kernels_for`, so adding a scheme or a kernel is a one-site change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+_REGISTRY: Dict[Tuple[str, str], Callable] = {}
+
+
+def register_kernel(kernel: str, *schemes: str) -> Callable[[Callable], Callable]:
+    """Class the decorated function as ``kernel``'s implementation for ``schemes``.
+
+    A single implementation may serve several schemes (e.g. sparse addition
+    uses the same CSR merge for ``taco_csr`` and ``mkl_csr``).
+    """
+    if not schemes:
+        raise ValueError("register_kernel needs at least one scheme name")
+
+    def decorator(func: Callable) -> Callable:
+        for scheme in schemes:
+            key = (kernel, scheme)
+            if key in _REGISTRY and _REGISTRY[key] is not func:
+                raise ValueError(f"{key} is already registered to {_REGISTRY[key].__name__}")
+            _REGISTRY[key] = func
+        return func
+
+    return decorator
+
+
+def get_kernel(kernel: str, scheme: str) -> Callable:
+    """Resolve the implementation of ``kernel`` for ``scheme``."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[(kernel, scheme)]
+    except KeyError:
+        available = sorted(s for k, s in _REGISTRY if k == kernel)
+        if not available:
+            raise ValueError(f"unknown kernel {kernel!r}") from None
+        raise ValueError(
+            f"{kernel} is not implemented for scheme {scheme!r}; "
+            f"available schemes: {available}"
+        ) from None
+
+
+def kernels_for(kernel: str) -> Dict[str, Callable]:
+    """All registered implementations of ``kernel``, keyed by scheme."""
+    _ensure_loaded()
+    return {s: func for (k, s), func in _REGISTRY.items() if k == kernel}
+
+
+def registered_schemes(kernel: str) -> Tuple[str, ...]:
+    """Scheme names with an implementation of ``kernel``, sorted."""
+    return tuple(sorted(kernels_for(kernel)))
+
+
+def _ensure_loaded() -> None:
+    """Import the kernel modules so their decorators have run."""
+    from repro.kernels import spadd, spmm, spmv  # noqa: F401  (side-effect import)

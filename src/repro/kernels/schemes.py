@@ -1,15 +1,25 @@
-"""Scheme registry: prepare operands and dispatch to the right kernel.
+"""Scheme runners: prepare operands and dispatch through the kernel registry.
 
 The evaluation compares the same kernel across several *schemes* (storage
 format + indexing mechanism). This module centralizes two things:
 
 * :func:`prepare_operand` — converting a COO workload matrix into the
-  representation each scheme operates on (CSR, CSC, BCSR or SMASH);
+  representation each scheme operates on (CSR, CSC, BCSR or SMASH), using
+  the sparse-native constructors (:meth:`BCSRMatrix.from_coo`,
+  :meth:`SMASHMatrix.from_coo`) so no dense intermediate is ever
+  materialized;
 * :func:`run_spmv` / :func:`run_spmm` / :func:`run_spadd` — running one
-  scheme's instrumented kernel and packaging the result with its cost report.
+  scheme's instrumented kernel and packaging the result with its cost
+  report. Implementations are resolved through
+  :mod:`repro.kernels.registry`, where each kernel registered itself with
+  ``@register_kernel(kernel, scheme)``.
 
 Scheme names follow the paper's figures: ``taco_csr``, ``taco_bcsr``,
 ``mkl_csr``, ``ideal_csr``, ``smash_sw`` and ``smash_hw``.
+
+Randomized inputs (currently only SpMV's ``x`` vector) are derived from a
+single seed handled uniformly by all three entry points: pass ``seed`` to
+change it, or pass explicit operands to bypass generation entirely.
 """
 
 from __future__ import annotations
@@ -24,11 +34,7 @@ from repro.core.smash_matrix import SMASHMatrix
 from repro.formats.bcsr import BCSRMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.convert import coo_to_csc, coo_to_csr
-from repro.formats.csc import CSCMatrix
-from repro.formats.csr import CSRMatrix
-from repro.kernels import spadd as _spadd
-from repro.kernels import spmm as _spmm
-from repro.kernels import spmv as _spmv
+from repro.kernels.registry import get_kernel
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport
 
@@ -38,6 +44,10 @@ SCHEMES = ("taco_csr", "taco_bcsr", "mkl_csr", "ideal_csr", "smash_sw", "smash_h
 #: Block shape used for every BCSR operand (the paper does not state TACO's
 #: block size; 4x4 is the common OSKI/TACO default).
 BCSR_BLOCK_SHAPE = (4, 4)
+
+#: Seed shared by every runner for generated operands, so repeated runs (and
+#: the different entry points) see the same random inputs by default.
+DEFAULT_SEED = 7
 
 
 @dataclass(frozen=True)
@@ -55,6 +65,12 @@ def _require_scheme(scheme: str) -> None:
         raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
 
 
+def default_input_vector(length: int, seed: Optional[int] = None) -> np.ndarray:
+    """The dense input vector generated when a runner is not given one."""
+    rng = np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+    return rng.uniform(0.1, 1.0, size=length)
+
+
 def prepare_operand(
     coo: COOMatrix,
     scheme: str,
@@ -67,6 +83,10 @@ def prepare_operand(
     operands) or column-major (``"col"``, used for the B operand of SpMM):
     CSR-family schemes store the column-major operand in CSC, SMASH schemes
     encode its transpose so that columns become contiguous bit runs.
+
+    Every conversion is sparse-to-sparse: the non-zero coordinates are
+    regrouped directly into the target layout, so preparing an operand costs
+    O(nnz) time and memory regardless of the matrix dimensions.
     """
     _require_scheme(scheme)
     if orientation not in ("row", "col"):
@@ -75,14 +95,12 @@ def prepare_operand(
         return coo_to_csr(coo) if orientation == "row" else coo_to_csc(coo)
     if scheme == "taco_bcsr":
         if orientation == "row":
-            return BCSRMatrix.from_dense(coo.to_dense(), block_shape=BCSR_BLOCK_SHAPE)
+            return BCSRMatrix.from_coo(coo, block_shape=BCSR_BLOCK_SHAPE)
         return coo_to_csc(coo)
     # SMASH schemes.
     config = smash_config or SMASHConfig()
-    dense = coo.to_dense()
-    if orientation == "col":
-        dense = dense.T.copy()
-    return SMASHMatrix.from_dense(dense, config)
+    source = coo if orientation == "row" else coo.transpose()
+    return SMASHMatrix.from_coo(source, config)
 
 
 def run_spmv(
@@ -91,22 +109,18 @@ def run_spmv(
     x: Optional[np.ndarray] = None,
     smash_config: Optional[SMASHConfig] = None,
     sim_config: Optional[SimConfig] = None,
-    seed: int = 7,
+    seed: int = DEFAULT_SEED,
 ) -> KernelResult:
-    """Run one scheme's instrumented SpMV on a COO workload matrix."""
+    """Run one scheme's instrumented SpMV on a COO workload matrix.
+
+    ``seed`` feeds :func:`default_input_vector` when ``x`` is not supplied.
+    """
     _require_scheme(scheme)
+    kernel = get_kernel("spmv", scheme)
     if x is None:
-        x = np.random.default_rng(seed).uniform(0.1, 1.0, size=coo.cols)
+        x = default_input_vector(coo.cols, seed)
     operand = prepare_operand(coo, scheme, smash_config, orientation="row")
-    dispatch = {
-        "taco_csr": _spmv.spmv_csr_instrumented,
-        "ideal_csr": _spmv.spmv_ideal_csr_instrumented,
-        "mkl_csr": _spmv.spmv_mkl_csr_instrumented,
-        "taco_bcsr": _spmv.spmv_bcsr_instrumented,
-        "smash_sw": _spmv.spmv_smash_software_instrumented,
-        "smash_hw": _spmv.spmv_smash_hardware_instrumented,
-    }
-    output, report = dispatch[scheme](operand, x, sim_config)
+    output, report = kernel(operand, x, sim_config)
     return KernelResult(scheme=scheme, kernel="spmv", output=output, report=report)
 
 
@@ -116,21 +130,19 @@ def run_spmm(
     b_coo: Optional[COOMatrix] = None,
     smash_config: Optional[SMASHConfig] = None,
     sim_config: Optional[SimConfig] = None,
+    seed: int = DEFAULT_SEED,
 ) -> KernelResult:
-    """Run one scheme's instrumented SpMM (``B`` defaults to ``A``)."""
+    """Run one scheme's instrumented SpMM (``B`` defaults to ``A``).
+
+    ``seed`` is accepted for signature uniformity with :func:`run_spmv`;
+    SpMM generates no random operands today, so it is currently unused.
+    """
     _require_scheme(scheme)
+    kernel = get_kernel("spmm", scheme)
     b_coo = b_coo if b_coo is not None else a_coo
     a_operand = prepare_operand(a_coo, scheme, smash_config, orientation="row")
     b_operand = prepare_operand(b_coo, scheme, smash_config, orientation="col")
-    dispatch = {
-        "taco_csr": _spmm.spmm_csr_instrumented,
-        "ideal_csr": _spmm.spmm_ideal_csr_instrumented,
-        "mkl_csr": _spmm.spmm_mkl_csr_instrumented,
-        "taco_bcsr": _spmm.spmm_bcsr_instrumented,
-        "smash_sw": _spmm.spmm_smash_software_instrumented,
-        "smash_hw": _spmm.spmm_smash_hardware_instrumented,
-    }
-    output, report = dispatch[scheme](a_operand, b_operand, sim_config)
+    output, report = kernel(a_operand, b_operand, sim_config)
     return KernelResult(scheme=scheme, kernel="spmm", output=output, report=report)
 
 
@@ -140,30 +152,21 @@ def run_spadd(
     b_coo: Optional[COOMatrix] = None,
     smash_config: Optional[SMASHConfig] = None,
     sim_config: Optional[SimConfig] = None,
+    seed: int = DEFAULT_SEED,
 ) -> KernelResult:
     """Run one scheme's instrumented sparse addition (``B`` defaults to ``A``).
 
     Only the schemes used in the motivation experiment (Figure 3) and the
-    SMASH hardware variant are available for sparse addition.
+    SMASH hardware variant are available for sparse addition. ``seed`` is
+    accepted for signature uniformity with :func:`run_spmv`; sparse addition
+    generates no random operands today, so it is currently unused.
     """
     _require_scheme(scheme)
+    kernel = get_kernel("spadd", scheme)
     b_coo = b_coo if b_coo is not None else a_coo
-    if scheme in ("taco_csr", "mkl_csr", "ideal_csr"):
-        a_csr = coo_to_csr(a_coo)
-        b_csr = coo_to_csr(b_coo)
-        func = (
-            _spadd.spadd_ideal_csr_instrumented
-            if scheme == "ideal_csr"
-            else _spadd.spadd_csr_instrumented
-        )
-        output, report = func(a_csr, b_csr, sim_config)
-    elif scheme == "smash_hw":
-        config = smash_config or SMASHConfig()
-        a_sm = SMASHMatrix.from_dense(a_coo.to_dense(), config)
-        b_sm = SMASHMatrix.from_dense(b_coo.to_dense(), config)
-        output, report = _spadd.spadd_smash_hardware_instrumented(a_sm, b_sm, sim_config)
-    else:
-        raise ValueError(f"sparse addition is not implemented for scheme {scheme!r}")
+    a_operand = prepare_operand(a_coo, scheme, smash_config, orientation="row")
+    b_operand = prepare_operand(b_coo, scheme, smash_config, orientation="row")
+    output, report = kernel(a_operand, b_operand, sim_config)
     return KernelResult(scheme=scheme, kernel="spadd", output=output, report=report)
 
 

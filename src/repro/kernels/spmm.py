@@ -1,4 +1,4 @@
-"""Instrumented Sparse Matrix-Matrix multiplication kernels.
+"""Instrumented Sparse Matrix-Matrix multiplication kernels (batched engine).
 
 All kernels compute the inner-product formulation ``C = A @ B`` the paper
 uses (Code Listing 2 / Algorithm 2): the outer loops iterate over every
@@ -18,13 +18,20 @@ index matching is performed:
   ``RDIND`` pair executed by the BMU and the bitmaps are streamed into the
   BMU buffers by ``RDBMAP`` (Algorithm 2 of the paper).
 
+The batched implementations keep the outer (row, column) loop in Python but
+assemble each pair's merge sequence — which side advances at every step, and
+therefore which index/value loads are issued — with vectorized searchsorted
+arithmetic over the sorted index arrays, then scatter the per-step access
+columns into one trace segment. Cost reports are bit-identical to the
+per-element reference kernels in :mod:`repro.kernels.legacy`.
+
 Every function returns ``(C, CostReport)`` where ``C`` is a dense result
 array.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -42,8 +49,17 @@ from repro.kernels._costs import (
     register_csr,
     register_smash,
 )
+from repro.kernels._smash import row_block_table
+from repro.kernels.registry import register_kernel
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport, InstructionClass, KernelInstrumentation
+from repro.sim.trace import (
+    KIND_DEPENDENT,
+    KIND_STREAM,
+    KIND_WRITE,
+    exclusive_cumsum,
+    grouped_arange,
+)
 
 KernelOutput = Tuple[np.ndarray, CostReport]
 
@@ -51,6 +67,26 @@ KernelOutput = Tuple[np.ndarray, CostReport]
 def _check_dims(a_shape, b_shape) -> None:
     if a_shape[1] != b_shape[0]:
         raise ValueError(f"inner dimensions do not match: {a_shape} x {b_shape}")
+
+
+def _merge_path(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized two-pointer merge of two sorted unique index arrays.
+
+    Returns ``(ka, kb, match)``: the positions of both cursors at every merge
+    step (the merge stops when either side is exhausted, exactly like the
+    ``while ka < la and kb < lb`` loop) and whether the step was an index
+    match. Step ``t`` visits the ``t``-th distinct value of the combined
+    sequence, at which point each cursor has consumed all of its elements
+    smaller than that value.
+    """
+    union = np.unique(np.concatenate([a, b]))
+    ka = np.searchsorted(a, union)
+    kb = np.searchsorted(b, union)
+    alive = (ka < a.size) & (kb < b.size)
+    steps = union.size if bool(alive.all()) else int(np.argmin(alive))
+    ka = ka[:steps]
+    kb = kb[:steps]
+    return ka, kb, a[ka] == b[kb]
 
 
 # --------------------------------------------------------------------------- #
@@ -70,65 +106,114 @@ def _spmm_csr_like(
     register_csc(instr, "B", b_csc)
     instr.register_array("C", a_csr.rows * b_csc.cols * VAL)
 
-    c = np.zeros((a_csr.rows, b_csc.cols), dtype=np.float64)
-    per_step_index = 2 if not ideal_indexing else 0
-    per_step_branch = costs.branch_per_nnz if not ideal_indexing else 0
+    n_cols = b_csc.cols
+    c = np.zeros((a_csr.rows, n_cols), dtype=np.float64)
+    builder = instr.trace_builder()
+    id_aci = builder.structure_id("A_col_ind")
+    id_bri = builder.structure_id("B_row_ind")
+    id_av = builder.structure_id("A_values")
+    id_bv = builder.structure_id("B_values")
 
+    col_slices = []
+    for j in range(n_cols):
+        b_start, b_end = int(b_csc.col_ptr[j]), int(b_csc.col_ptr[j + 1])
+        col_slices.append(
+            (b_start, b_csc.row_ind[b_start:b_end], b_csc.values[b_start:b_end])
+        )
+
+    rows_visited = 0
+    pairs_visited = 0
+    total_steps = 0
+    total_matches = 0
     for i in range(a_csr.rows):
-        instr.load("A_row_ptr", (i + 1) * IDX)
-        instr.count(InstructionClass.INDEX, costs.index_per_row)
-        instr.count(InstructionClass.BRANCH, costs.branch_per_row)
+        rows_visited += 1
+        builder.add_one("A_row_ptr", (i + 1) * IDX, KIND_STREAM)
         a_start, a_end = int(a_csr.row_ptr[i]), int(a_csr.row_ptr[i + 1])
         if a_start == a_end:
             continue
         a_cols = a_csr.col_ind[a_start:a_end]
         a_vals = a_csr.values[a_start:a_end]
-        for j in range(b_csc.cols):
-            instr.load("B_col_ptr", (j + 1) * IDX)
-            instr.count(InstructionClass.INDEX, costs.index_per_row)
-            instr.count(InstructionClass.BRANCH, costs.branch_per_row)
-            b_start, b_end = int(b_csc.col_ptr[j]), int(b_csc.col_ptr[j + 1])
-            if b_start == b_end:
+        for j in range(n_cols):
+            pairs_visited += 1
+            builder.add_one("B_col_ptr", (j + 1) * IDX, KIND_STREAM)
+            b_start, b_rows, b_vals = col_slices[j]
+            if b_rows.size == 0:
                 continue
-            b_rows = b_csc.row_ind[b_start:b_end]
-            b_vals = b_csc.values[b_start:b_end]
-            acc = 0.0
-            ka, kb = 0, 0
             if ideal_indexing:
                 # Matching positions known a priori: only touch the matches.
-                matches, a_idx, b_idx = np.intersect1d(
+                _, a_idx, b_idx = np.intersect1d(
                     a_cols, b_rows, assume_unique=True, return_indices=True
                 )
-                for ma, mb in zip(a_idx, b_idx):
-                    instr.load("A_values", (a_start + int(ma)) * VAL)
-                    instr.load("B_values", (b_start + int(mb)) * VAL)
-                    instr.count(InstructionClass.COMPUTE, 2)
-                    acc += a_vals[ma] * b_vals[mb]
+                n_match = a_idx.size
+                if n_match:
+                    total_matches += n_match
+                    ids = np.empty(2 * n_match, dtype=np.int64)
+                    offsets = np.empty(2 * n_match, dtype=np.int64)
+                    ids[0::2] = id_av
+                    offsets[0::2] = (a_start + a_idx) * VAL
+                    ids[1::2] = id_bv
+                    offsets[1::2] = (b_start + b_idx) * VAL
+                    builder.add_columns(
+                        ids, offsets, np.full(2 * n_match, KIND_STREAM, np.uint8)
+                    )
+                    acc = float((a_vals[a_idx] * b_vals[b_idx]).cumsum()[-1])
+                else:
+                    acc = 0.0
             else:
-                while ka < a_cols.size and kb < b_rows.size:
-                    # Index matching: load both indices and compare.
-                    instr.load("A_col_ind", (a_start + ka) * IDX)
-                    instr.load("B_row_ind", (b_start + kb) * IDX)
-                    instr.count(InstructionClass.INDEX, per_step_index)
-                    instr.count(InstructionClass.BRANCH, per_step_branch)
-                    pos_a, pos_b = int(a_cols[ka]), int(b_rows[kb])
-                    if pos_a == pos_b:
-                        instr.load("A_values", (a_start + ka) * VAL)
-                        instr.load("B_values", (b_start + kb) * VAL)
-                        instr.count(InstructionClass.COMPUTE, costs.compute_per_nnz)
-                        acc += a_vals[ka] * b_vals[kb]
-                        ka += 1
-                        kb += 1
-                    elif pos_a < pos_b:
-                        ka += 1
-                    else:
-                        kb += 1
+                ka, kb, match = _merge_path(a_cols, b_rows)
+                steps = ka.size
+                total_steps += steps
+                n_match = int(match.sum())
+                total_matches += n_match
+                lengths = np.where(match, 4, 2)
+                starts = exclusive_cumsum(lengths)
+                seg_len = 2 * steps + 2 * n_match
+                ids = np.empty(seg_len, dtype=np.int64)
+                offsets = np.empty(seg_len, dtype=np.int64)
+                # Index matching: load both indices and compare...
+                ids[starts] = id_aci
+                offsets[starts] = (a_start + ka) * IDX
+                ids[starts + 1] = id_bri
+                offsets[starts + 1] = (b_start + kb) * IDX
+                # ...then touch both values on a match.
+                match_starts = starts[match]
+                ids[match_starts + 2] = id_av
+                offsets[match_starts + 2] = (a_start + ka[match]) * VAL
+                ids[match_starts + 3] = id_bv
+                offsets[match_starts + 3] = (b_start + kb[match]) * VAL
+                builder.add_columns(ids, offsets, np.full(seg_len, KIND_STREAM, np.uint8))
+                acc = (
+                    float((a_vals[ka[match]] * b_vals[kb[match]]).cumsum()[-1])
+                    if n_match
+                    else 0.0
+                )
             if acc != 0.0:
                 c[i, j] = acc
-                instr.store("C", (i * b_csc.cols + j) * VAL)
+                builder.add_one("C", (i * n_cols + j) * VAL, KIND_WRITE)
+
+    instr.replay_trace(builder.build())
+    per_step_index = 2 if not ideal_indexing else 0
+    per_step_branch = costs.branch_per_nnz if not ideal_indexing else 0
+    stores = int(np.count_nonzero(c))
+    instr.count_batch(
+        {
+            InstructionClass.LOAD: rows_visited
+            + pairs_visited
+            + 2 * total_steps
+            + 2 * total_matches,
+            InstructionClass.INDEX: (rows_visited + pairs_visited) * costs.index_per_row
+            + per_step_index * total_steps,
+            InstructionClass.BRANCH: (rows_visited + pairs_visited) * costs.branch_per_row
+            + per_step_branch * total_steps,
+            InstructionClass.COMPUTE: (2 if ideal_indexing else costs.compute_per_nnz)
+            * total_matches,
+            InstructionClass.STORE: stores,
+        }
+    )
     return c, instr.report()
 
 
+@register_kernel("spmm", "taco_csr")
 def spmm_csr_instrumented(
     a_csr: CSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
 ) -> KernelOutput:
@@ -136,6 +221,7 @@ def spmm_csr_instrumented(
     return _spmm_csr_like(a_csr, b_csc, "taco_csr", CSRCosts(), False, config)
 
 
+@register_kernel("spmm", "ideal_csr")
 def spmm_ideal_csr_instrumented(
     a_csr: CSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
 ) -> KernelOutput:
@@ -143,6 +229,7 @@ def spmm_ideal_csr_instrumented(
     return _spmm_csr_like(a_csr, b_csc, "ideal_csr", CSRCosts(), True, config)
 
 
+@register_kernel("spmm", "mkl_csr")
 def spmm_mkl_csr_instrumented(
     a_csr: CSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
 ) -> KernelOutput:
@@ -153,6 +240,7 @@ def spmm_mkl_csr_instrumented(
 # --------------------------------------------------------------------------- #
 # BCSR x CSC
 # --------------------------------------------------------------------------- #
+@register_kernel("spmm", "taco_bcsr")
 def spmm_bcsr_instrumented(
     a_bcsr: BCSRMatrix, b_csc: CSCMatrix, config: Optional[SimConfig] = None
 ) -> KernelOutput:
@@ -162,7 +250,8 @@ def spmm_bcsr_instrumented(
     and each column of B, every stored block of the block row is matched
     against the B entries whose row index falls inside the block's column
     range. Each match multiplies a full block column (including padding
-    zeros) by the B value.
+    zeros) by the B value. Per pair, the advance/match structure of the
+    whole block row is derived from two searchsorted calls.
     """
     _check_dims(a_bcsr.shape, b_csc.shape)
     instr = KernelInstrumentation("spmm", "taco_bcsr", config)
@@ -171,78 +260,130 @@ def spmm_bcsr_instrumented(
     instr.register_array("C", a_bcsr.rows * b_csc.cols * VAL)
 
     br, bc = a_bcsr.block_shape
-    c = np.zeros((a_bcsr.block_rows * br, b_csc.cols), dtype=np.float64)
+    block_elems = br * bc
+    n_cols = b_csc.cols
+    c = np.zeros((a_bcsr.block_rows * br, n_cols), dtype=np.float64)
+    builder = instr.trace_builder()
+    id_bci = builder.structure_id("A_block_col_ind")
+    id_bri = builder.structure_id("B_row_ind")
+    id_blk = builder.structure_id("A_blocks")
+    id_bv = builder.structure_id("B_values")
+    match_unit = 1 + br + 1
 
+    col_slices = []
+    for j in range(n_cols):
+        b_start, b_end = int(b_csc.col_ptr[j]), int(b_csc.col_ptr[j + 1])
+        col_slices.append(
+            (b_start, b_csc.row_ind[b_start:b_end], b_csc.values[b_start:b_end])
+        )
+
+    block_rows_visited = 0
+    pairs_visited = 0
+    blocks_visited = 0
+    total_skips = 0
+    total_matches = 0
+    total_stores = 0
     for bi in range(a_bcsr.block_rows):
-        instr.load("A_block_row_ptr", (bi + 1) * IDX)
-        instr.count(InstructionClass.INDEX, 3)
-        instr.count(InstructionClass.BRANCH, 1)
+        block_rows_visited += 1
+        builder.add_one("A_block_row_ptr", (bi + 1) * IDX, KIND_STREAM)
         blk_start, blk_end = int(a_bcsr.block_row_ptr[bi]), int(a_bcsr.block_row_ptr[bi + 1])
         if blk_start == blk_end:
             continue
-        for j in range(b_csc.cols):
-            instr.load("B_col_ptr", (j + 1) * IDX)
-            instr.count(InstructionClass.INDEX, 2)
-            instr.count(InstructionClass.BRANCH, 1)
-            b_start, b_end = int(b_csc.col_ptr[j]), int(b_csc.col_ptr[j + 1])
-            if b_start == b_end:
+        blocks = np.arange(blk_start, blk_end, dtype=np.int64)
+        bj = a_bcsr.block_col_ind[blk_start:blk_end].astype(np.int64, copy=False)
+        col_lo = bj * bc
+        col_hi = col_lo + bc
+        n_blk = blocks.size
+        for j in range(n_cols):
+            pairs_visited += 1
+            builder.add_one("B_col_ptr", (j + 1) * IDX, KIND_STREAM)
+            b_start, b_rows, b_vals = col_slices[j]
+            if b_rows.size == 0:
                 continue
-            b_rows = b_csc.row_ind[b_start:b_end]
-            b_vals = b_csc.values[b_start:b_end]
-            kb = 0
-            acc = np.zeros(br, dtype=np.float64)
-            touched = False
-            for k in range(blk_start, blk_end):
-                bj = int(a_bcsr.block_col_ind[k])
-                instr.load("A_block_col_ind", k * IDX)
-                instr.count(InstructionClass.INDEX, 2)
-                instr.count(InstructionClass.BRANCH, 1)
-                col_lo, col_hi = bj * bc, (bj + 1) * bc
-                # Advance the B pointer to the block's column range.
-                while kb < b_rows.size and b_rows[kb] < col_lo:
-                    instr.load("B_row_ind", (b_start + kb) * IDX)
-                    instr.count(InstructionClass.INDEX, 2)
-                    instr.count(InstructionClass.BRANCH, 1)
-                    kb += 1
-                kk = kb
-                while kk < b_rows.size and b_rows[kk] < col_hi:
-                    instr.load("B_row_ind", (b_start + kk) * IDX)
-                    instr.count(InstructionClass.INDEX, 2)
-                    instr.count(InstructionClass.BRANCH, 1)
-                    # One block column (br values) times the B value.
-                    local_col = int(b_rows[kk]) - col_lo
-                    for r in range(br):
-                        instr.load("A_blocks", (k * br * bc + r * bc + local_col) * VAL)
-                    instr.load("B_values", (b_start + kk) * VAL, dependent=True)
-                    instr.count(InstructionClass.COMPUTE, 2 * br)
-                    acc += a_bcsr.blocks[k][:, local_col] * b_vals[kk]
-                    touched = True
-                    kk += 1
-            if touched:
-                c[bi * br:(bi + 1) * br, j] += acc
-                for r in range(br):
-                    instr.store("C", ((bi * br + r) * b_csc.cols + j) * VAL)
+            blocks_visited += n_blk
+            s_lo = np.searchsorted(b_rows, col_lo)
+            s_hi = np.searchsorted(b_rows, col_hi)
+            kb_prev = np.concatenate(([0], s_lo[:-1]))
+            n_skip = s_lo - kb_prev
+            n_match = s_hi - s_lo
+            total_skips += int(n_skip.sum())
+            matches_here = int(n_match.sum())
+            total_matches += matches_here
+            lengths = 1 + n_skip + match_unit * n_match
+            starts = exclusive_cumsum(lengths)
+            seg_len = int(lengths.sum())
+            ids = np.empty(seg_len, dtype=np.int64)
+            offsets = np.empty(seg_len, dtype=np.int64)
+            kinds = np.full(seg_len, KIND_STREAM, dtype=np.uint8)
+            # Per block: its column-index load...
+            ids[starts] = id_bci
+            offsets[starts] = blocks * IDX
+            # ...the B_row_ind loads that advance the column pointer...
+            if n_skip.any():
+                skip_pos = np.repeat(starts + 1, n_skip) + grouped_arange(n_skip)
+                skip_kb = np.repeat(kb_prev, n_skip) + grouped_arange(n_skip)
+                ids[skip_pos] = id_bri
+                offsets[skip_pos] = (b_start + skip_kb) * IDX
+            # ...and one match event per B entry inside the block's columns.
+            if matches_here:
+                event = np.repeat(starts + 1 + n_skip, n_match) + match_unit * grouped_arange(
+                    n_match
+                )
+                kk = np.repeat(s_lo, n_match) + grouped_arange(n_match)
+                blk_of = np.repeat(blocks, n_match)
+                local_col = b_rows[kk].astype(np.int64) - np.repeat(col_lo, n_match)
+                ids[event] = id_bri
+                offsets[event] = (b_start + kk) * IDX
+                span = event[:, None] + 1 + np.arange(br)
+                ids[span] = id_blk
+                offsets[span] = (
+                    blk_of[:, None] * block_elems + np.arange(br) * bc + local_col[:, None]
+                ) * VAL
+                ids[event + 1 + br] = id_bv
+                offsets[event + 1 + br] = (b_start + kk) * VAL
+                kinds[event + 1 + br] = KIND_DEPENDENT
+            builder.add_columns(ids, offsets, kinds)
+            if matches_here:
+                rel = np.repeat(blocks - blk_start, n_match)
+                products = (
+                    a_bcsr.blocks[blk_start:blk_end][rel, :, local_col] * b_vals[kk][:, None]
+                )
+                c[bi * br:(bi + 1) * br, j] += products.sum(axis=0)
+                total_stores += br
+                builder.add(
+                    "C",
+                    ((bi * br + np.arange(br, dtype=np.int64)) * n_cols + j) * VAL,
+                    KIND_WRITE,
+                )
+
+    instr.replay_trace(builder.build())
+    instr.count_batch(
+        {
+            InstructionClass.LOAD: block_rows_visited
+            + pairs_visited
+            + blocks_visited
+            + total_skips
+            + (1 + br + 1) * total_matches,
+            InstructionClass.INDEX: 3 * block_rows_visited
+            + 2 * pairs_visited
+            + 2 * blocks_visited
+            + 2 * total_skips
+            + 2 * total_matches,
+            InstructionClass.BRANCH: block_rows_visited
+            + pairs_visited
+            + blocks_visited
+            + total_skips
+            + total_matches,
+            InstructionClass.COMPUTE: 2 * br * total_matches,
+            InstructionClass.STORE: total_stores,
+        }
+    )
     return c[: a_bcsr.rows, :], instr.report()
 
 
 # --------------------------------------------------------------------------- #
 # SMASH (software-only and hardware-accelerated)
 # --------------------------------------------------------------------------- #
-def _row_block_lists(matrix: SMASHMatrix) -> List[List[Tuple[int, int]]]:
-    """Per-row lists of ``(offset_in_row, nza_block_index)``.
-
-    The SMASH encoding linearizes the matrix row-major, so as long as the row
-    length is a multiple of the block size (enforced by the callers) every
-    block belongs to exactly one row and ``offset_in_row`` is the column of
-    its first element.
-    """
-    result: List[List[Tuple[int, int]]] = [[] for _ in range(matrix.rows)]
-    for nza_index, block_bit in enumerate(matrix.hierarchy.base.iter_set_bits()):
-        row, col = matrix.block_position(block_bit)
-        result[row].append((col, nza_index))
-    return result
-
-
 def _spmm_smash_common(
     a: SMASHMatrix,
     b_transposed: SMASHMatrix,
@@ -278,73 +419,99 @@ def _spmm_smash_common(
     instr.register_array("C", n_rows * n_cols * VAL)
 
     block = a.block_size
-    a_rows = _row_block_lists(a)
-    b_cols = _row_block_lists(b_transposed)
+    a_bounds, a_offsets, a_nza = row_block_table(a)
+    b_bounds, b_offsets, b_nza = row_block_table(b_transposed)
+    a_data = a.nza.data.reshape(-1, block) if a.nza.n_blocks else a.nza.data.reshape(0, block)
+    b_data = (
+        b_transposed.nza.data.reshape(-1, block)
+        if b_transposed.nza.n_blocks
+        else b_transposed.nza.data.reshape(0, block)
+    )
     c = np.zeros((n_rows, n_cols), dtype=np.float64)
-
-    # Setup instructions (Algorithm 2 lines 2-5): MATINFO and BMAPINFO for
-    # both operands when the BMU is used.
-    if hardware:
-        instr.count(InstructionClass.BMU, 2 + a.config.levels + b_transposed.config.levels)
+    builder = instr.trace_builder()
+    id_an = builder.structure_id("A_nza")
+    id_bn = builder.structure_id("B_nza")
 
     bitmap_words_per_row = max(1, -(-(a.cols // block) // 64))
+    word_offsets = np.arange(bitmap_words_per_row, dtype=np.int64) * 8
+    bitmap_loads = 0
+    bmu_reads = 0
+    total_steps = 0
+    total_matches = 0
+    stores = 0
 
     for i in range(n_rows):
-        row_blocks = a_rows[i]
-        # Load the row's bitmap window: RDBMAP for the BMU, explicit word
-        # loads for the software scan.
         if hardware:
-            instr.count(InstructionClass.BMU, 1)
-            instr.load("A_bitmap0", (i * bitmap_words_per_row) * 8, count_instruction=False)
+            bmu_reads += 1
+            builder.add_one("A_bitmap0", i * bitmap_words_per_row * 8, KIND_STREAM)
         else:
-            for w in range(bitmap_words_per_row):
-                instr.load("A_bitmap0", (i * bitmap_words_per_row + w) * 8)
-        if not row_blocks:
+            bitmap_loads += bitmap_words_per_row
+            builder.add("A_bitmap0", i * bitmap_words_per_row * 8 + word_offsets, KIND_STREAM)
+        lo, hi = int(a_bounds[i]), int(a_bounds[i + 1])
+        if lo == hi:
             continue
+        row_offsets = a_offsets[lo:hi]
+        row_nza = a_nza[lo:hi]
         for j in range(n_cols):
-            col_blocks = b_cols[j]
             if hardware:
-                instr.count(InstructionClass.BMU, 1)
-                instr.load("B_bitmap0", (j * bitmap_words_per_row) * 8, count_instruction=False)
+                bmu_reads += 1
+                builder.add_one("B_bitmap0", j * bitmap_words_per_row * 8, KIND_STREAM)
             else:
-                for w in range(bitmap_words_per_row):
-                    instr.load("B_bitmap0", (j * bitmap_words_per_row + w) * 8)
-            if not col_blocks:
+                bitmap_loads += bitmap_words_per_row
+                builder.add(
+                    "B_bitmap0", j * bitmap_words_per_row * 8 + word_offsets, KIND_STREAM
+                )
+            blo, bhi = int(b_bounds[j]), int(b_bounds[j + 1])
+            if blo == bhi:
                 continue
-            acc = 0.0
-            ka, kb = 0, 0
-            while ka < len(row_blocks) and kb < len(col_blocks):
-                # One index-matching step at block granularity. With the BMU,
-                # finding each candidate costs a PBMAP + RDIND pair; in
-                # software it costs a bitmap scan (bit-scan + mask) instead.
-                if hardware:
-                    instr.count(InstructionClass.BMU, 2)
-                    instr.count(InstructionClass.INDEX, 1)
-                else:
-                    instr.count(InstructionClass.INDEX, 4)
-                instr.count(InstructionClass.BRANCH, 1)
-                off_a, nza_a = row_blocks[ka]
-                off_b, nza_b = col_blocks[kb]
-                if off_a == off_b:
-                    block_a = a.nza.block(nza_a)
-                    block_b = b_transposed.nza.block(nza_b)
-                    for e in range(block):
-                        instr.load("A_nza", (nza_a * block + e) * VAL)
-                        instr.load("B_nza", (nza_b * block + e) * VAL)
-                    instr.count(InstructionClass.COMPUTE, 2 * block)
-                    acc += float(np.dot(block_a, block_b))
-                    ka += 1
-                    kb += 1
-                elif off_a < off_b:
-                    ka += 1
-                else:
-                    kb += 1
+            col_offsets = b_offsets[blo:bhi]
+            col_nza = b_nza[blo:bhi]
+            ka, kb, match = _merge_path(row_offsets, col_offsets)
+            total_steps += ka.size
+            n_match = int(match.sum())
+            if n_match:
+                total_matches += n_match
+                nza_a = row_nza[ka[match]]
+                nza_b = col_nza[kb[match]]
+                seg = np.empty((n_match, block, 2), dtype=np.int64)
+                seg[:, :, 0] = (nza_a[:, None] * block + np.arange(block)) * VAL
+                seg[:, :, 1] = (nza_b[:, None] * block + np.arange(block)) * VAL
+                ids = np.empty((n_match, block, 2), dtype=np.int64)
+                ids[:, :, 0] = id_an
+                ids[:, :, 1] = id_bn
+                builder.add_columns(
+                    ids.reshape(-1),
+                    seg.reshape(-1),
+                    np.full(n_match * block * 2, KIND_STREAM, np.uint8),
+                )
+                dots = np.einsum("ij,ij->i", a_data[nza_a], b_data[nza_b])
+                acc = float(dots.cumsum()[-1])
+            else:
+                acc = 0.0
             if acc != 0.0:
                 c[i, j] = acc
-                instr.store("C", (i * n_cols + j) * VAL)
+                stores += 1
+                builder.add_one("C", (i * n_cols + j) * VAL, KIND_WRITE)
+
+    instr.replay_trace(builder.build())
+    counts = {
+        InstructionClass.LOAD: bitmap_loads + 2 * block * total_matches,
+        InstructionClass.INDEX: (1 if hardware else 4) * total_steps,
+        InstructionClass.BRANCH: total_steps,
+        InstructionClass.COMPUTE: 2 * block * total_matches,
+        InstructionClass.STORE: stores,
+    }
+    if hardware:
+        # Setup (Algorithm 2 lines 2-5) plus one RDBMAP per bitmap-window
+        # read and a PBMAP/RDIND pair per merge step.
+        counts[InstructionClass.BMU] = (
+            2 + a.config.levels + b_transposed.config.levels + bmu_reads + 2 * total_steps
+        )
+    instr.count_batch(counts)
     return c, instr.report()
 
 
+@register_kernel("spmm", "smash_sw")
 def spmm_smash_software_instrumented(
     a: SMASHMatrix, b_transposed: SMASHMatrix, config: Optional[SimConfig] = None
 ) -> KernelOutput:
@@ -352,6 +519,7 @@ def spmm_smash_software_instrumented(
     return _spmm_smash_common(a, b_transposed, "smash_sw", False, config)
 
 
+@register_kernel("spmm", "smash_hw")
 def spmm_smash_hardware_instrumented(
     a: SMASHMatrix, b_transposed: SMASHMatrix, config: Optional[SimConfig] = None
 ) -> KernelOutput:

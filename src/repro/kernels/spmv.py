@@ -1,10 +1,14 @@
-"""Instrumented Sparse Matrix-Vector multiplication kernels.
+"""Instrumented Sparse Matrix-Vector multiplication kernels (batched engine).
 
 Every function computes ``y = A @ x`` for one scheme while charging the
-analytic performance model, and returns ``(y, CostReport)``. The traversal of
-the data structures mirrors what the corresponding compiled implementation
-does; the per-operation instruction budgets come from
-:mod:`repro.kernels._costs`.
+analytic performance model, and returns ``(y, CostReport)``. The kernels are
+*vectorized*: instead of one ``instr.load()`` call per non-zero they assemble
+the complete access trace of the traversal as numpy arrays — interleaved in
+the exact order the compiled implementation would issue the accesses — and
+replay it through the batched memory engine in one pass. Instruction-class
+totals are charged in bulk. The resulting cost reports are bit-identical to
+the per-element reference kernels in :mod:`repro.kernels.legacy` (asserted by
+``tests/test_trace_equivalence.py``).
 
 Schemes
 -------
@@ -23,12 +27,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.indexing import SoftwareIndexer
 from repro.core.smash_matrix import SMASHMatrix
 from repro.formats.bcsr import BCSRMatrix
 from repro.formats.csr import CSRMatrix
 from repro.hardware.bmu import BitmapManagementUnit
-from repro.hardware.isa import SMASHISA
 from repro.kernels._costs import (
     IDX,
     VAL,
@@ -40,8 +42,17 @@ from repro.kernels._costs import (
     register_smash,
     register_vector,
 )
+from repro.kernels._smash import (
+    accumulate_spmv,
+    bitmap_transfer_offsets,
+    block_bodies,
+    hardware_scan_plan,
+    software_scan_plan,
+)
+from repro.kernels.registry import register_kernel
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport, InstructionClass, KernelInstrumentation
+from repro.sim.trace import KIND_DEPENDENT, KIND_STREAM, KIND_WRITE
 
 KernelOutput = Tuple[np.ndarray, CostReport]
 
@@ -64,44 +75,85 @@ def _spmv_csr_like(
     ideal_indexing: bool,
     config: Optional[SimConfig],
 ) -> KernelOutput:
-    """Shared CSR traversal used by taco_csr, mkl_csr and ideal_csr."""
+    """Shared CSR traversal used by taco_csr, mkl_csr and ideal_csr.
+
+    Per-row access order (mirroring the compiled loop nest): one ``row_ptr``
+    load, then per non-zero ``[col_ind, values, x]`` (``[values, x]`` under
+    ideal indexing, where positions are known for free), then the ``y``
+    store. The whole trace is assembled by scattering the three per-nnz
+    columns and the two per-row columns into their program-order positions.
+    """
     x = _check_vector(x, csr.cols)
     instr = KernelInstrumentation("spmv", scheme, config)
     register_csr(instr, "A", csr)
     register_vector(instr, "x", csr.cols)
     register_vector(instr, "y", csr.rows)
 
-    y = np.zeros(csr.rows, dtype=np.float64)
-    for i in range(csr.rows):
-        # Outer loop: read row_ptr[i+1] (row_ptr[i] is carried in a register).
-        instr.load("A_row_ptr", (i + 1) * IDX)
-        instr.count(InstructionClass.INDEX, costs.index_per_row if not ideal_indexing else 1)
-        instr.count(InstructionClass.BRANCH, costs.branch_per_row)
-        acc = 0.0
-        start, end = csr.row_ptr[i], csr.row_ptr[i + 1]
-        for j in range(start, end):
-            col = int(csr.col_ind[j])
-            if ideal_indexing:
-                # Positions are known for free: no col_ind load, no address
-                # arithmetic, and the x access is a plain streaming load.
-                instr.load("A_values", j * VAL)
-                instr.load("x", col * VAL, dependent=False)
-                instr.count(InstructionClass.INDEX, 1)
-            else:
-                instr.load("A_col_ind", j * IDX)
-                instr.load("A_values", j * VAL)
-                # The x access address depends on the loaded column index:
-                # this is the pointer-chasing access the paper highlights.
-                instr.load("x", col * VAL, dependent=True)
-                instr.count(InstructionClass.INDEX, costs.index_per_nnz)
-            instr.count(InstructionClass.COMPUTE, costs.compute_per_nnz)
-            instr.count(InstructionClass.BRANCH, costs.branch_per_nnz)
-            acc += csr.values[j] * x[col]
-        y[i] = acc
-        instr.store("y", i * VAL)
+    rows, nnz = csr.rows, csr.nnz
+    row_ptr = csr.row_ptr.astype(np.int64, copy=False)
+    col = csr.col_ind.astype(np.int64, copy=False)
+    row_of = np.repeat(np.arange(rows, dtype=np.int64), np.diff(row_ptr))
+    row_ids = np.arange(rows, dtype=np.int64)
+    nnz_ids = np.arange(nnz, dtype=np.int64)
+
+    builder = instr.trace_builder()
+    width = 2 if ideal_indexing else 3
+    total = 2 * rows + width * nnz
+    ids = np.empty(total, dtype=np.int64)
+    offsets = np.empty(total, dtype=np.int64)
+    kinds = np.empty(total, dtype=np.uint8)
+
+    prefix = width * row_ptr[:-1] + 2 * row_ids
+    ids[prefix] = builder.structure_id("A_row_ptr")
+    offsets[prefix] = (row_ids + 1) * IDX
+    kinds[prefix] = KIND_STREAM
+
+    body = width * nnz_ids + 2 * row_of + 1
+    if ideal_indexing:
+        ids[body] = builder.structure_id("A_values")
+        offsets[body] = nnz_ids * VAL
+        kinds[body] = KIND_STREAM
+        ids[body + 1] = builder.structure_id("x")
+        offsets[body + 1] = col * VAL
+        kinds[body + 1] = KIND_STREAM
+    else:
+        ids[body] = builder.structure_id("A_col_ind")
+        offsets[body] = nnz_ids * IDX
+        kinds[body] = KIND_STREAM
+        ids[body + 1] = builder.structure_id("A_values")
+        offsets[body + 1] = nnz_ids * VAL
+        kinds[body + 1] = KIND_STREAM
+        # The x address depends on the loaded column index: this is the
+        # pointer-chasing access the paper highlights.
+        ids[body + 2] = builder.structure_id("x")
+        offsets[body + 2] = col * VAL
+        kinds[body + 2] = KIND_DEPENDENT
+
+    suffix = width * row_ptr[1:] + 2 * row_ids + 1
+    ids[suffix] = builder.structure_id("y")
+    offsets[suffix] = row_ids * VAL
+    kinds[suffix] = KIND_WRITE
+
+    builder.add_columns(ids, offsets, kinds)
+    instr.replay_trace(builder.build())
+
+    instr.count_batch(
+        {
+            InstructionClass.LOAD: rows + width * nnz,
+            InstructionClass.INDEX: rows * (1 if ideal_indexing else costs.index_per_row)
+            + nnz * (1 if ideal_indexing else costs.index_per_nnz),
+            InstructionClass.BRANCH: rows * costs.branch_per_row + nnz * costs.branch_per_nnz,
+            InstructionClass.COMPUTE: nnz * costs.compute_per_nnz,
+            InstructionClass.STORE: rows,
+        }
+    )
+
+    products = csr.values * x[col]
+    y = np.bincount(row_of, weights=products, minlength=rows) if nnz else np.zeros(rows)
     return y, instr.report()
 
 
+@register_kernel("spmv", "taco_csr")
 def spmv_csr_instrumented(
     csr: CSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
 ) -> KernelOutput:
@@ -109,6 +161,7 @@ def spmv_csr_instrumented(
     return _spmv_csr_like(csr, x, "taco_csr", CSRCosts(), False, config)
 
 
+@register_kernel("spmv", "ideal_csr")
 def spmv_ideal_csr_instrumented(
     csr: CSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
 ) -> KernelOutput:
@@ -116,6 +169,7 @@ def spmv_ideal_csr_instrumented(
     return _spmv_csr_like(csr, x, "ideal_csr", CSRCosts(), True, config)
 
 
+@register_kernel("spmv", "mkl_csr")
 def spmv_mkl_csr_instrumented(
     csr: CSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
 ) -> KernelOutput:
@@ -126,6 +180,7 @@ def spmv_mkl_csr_instrumented(
 # --------------------------------------------------------------------------- #
 # BCSR
 # --------------------------------------------------------------------------- #
+@register_kernel("spmv", "taco_bcsr")
 def spmv_bcsr_instrumented(
     bcsr: BCSRMatrix, x: np.ndarray, config: Optional[SimConfig] = None
 ) -> KernelOutput:
@@ -133,7 +188,9 @@ def spmv_bcsr_instrumented(
 
     BCSR needs one column-index load and one dependent ``x`` access per
     *block* instead of per element, but multiplies every stored element of
-    the block, including the padding zeros.
+    the block, including the padding zeros. Each block's body is a fixed
+    ``1 + br*bc + bc`` access pattern, so the whole trace scatters from 2-D
+    broadcasts.
     """
     x = _check_vector(x, bcsr.cols)
     instr = KernelInstrumentation("spmv", "taco_bcsr", config)
@@ -142,87 +199,125 @@ def spmv_bcsr_instrumented(
     register_vector(instr, "y", bcsr.rows)
 
     br, bc = bcsr.block_shape
+    block_elems = br * bc
+    block_rows = bcsr.block_rows
+    n_blocks = bcsr.n_blocks
+    block_ptr = bcsr.block_row_ptr.astype(np.int64, copy=False)
+    block_col = bcsr.block_col_ind.astype(np.int64, copy=False)
+    row_of = np.repeat(np.arange(block_rows, dtype=np.int64), np.diff(block_ptr))
+    row_ids = np.arange(block_rows, dtype=np.int64)
+    blk_ids = np.arange(n_blocks, dtype=np.int64)
+
+    builder = instr.trace_builder()
+    unit = 1 + block_elems + bc
+    per_row = 1 + br
+    total = block_rows * per_row + n_blocks * unit
+    ids = np.empty(total, dtype=np.int64)
+    offsets = np.empty(total, dtype=np.int64)
+    kinds = np.empty(total, dtype=np.uint8)
+
+    prefix = unit * block_ptr[:-1] + per_row * row_ids
+    ids[prefix] = builder.structure_id("A_block_row_ptr")
+    offsets[prefix] = (row_ids + 1) * IDX
+    kinds[prefix] = KIND_STREAM
+
+    start = unit * blk_ids + per_row * row_of + 1
+    ids[start] = builder.structure_id("A_block_col_ind")
+    offsets[start] = blk_ids * IDX
+    kinds[start] = KIND_STREAM
+    elems = start[:, None] + 1 + np.arange(block_elems)
+    ids[elems] = builder.structure_id("A_blocks")
+    offsets[elems] = (blk_ids[:, None] * block_elems + np.arange(block_elems)) * VAL
+    kinds[elems] = KIND_STREAM
+    # The x sub-vector address depends on the loaded block column index:
+    # first access dependent, the rest of the sub-vector streams.
+    xpos = start[:, None] + 1 + block_elems + np.arange(bc)
+    ids[xpos] = builder.structure_id("x")
+    offsets[xpos] = (block_col[:, None] * bc + np.arange(bc)) * VAL
+    kinds[xpos] = KIND_STREAM
+    kinds[xpos[:, 0]] = KIND_DEPENDENT
+
+    suffix = (unit * block_ptr[1:] + per_row * row_ids + 1)[:, None] + np.arange(br)
+    ids[suffix] = builder.structure_id("y")
+    offsets[suffix] = (row_ids[:, None] * br + np.arange(br)) * VAL
+    kinds[suffix] = KIND_WRITE
+
+    builder.add_columns(ids, offsets, kinds)
+    instr.replay_trace(builder.build())
+
+    instr.count_batch(
+        {
+            InstructionClass.LOAD: block_rows + n_blocks * unit,
+            InstructionClass.INDEX: 3 * block_rows + 3 * n_blocks,
+            InstructionClass.BRANCH: block_rows + n_blocks,
+            InstructionClass.COMPUTE: 2 * block_elems * n_blocks,
+            InstructionClass.STORE: block_rows * br,
+        }
+    )
+
     padded_x = np.zeros(bcsr.block_cols * bc, dtype=np.float64)
     padded_x[: bcsr.cols] = x
-    y = np.zeros(bcsr.block_rows * br, dtype=np.float64)
-    block_elems = br * bc
-    for bi in range(bcsr.block_rows):
-        instr.load("A_block_row_ptr", (bi + 1) * IDX)
-        instr.count(InstructionClass.INDEX, 3)
-        instr.count(InstructionClass.BRANCH, 1)
-        for k in range(bcsr.block_row_ptr[bi], bcsr.block_row_ptr[bi + 1]):
-            bj = int(bcsr.block_col_ind[k])
-            instr.load("A_block_col_ind", k * IDX)
-            instr.count(InstructionClass.INDEX, 3)
-            instr.count(InstructionClass.BRANCH, 1)
-            # Block values stream in; the x sub-vector address depends on the
-            # loaded block column index (first access dependent, rest stream).
-            for e in range(block_elems):
-                instr.load("A_blocks", (k * block_elems + e) * VAL)
-            for c in range(bc):
-                instr.load("x", (bj * bc + c) * VAL, dependent=(c == 0))
-            instr.count(InstructionClass.COMPUTE, 2 * block_elems)
-            y[bi * br:(bi + 1) * br] += bcsr.blocks[k] @ padded_x[bj * bc:(bj + 1) * bc]
-        for r in range(br):
-            instr.store("y", (bi * br + r) * VAL)
-    return y[: bcsr.rows], instr.report()
+    x_blocks = padded_x.reshape(bcsr.block_cols, bc)
+    y_blocks = np.zeros((block_rows, br), dtype=np.float64)
+    if n_blocks:
+        contributions = np.einsum("kij,kj->ki", bcsr.blocks, x_blocks[block_col])
+        np.add.at(y_blocks, row_of, contributions)
+    return y_blocks.reshape(-1)[: bcsr.rows], instr.report()
 
 
 # --------------------------------------------------------------------------- #
 # SMASH (software-only and hardware-accelerated)
 # --------------------------------------------------------------------------- #
-def _spmv_smash_blocks(
-    matrix: SMASHMatrix,
-    x: np.ndarray,
-    y: np.ndarray,
-    instr: KernelInstrumentation,
-    block_iter,
-    costs: SMASHCosts,
-) -> None:
-    """Shared per-block multiply-accumulate loop of both SMASH variants."""
-    rows, cols = matrix.shape
-    total = rows * cols
-    block_size = matrix.block_size
-    for nza_index, row, col in block_iter:
-        base = row * cols + col
-        instr.count(InstructionClass.INDEX, costs.index_per_block)
-        instr.count(InstructionClass.BRANCH, costs.branch_per_block)
-        block = matrix.nza.block(nza_index)
-        for offset in range(block_size):
-            linear = base + offset
-            if linear >= total:
-                break
-            # NZA values and the x sub-vector are contiguous: both stream.
-            instr.load("A_nza", (nza_index * block_size + offset) * VAL)
-            instr.load("x", (linear % cols) * VAL, dependent=False)
-            instr.count(InstructionClass.COMPUTE, costs.compute_per_element)
-            if costs.index_per_element:
-                instr.count(InstructionClass.INDEX, costs.index_per_element)
-            value = block[offset]
-            if value != 0.0:
-                y[linear // cols] += value * x[linear % cols]
-        instr.store("y", row * VAL)
-        if costs.store_per_block > 1:
-            instr.count(InstructionClass.STORE, costs.store_per_block - 1)
-
-
+@register_kernel("spmv", "smash_sw")
 def spmv_smash_software_instrumented(
     matrix: SMASHMatrix, x: np.ndarray, config: Optional[SimConfig] = None
 ) -> KernelOutput:
-    """Software-only SMASH SpMV (Section 4.4): bitmap scanning on the CPU."""
+    """Software-only SMASH SpMV (Section 4.4): bitmap scanning on the CPU.
+
+    The software scan's word loads are planned from the packed bitmap words
+    (:func:`~repro.kernels._smash.software_scan_plan`) and spliced between
+    the block bodies in traversal order.
+    """
     x = _check_vector(x, matrix.cols)
     instr = KernelInstrumentation("spmv", "smash_sw", config)
     register_smash(instr, "A", matrix)
     register_vector(instr, "x", matrix.cols)
     register_vector(instr, "y", matrix.rows)
+    for level in range(matrix.hierarchy.levels):
+        instr.register_array(f"bitmap{level}", matrix.hierarchy.bitmap(level).storage_bytes())
 
-    y = np.zeros(matrix.rows, dtype=np.float64)
-    indexer = SoftwareIndexer(matrix, instr)
-    _spmv_smash_blocks(matrix, x, y, instr, indexer.iter_blocks(), SMASHCosts())
-    report = instr.report()
-    return y, report
+    builder = instr.trace_builder()
+    bodies = block_bodies(matrix, builder)
+    segments, n_top_scans = software_scan_plan(matrix)
+    word_loads = 0
+    for level, word, lo, hi in segments:
+        builder.add_one(f"bitmap{level}", word * 8, KIND_STREAM)
+        word_loads += 1
+        bodies.emit_range(builder, lo, hi)
+    instr.replay_trace(builder.build())
+
+    costs = SMASHCosts()
+    n_blocks = bodies.n_blocks
+    n_elements = bodies.n_elements
+    instr.count_batch(
+        {
+            InstructionClass.LOAD: word_loads + 2 * n_elements,
+            # Per top-level hit: one bit scan. Per block: the Bitmap-0 scan
+            # (4), the bit-to-coordinates arithmetic (5), and the block-body
+            # address setup (index_per_block).
+            InstructionClass.INDEX: 4 * n_top_scans
+            + (4 + 5 + costs.index_per_block) * n_blocks
+            + costs.index_per_element * n_elements,
+            InstructionClass.BRANCH: costs.branch_per_block * n_blocks,
+            InstructionClass.COMPUTE: costs.compute_per_element * n_elements,
+            InstructionClass.STORE: costs.store_per_block * n_blocks,
+        }
+    )
+    y = accumulate_spmv(matrix, bodies, x)
+    return y, instr.report()
 
 
+@register_kernel("spmv", "smash_hw")
 def spmv_smash_hardware_instrumented(
     matrix: SMASHMatrix,
     x: np.ndarray,
@@ -233,7 +328,9 @@ def spmv_smash_hardware_instrumented(
 
     Indexing is performed by the BMU through the SMASH ISA: each non-zero
     block costs one ``PBMAP`` and one ``RDIND``; the bitmap traffic is the
-    BMU's buffer refills rather than per-element loads.
+    BMU's buffer refills rather than per-element loads. The refill schedule
+    is planned with :func:`~repro.kernels._smash.hardware_scan_plan` and the
+    transfers are spliced between the block bodies they precede.
     """
     x = _check_vector(x, matrix.cols)
     instr = KernelInstrumentation("spmv", "smash_hw", config)
@@ -241,10 +338,51 @@ def spmv_smash_hardware_instrumented(
     register_vector(instr, "x", matrix.cols)
     register_vector(instr, "y", matrix.rows)
 
-    isa = SMASHISA(bmu or BitmapManagementUnit(), instr)
-    y = np.zeros(matrix.rows, dtype=np.float64)
-    _spmv_smash_blocks(matrix, x, y, instr, isa.iter_nonzero_blocks(matrix), SMASHCosts())
+    bmu = bmu or BitmapManagementUnit()
+    group = bmu.group(0)
+    buffer_bits = group.buffers[0].capacity_bits if group.buffers else 0
+    setup_bytes, reloads, n_blocks = hardware_scan_plan(matrix, buffer_bits, len(group.buffers))
+
+    builder = instr.trace_builder()
+    for level, n_bytes in enumerate(setup_bytes):
+        name = f"bmu_bitmap_g0b{level}"
+        instr.register_array(name, max(n_bytes, 64))
+        builder.add(name, bitmap_transfer_offsets(n_bytes), KIND_STREAM)
+    bodies = block_bodies(matrix, builder)
+    cursor = 0
+    for block_ordinal, n_bytes in reloads:
+        bodies.emit_range(builder, cursor, block_ordinal)
+        builder.add("bmu_bitmap_g0b0", bitmap_transfer_offsets(n_bytes), KIND_STREAM)
+        cursor = block_ordinal
+    bodies.emit_range(builder, cursor, n_blocks)
+    instr.replay_trace(builder.build())
+
+    costs = SMASHCosts()
+    levels = matrix.config.levels
+    n_elements = bodies.n_elements
+    instr.count_batch(
+        {
+            # MATINFO + one BMAPINFO per level + one RDBMAP per buffered
+            # level, then a PBMAP/RDIND pair per block and the final
+            # exhausted PBMAP.
+            InstructionClass.BMU: 1 + levels + len(setup_bytes) + 2 * n_blocks + 1,
+            InstructionClass.LOAD: 2 * n_elements,
+            InstructionClass.INDEX: costs.index_per_block * n_blocks
+            + costs.index_per_element * n_elements,
+            InstructionClass.BRANCH: costs.branch_per_block * n_blocks,
+            InstructionClass.COMPUTE: costs.compute_per_element * n_elements,
+            InstructionClass.STORE: costs.store_per_block * n_blocks,
+        }
+    )
+
+    # Keep the (possibly caller-provided) BMU's observable counters in sync
+    # with what the modelled scan did.
+    group.pbmap_count = n_blocks + 1
+    group.buffer_reloads = len(reloads)
+    group.blocks_found = n_blocks
+
+    y = accumulate_spmv(matrix, bodies, x)
     report = instr.report()
-    report.metadata["pbmap_count"] = float(isa.bmu.group(0).pbmap_count)
-    report.metadata["bmu_buffer_reloads"] = float(isa.bmu.group(0).buffer_reloads)
+    report.metadata["pbmap_count"] = float(n_blocks + 1)
+    report.metadata["bmu_buffer_reloads"] = float(len(reloads))
     return y, report

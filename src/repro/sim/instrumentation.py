@@ -1,13 +1,33 @@
-"""Instruction counting and cost reports for the instrumented kernels."""
+"""Instruction counting and cost reports for the instrumented kernels.
+
+Kernels record their work through :class:`KernelInstrumentation` in one of
+two ways:
+
+* the **batched trace API** (:meth:`~KernelInstrumentation.count_batch`,
+  :meth:`~KernelInstrumentation.load_batch`,
+  :meth:`~KernelInstrumentation.store_batch`,
+  :meth:`~KernelInstrumentation.replay_trace`), where whole numpy arrays of
+  offsets and bulk instruction-class counts are recorded per call — the
+  primary path used by every kernel in :mod:`repro.kernels`;
+* the **legacy per-element API** (:meth:`~KernelInstrumentation.count`,
+  :meth:`~KernelInstrumentation.load`, :meth:`~KernelInstrumentation.store`),
+  kept as a thin shim over the batched engine for incremental callers (the
+  reference kernels in :mod:`repro.kernels.legacy`, the SMASH ISA model and
+  the software indexer). Both paths produce bit-identical cost reports; see
+  DESIGN.md section 6.
+"""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
+
+import numpy as np
 
 from repro.sim.config import SimConfig
-from repro.sim.memory import AccessType, AddressSpace, MemoryHierarchy, MemoryRequest
+from repro.sim.memory import AddressSpace, MemoryHierarchy
+from repro.sim.trace import KIND_DEPENDENT, KIND_STREAM, KIND_WRITE, AccessTrace, TraceBuilder
 
 
 class InstructionClass(enum.Enum):
@@ -62,7 +82,8 @@ class CostReport:
     """Result of running one instrumented kernel.
 
     ``cycles`` is the analytic execution-time estimate:
-    ``issue_cycles + memory_stall_cycles`` (see DESIGN.md section 5).
+    ``issue_cycles + memory_stall_cycles``; DESIGN.md section 5 ("The cycle
+    model") documents both terms and their calibration knobs.
     """
 
     kernel: str
@@ -180,6 +201,71 @@ class KernelInstrumentation:
         """Record ``n`` instructions of class ``cls``."""
         self.instructions.add(cls, n)
 
+    def count_batch(self, counts: Mapping[InstructionClass, int]) -> None:
+        """Record bulk instruction counts for several classes at once."""
+        for cls, n in counts.items():
+            if n:
+                self.instructions.add(cls, int(n))
+
+    # -- batched trace API --------------------------------------------- #
+    def trace_builder(self) -> TraceBuilder:
+        """A fresh builder for assembling an interleaved access trace."""
+        return TraceBuilder()
+
+    def replay_trace(self, trace: AccessTrace) -> None:
+        """Replay a pre-assembled trace through the memory hierarchy.
+
+        The trace carries memory events only; instruction accounting is the
+        kernel's job (via :meth:`count_batch`), because instruction counts
+        are order-independent while memory accesses are not.
+        """
+        if trace.n_accesses == 0:
+            return
+        bases = np.array(
+            [self.address_space.address(name, 0) for name in trace.structures],
+            dtype=np.int64,
+        )
+        addresses = bases[trace.struct_ids] + trace.offsets
+        self.memory.replay(trace.structures, trace.struct_ids, addresses, trace.kinds)
+
+    def load_batch(
+        self,
+        structure: str,
+        offsets,
+        dependent: bool = False,
+        count_instructions: bool = True,
+    ) -> None:
+        """Record a homogeneous batch of loads from one structure."""
+        offs = np.ascontiguousarray(offsets, dtype=np.int64)
+        if offs.size == 0:
+            return
+        if count_instructions:
+            self.instructions.add(InstructionClass.LOAD, offs.size)
+        kind = KIND_DEPENDENT if dependent else KIND_STREAM
+        base = self.address_space.address(structure, 0)
+        self.memory.replay(
+            (structure,),
+            np.zeros(offs.size, dtype=np.int64),
+            base + offs,
+            np.full(offs.size, kind, dtype=np.uint8),
+        )
+
+    def store_batch(self, structure: str, offsets, count_instructions: bool = True) -> None:
+        """Record a homogeneous batch of stores to one structure."""
+        offs = np.ascontiguousarray(offsets, dtype=np.int64)
+        if offs.size == 0:
+            return
+        if count_instructions:
+            self.instructions.add(InstructionClass.STORE, offs.size)
+        base = self.address_space.address(structure, 0)
+        self.memory.replay(
+            (structure,),
+            np.zeros(offs.size, dtype=np.int64),
+            base + offs,
+            np.full(offs.size, KIND_WRITE, dtype=np.uint8),
+        )
+
+    # -- legacy per-element API (thin shim over the batched engine) ----- #
     def load(
         self,
         structure: str,
@@ -191,9 +277,14 @@ class KernelInstrumentation:
         """Record a load from ``structure`` at ``offset_bytes``."""
         if count_instruction:
             self.instructions.add(InstructionClass.LOAD)
-        access_type = AccessType.DEPENDENT if dependent else AccessType.STREAMING
+        kind = KIND_DEPENDENT if dependent else KIND_STREAM
         address = self.address_space.address(structure, offset_bytes)
-        self.memory.access(MemoryRequest(structure, address, access_type, size_bytes))
+        self.memory.replay(
+            (structure,),
+            np.zeros(1, dtype=np.int64),
+            np.array([address], dtype=np.int64),
+            np.array([kind], dtype=np.uint8),
+        )
 
     def store(
         self,
@@ -206,7 +297,12 @@ class KernelInstrumentation:
         if count_instruction:
             self.instructions.add(InstructionClass.STORE)
         address = self.address_space.address(structure, offset_bytes)
-        self.memory.access(MemoryRequest(structure, address, AccessType.WRITE, size_bytes))
+        self.memory.replay(
+            (structure,),
+            np.zeros(1, dtype=np.int64),
+            np.array([address], dtype=np.int64),
+            np.array([KIND_WRITE], dtype=np.uint8),
+        )
 
     def note(self, key: str, value: float) -> None:
         """Attach free-form metadata to the final report."""
@@ -216,11 +312,20 @@ class KernelInstrumentation:
     # Reporting
     # ------------------------------------------------------------------ #
     def issue_cycles(self) -> float:
-        """Cycles spent issuing instructions, ignoring memory stalls."""
+        """Cycles spent issuing instructions, ignoring memory stalls.
+
+        The weighted sum iterates classes in :class:`InstructionClass`
+        definition order so the result depends only on the final counts, not
+        on the order they were recorded in (batched and per-element kernels
+        record in different orders but must report identical cycles).
+        """
         costs = self.config.costs.as_dict()
+        counts = self.instructions.counts
         weighted = 0.0
-        for name, count in self.instructions.counts.items():
-            weighted += costs.get(name, 1.0) * count
+        for cls in InstructionClass:
+            count = counts.get(cls.value, 0)
+            if count:
+                weighted += costs.get(cls.value, 1.0) * count
         return weighted / self.config.cpu.issue_width
 
     def report(self) -> CostReport:

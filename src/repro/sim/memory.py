@@ -1,22 +1,37 @@
 """Memory hierarchy model: L1/L2/L3 caches plus DRAM with a stride prefetcher.
 
-Kernels emit :class:`MemoryRequest` objects tagged with the data structure
-they belong to and whether the access is *dependent* (its address was produced
-by a preceding load, i.e. pointer chasing) or *streaming*. The hierarchy
-replays the requests, classifies each as a hit at some level or a DRAM access,
-and accumulates stall cycles. Dependent misses are charged their full latency;
-independent misses are overlapped by the CPU's memory-level parallelism.
+Kernels emit access *traces* tagged with the data structure each access
+belongs to and whether it is *dependent* (its address was produced by a
+preceding load, i.e. pointer chasing) or *streaming*. The hierarchy replays
+the trace, classifies each access as a hit at some level or a DRAM access,
+and accumulates stall cycles. Dependent misses are charged their full
+latency; independent misses are overlapped by the CPU's memory-level
+parallelism.
+
+Two entry points share one engine:
+
+* :meth:`MemoryHierarchy.replay` — the batched path: whole trace segments
+  (columnar numpy arrays, see :mod:`repro.sim.trace`) are replayed with
+  block addresses, per-level set indices and streaming-run coalescing
+  computed array-at-a-time; only the per-*cache-line* state transitions run
+  in Python.
+* :meth:`MemoryHierarchy.access` — the legacy per-element API, kept as a
+  thin shim that replays a one-access trace. Results are bit-identical to
+  the batched path by construction.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.sim.cache import Cache, CacheStats
 from repro.sim.config import SimConfig
-from repro.sim.prefetcher import StridePrefetcher
+from repro.sim.prefetcher import StridePrefetcher, _StreamState
+from repro.sim.trace import KIND_DEPENDENT, KIND_STREAM, KIND_WRITE
 
 
 class AccessType(enum.Enum):
@@ -41,6 +56,17 @@ class MemoryRequest:
     address: int
     access_type: AccessType = AccessType.STREAMING
     size_bytes: int = 8
+
+
+#: Trace-kind code for each access type (see :mod:`repro.sim.trace`).
+_KIND_OF_ACCESS_TYPE = {
+    AccessType.STREAMING: KIND_STREAM,
+    AccessType.DEPENDENT: KIND_DEPENDENT,
+    AccessType.WRITE: KIND_WRITE,
+}
+
+#: Shared one-element structure-id column for the per-request shim.
+_SINGLE_ID = np.zeros(1, dtype=np.int64)
 
 
 @dataclass
@@ -78,48 +104,257 @@ class MemoryHierarchy:
     # Access handling
     # ------------------------------------------------------------------ #
     def access(self, request: MemoryRequest) -> float:
-        """Replay one request; return the stall cycles it contributes."""
-        self.stats.requests += 1
-        self.stats.per_structure_accesses[request.structure] = (
-            self.stats.per_structure_accesses.get(request.structure, 0) + 1
+        """Replay one request; return the stall cycles it contributes.
+
+        Thin per-element shim over :meth:`replay` (the batched engine).
+        """
+        kind = _KIND_OF_ACCESS_TYPE[request.access_type]
+        return self.replay(
+            (request.structure,),
+            _SINGLE_ID,
+            np.array([request.address], dtype=np.int64),
+            np.array([kind], dtype=np.uint8),
         )
 
-        latency = self._lookup_hierarchy(request)
+    def replay(
+        self,
+        structures: Sequence[str],
+        struct_ids: np.ndarray,
+        addresses: np.ndarray,
+        kinds: np.ndarray,
+    ) -> float:
+        """Replay an ordered access trace; return the added stall cycles.
 
-        if request.access_type is AccessType.WRITE:
-            # Stores retire through the store buffer and do not stall the core.
-            stall = 0.0
-        elif request.access_type is AccessType.DEPENDENT:
-            stall = float(latency) * self.config.cpu.dependent_miss_exposure
-            self.stats.dependent_stall_cycles += stall
+        ``structures`` maps the ids in ``struct_ids`` to structure names;
+        ``addresses`` are absolute byte addresses and ``kinds`` the uint8
+        codes from :mod:`repro.sim.trace`. Block addresses and per-level set
+        indices are computed array-at-a-time, and runs of consecutive
+        accesses to the same (structure, line, kind) are coalesced: the run
+        head walks the hierarchy, the repeats are credited as guaranteed L1
+        hits in bulk (the head just made the line MRU, and a stride-0 repeat
+        leaves the prefetcher untouched). The per-access statistics are
+        bit-identical to replaying each access through :meth:`access`.
+        """
+        n = int(addresses.size)
+        if n == 0:
+            return 0.0
+        stats = self.stats
+        stats.requests += n
+        counts = np.bincount(struct_ids, minlength=len(structures))
+        per_structure = stats.per_structure_accesses
+        for sid in np.flatnonzero(counts):
+            name = structures[sid]
+            per_structure[name] = per_structure.get(name, 0) + int(counts[sid])
+
+        l1c, l2c, l3c = self.l1.config, self.l2.config, self.l3.config
+        line_bytes = l1c.line_bytes
+        if not (
+            l2c.line_bytes == line_bytes
+            and l3c.line_bytes == line_bytes
+            and self.prefetcher.line_bytes == line_bytes
+        ):
+            # Mixed line granularities cannot share one line id per access;
+            # fall back to the uncoalesced sequential walk.
+            return self._replay_sequential(structures, struct_ids, addresses, kinds)
+
+        lines = addresses // line_bytes
+        if n == 1:
+            head_positions = np.zeros(1, dtype=np.int64)
         else:
-            # Independent/streaming misses overlap with each other.
-            stall = float(latency) / self.config.cpu.memory_level_parallelism
-        self.stats.stall_cycles += stall
-        return stall
+            same = (
+                (struct_ids[1:] == struct_ids[:-1])
+                & (lines[1:] == lines[:-1])
+                & (kinds[1:] == kinds[:-1])
+            )
+            head_positions = np.flatnonzero(np.concatenate(([True], ~same)))
+        repeats = n - head_positions.size
+        if repeats:
+            self.l1.stats.accesses += repeats
+            self.l1.stats.hits += repeats
 
-    def _lookup_hierarchy(self, request: MemoryRequest) -> int:
-        """Walk L1 -> L2 -> L3 -> DRAM and return the latency beyond L1-hit."""
-        address = request.address
-        covered = False
-        if request.access_type is AccessType.STREAMING:
-            covered = self.prefetcher.access(request.structure, address)
+        head_lines = lines[head_positions]
+        set1 = (head_lines % l1c.n_sets).tolist()
+        set2 = (head_lines % l2c.n_sets).tolist()
+        set3 = (head_lines % l3c.n_sets).tolist()
+        head_ids = struct_ids[head_positions].tolist()
+        head_kinds = kinds[head_positions].tolist()
+        head_lines = head_lines.tolist()
 
-        if self.l1.lookup(address):
-            return 0
-        if covered:
-            # The prefetcher brought the line in ahead of time; charge only an
-            # L2-hit latency for the (timely) prefetch.
-            self.stats.prefetch_covered += 1
-            self.l2.install(address)
-            self.l3.install(address)
-            return self.config.l2.latency_cycles
-        if self.l2.lookup(address):
-            return self.config.l2.latency_cycles
-        if self.l3.lookup(address):
-            return self.config.l3.latency_cycles
-        self.stats.dram_accesses += 1
-        return self.config.dram.latency_cycles
+        # Hot loop: everything below is plain-int work on hoisted locals.
+        names = list(structures)
+        l1_sets, l2_sets, l3_sets = self.l1._sets, self.l2._sets, self.l3._sets
+        l1_assoc, l2_assoc, l3_assoc = l1c.associativity, l2c.associativity, l3c.associativity
+        l2_lat, l3_lat = l2c.latency_cycles, l3c.latency_cycles
+        dram_lat = self.config.dram.latency_cycles
+        mlp = self.config.cpu.memory_level_parallelism
+        exposure = self.config.cpu.dependent_miss_exposure
+        streams = self.prefetcher._streams
+        max_streams = self.prefetcher.max_streams
+        threshold = self.prefetcher.threshold
+        new_stream = _StreamState
+        l1_acc = l1_hit = l1_miss = l1_evi = 0
+        l2_acc = l2_hit = l2_miss = l2_evi = 0
+        l3_acc = l3_hit = l3_miss = l3_evi = 0
+        prefetch_hits = 0
+        covered_count = 0
+        dram = 0
+        running = stats.stall_cycles
+        dep_running = stats.dependent_stall_cycles
+        added = 0.0
+
+        for i in range(len(head_lines)):
+            line = head_lines[i]
+            kind = head_kinds[i]
+            covered = False
+            if kind == 0:  # streaming: consult/train the stride prefetcher
+                state = streams.get(names[head_ids[i]])
+                if state is None:
+                    if len(streams) >= max_streams:
+                        streams.pop(next(iter(streams)))
+                    streams[names[head_ids[i]]] = new_stream(last_line=line)
+                else:
+                    stride = line - state.last_line
+                    if stride == 0:
+                        pass
+                    elif state.stride == stride and state.confirmations >= threshold:
+                        covered = True
+                        prefetch_hits += 1
+                    elif state.stride == stride:
+                        state.confirmations += 1
+                    else:
+                        state.stride = stride
+                        state.confirmations = 1
+                    state.last_line = line
+            l1_acc += 1
+            ways = l1_sets[set1[i]]
+            if line in ways:
+                ways.remove(line)
+                ways.append(line)
+                l1_hit += 1
+                continue  # zero latency: the 0.0 stall is an exact no-op
+            l1_miss += 1
+            if len(ways) >= l1_assoc:
+                ways.pop(0)
+                l1_evi += 1
+            ways.append(line)
+            if covered:
+                covered_count += 1
+                ways = l2_sets[set2[i]]
+                if line not in ways:
+                    if len(ways) >= l2_assoc:
+                        ways.pop(0)
+                        l2_evi += 1
+                    ways.append(line)
+                ways = l3_sets[set3[i]]
+                if line not in ways:
+                    if len(ways) >= l3_assoc:
+                        ways.pop(0)
+                        l3_evi += 1
+                    ways.append(line)
+                latency = l2_lat
+            else:
+                l2_acc += 1
+                ways = l2_sets[set2[i]]
+                if line in ways:
+                    ways.remove(line)
+                    ways.append(line)
+                    l2_hit += 1
+                    latency = l2_lat
+                else:
+                    l2_miss += 1
+                    if len(ways) >= l2_assoc:
+                        ways.pop(0)
+                        l2_evi += 1
+                    ways.append(line)
+                    l3_acc += 1
+                    ways = l3_sets[set3[i]]
+                    if line in ways:
+                        ways.remove(line)
+                        ways.append(line)
+                        l3_hit += 1
+                        latency = l3_lat
+                    else:
+                        l3_miss += 1
+                        if len(ways) >= l3_assoc:
+                            ways.pop(0)
+                            l3_evi += 1
+                        ways.append(line)
+                        dram += 1
+                        latency = dram_lat
+            if kind == 2:
+                continue  # stores retire through the store buffer
+            if kind == 1:
+                stall = float(latency) * exposure
+                dep_running += stall
+            else:
+                stall = float(latency) / mlp
+            running += stall
+            added += stall
+
+        l1s, l2s, l3s = self.l1.stats, self.l2.stats, self.l3.stats
+        l1s.accesses += l1_acc
+        l1s.hits += l1_hit
+        l1s.misses += l1_miss
+        l1s.evictions += l1_evi
+        l2s.accesses += l2_acc
+        l2s.hits += l2_hit
+        l2s.misses += l2_miss
+        l2s.evictions += l2_evi
+        l3s.accesses += l3_acc
+        l3s.hits += l3_hit
+        l3s.misses += l3_miss
+        l3s.evictions += l3_evi
+        self.prefetcher.covered_accesses += prefetch_hits
+        self.prefetcher.issued_prefetches += prefetch_hits
+        stats.prefetch_covered += covered_count
+        stats.dram_accesses += dram
+        stats.stall_cycles = running
+        stats.dependent_stall_cycles = dep_running
+        return added
+
+    def _replay_sequential(
+        self,
+        structures: Sequence[str],
+        struct_ids: np.ndarray,
+        addresses: np.ndarray,
+        kinds: np.ndarray,
+    ) -> float:
+        """Uncoalesced walk for hierarchies with mixed cache-line sizes."""
+        added = 0.0
+        ids = struct_ids.tolist()
+        addrs = addresses.tolist()
+        kind_list = kinds.tolist()
+        for i in range(len(addrs)):
+            structure = structures[ids[i]]
+            address = addrs[i]
+            kind = kind_list[i]
+            covered = False
+            if kind == 0:
+                covered = self.prefetcher.access(structure, address)
+            if self.l1.lookup(address):
+                latency = 0
+            elif covered:
+                self.stats.prefetch_covered += 1
+                self.l2.install(address)
+                self.l3.install(address)
+                latency = self.config.l2.latency_cycles
+            elif self.l2.lookup(address):
+                latency = self.config.l2.latency_cycles
+            elif self.l3.lookup(address):
+                latency = self.config.l3.latency_cycles
+            else:
+                self.stats.dram_accesses += 1
+                latency = self.config.dram.latency_cycles
+            if kind == 2:
+                stall = 0.0
+            elif kind == 1:
+                stall = float(latency) * self.config.cpu.dependent_miss_exposure
+                self.stats.dependent_stall_cycles += stall
+            else:
+                stall = float(latency) / self.config.cpu.memory_level_parallelism
+            self.stats.stall_cycles += stall
+            added += stall
+        return added
 
     def access_many(self, requests: Iterable[MemoryRequest]) -> float:
         """Replay a sequence of requests; return the accumulated stall cycles."""

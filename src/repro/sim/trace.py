@@ -1,0 +1,195 @@
+"""Columnar access traces for the batched instrumentation pipeline.
+
+The batched trace engine replaces one :class:`~repro.sim.memory.MemoryRequest`
+object per access with *trace segments*: parallel numpy arrays of
+``(structure id, byte offset, access kind)``. Kernels assemble whole segments
+vectorized (interleaving the per-element access pattern with array arithmetic
+instead of Python loops) and hand them to
+:meth:`repro.sim.instrumentation.KernelInstrumentation.replay_trace`, which
+resolves addresses in bulk and replays the segment through the memory
+hierarchy (see :meth:`repro.sim.memory.MemoryHierarchy.replay`).
+
+Access kinds mirror :class:`repro.sim.memory.AccessType` as small integers so
+whole trace columns fit in a uint8 array:
+
+* :data:`KIND_STREAM` — streaming load (prefetchable, misses overlap),
+* :data:`KIND_DEPENDENT` — pointer-chasing load (miss latency exposed),
+* :data:`KIND_WRITE` — store (buffered, never stalls the core).
+
+The replay preserves the *exact* sequential semantics of the per-element API:
+a trace replays to bit-identical statistics as the equivalent sequence of
+``load``/``store`` calls (the equivalence suite in
+``tests/test_trace_equivalence.py`` asserts this for every kernel x scheme).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Access kinds (uint8 codes stored in trace columns).
+KIND_STREAM = 0
+KIND_DEPENDENT = 1
+KIND_WRITE = 2
+
+
+class AccessTrace:
+    """An ordered sequence of memory accesses in columnar form.
+
+    ``structures`` maps structure ids to registered structure names;
+    ``struct_ids``/``offsets``/``kinds`` are equal-length arrays giving, per
+    access, the structure it belongs to, the byte offset inside it, and the
+    access kind. Order is program order: replay walks the columns front to
+    back.
+    """
+
+    __slots__ = ("structures", "struct_ids", "offsets", "kinds")
+
+    def __init__(
+        self,
+        structures: Sequence[str],
+        struct_ids: np.ndarray,
+        offsets: np.ndarray,
+        kinds: np.ndarray,
+    ) -> None:
+        self.structures = list(structures)
+        self.struct_ids = np.ascontiguousarray(struct_ids, dtype=np.int64)
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+        if not (self.struct_ids.size == self.offsets.size == self.kinds.size):
+            raise ValueError("trace columns must have equal lengths")
+        if self.struct_ids.size and (
+            self.struct_ids.min() < 0 or self.struct_ids.max() >= len(self.structures)
+        ):
+            raise ValueError("trace references an unknown structure id")
+
+    @property
+    def n_accesses(self) -> int:
+        """Number of accesses in the trace."""
+        return int(self.struct_ids.size)
+
+    def __len__(self) -> int:
+        return self.n_accesses
+
+
+class TraceBuilder:
+    """Accumulates trace segments and finalizes them into one `AccessTrace`.
+
+    Builders are append-only: segments are recorded as chunks of column
+    arrays and concatenated once at :meth:`build` time, so emitting a segment
+    is O(1) numpy bookkeeping regardless of how the kernel interleaves its
+    data structures.
+    """
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._ids: dict = {}
+        self._chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+    def structure_id(self, name: str) -> int:
+        """Return (allocating if needed) the id of structure ``name``."""
+        sid = self._ids.get(name)
+        if sid is None:
+            sid = len(self._names)
+            self._ids[name] = sid
+            self._names.append(name)
+        return sid
+
+    def add(self, structure: str, offsets, kind: int) -> None:
+        """Append a homogeneous run of accesses to one structure."""
+        offs = np.ascontiguousarray(offsets, dtype=np.int64)
+        if offs.size == 0:
+            return
+        sid = self.structure_id(structure)
+        self._chunks.append(
+            (
+                np.full(offs.size, sid, dtype=np.int64),
+                offs,
+                np.full(offs.size, kind, dtype=np.uint8),
+            )
+        )
+
+    def add_one(self, structure: str, offset: int, kind: int) -> None:
+        """Append a single access."""
+        sid = self.structure_id(structure)
+        self._chunks.append(
+            (
+                np.array([sid], dtype=np.int64),
+                np.array([offset], dtype=np.int64),
+                np.array([kind], dtype=np.uint8),
+            )
+        )
+
+    def add_columns(self, struct_ids, offsets, kinds) -> None:
+        """Append a pre-assembled interleaved segment (ids resolved by this builder)."""
+        ids = np.ascontiguousarray(struct_ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        self._chunks.append(
+            (
+                ids,
+                np.ascontiguousarray(offsets, dtype=np.int64),
+                np.ascontiguousarray(kinds, dtype=np.uint8),
+            )
+        )
+
+    def add_interleaved(self, columns) -> None:
+        """Append a round-robin interleave of equal-length homogeneous columns.
+
+        ``columns`` is a sequence of ``(structure, offsets, kind)`` tuples; the
+        resulting segment is ``col0[0], col1[0], ..., col0[1], col1[1], ...``,
+        i.e. the access pattern of a loop body touching each structure once
+        per iteration.
+        """
+        offs = [np.ascontiguousarray(c[1], dtype=np.int64) for c in columns]
+        if not offs or offs[0].size == 0:
+            return
+        n = offs[0].size
+        width = len(columns)
+        ids = np.empty(n * width, dtype=np.int64)
+        offsets = np.empty(n * width, dtype=np.int64)
+        kinds = np.empty(n * width, dtype=np.uint8)
+        for slot, (structure, _, kind) in enumerate(columns):
+            ids[slot::width] = self.structure_id(structure)
+            offsets[slot::width] = offs[slot]
+            kinds[slot::width] = kind
+        self._chunks.append((ids, offsets, kinds))
+
+    @property
+    def n_accesses(self) -> int:
+        """Accesses accumulated so far."""
+        return sum(chunk[0].size for chunk in self._chunks)
+
+    def build(self) -> AccessTrace:
+        """Concatenate all chunks into a single immutable trace."""
+        if not self._chunks:
+            empty = np.zeros(0, dtype=np.int64)
+            return AccessTrace(self._names, empty, empty, np.zeros(0, dtype=np.uint8))
+        ids = np.concatenate([c[0] for c in self._chunks])
+        offsets = np.concatenate([c[1] for c in self._chunks])
+        kinds = np.concatenate([c[2] for c in self._chunks])
+        return AccessTrace(self._names, ids, offsets, kinds)
+
+
+# --------------------------------------------------------------------------- #
+# Array-assembly helpers shared by the batched kernels
+# --------------------------------------------------------------------------- #
+def exclusive_cumsum(lengths: np.ndarray) -> np.ndarray:
+    """``[0, l0, l0+l1, ...]`` without the grand total (same length as input)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    out = np.zeros(lengths.size, dtype=np.int64)
+    if lengths.size > 1:
+        np.cumsum(lengths[:-1], out=out[1:])
+    return out
+
+
+def grouped_arange(lengths: np.ndarray) -> np.ndarray:
+    """``[0..l0), [0..l1), ...`` concatenated: a per-group restarting arange."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = exclusive_cumsum(lengths)
+    keep = lengths > 0
+    return np.arange(total, dtype=np.int64) - np.repeat(starts[keep], lengths[keep])
