@@ -28,6 +28,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.eval.runner import SweepRunner, kernel_job, suite_source  # noqa: E402
 from repro.kernels.schemes import SCHEMES, run_spmv  # noqa: E402
 from repro.sim.config import SimConfig  # noqa: E402
 from repro.workloads.synthetic import uniform_random_matrix  # noqa: E402
@@ -61,12 +62,50 @@ def run_sweep(dim: int, density: float, seed: int, cache_scale: int) -> dict:
     }
 
 
+def run_sweep_engine(processes: int, cache_scale: int, dim: int = 512) -> dict:
+    """Time one fig10-style job matrix serially and on a worker pool.
+
+    Uses the sweep engine with the cache disabled so both passes execute
+    every job; records wall-clock for each mode so the serial/parallel
+    trajectory is tracked alongside the kernel-seconds record. With few,
+    coarse jobs the pool can lose to fork overhead on small dims — the
+    record is a measurement, not an assertion.
+    """
+    sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
+    keys = ("M2", "M8", "M13")
+    jobs = [
+        kernel_job("spmv", scheme, suite_source(key, dim), sim)
+        for key in keys
+        for scheme in SCHEMES
+    ]
+    timings = {}
+    for label, workers in (("serial", 1), ("parallel", processes)):
+        runner = SweepRunner(processes=workers)
+        start = time.perf_counter()
+        runner.run(jobs)
+        timings[f"{label}_seconds"] = round(time.perf_counter() - start, 4)
+        print(f"  sweep[{label}:{workers}p] {timings[f'{label}_seconds']:8.3f}s", flush=True)
+    return {
+        "jobs": len(jobs),
+        "dim": dim,
+        "matrices": list(keys),
+        "processes": processes,
+        **timings,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dim", type=int, default=2048, help="matrix dimension (square)")
     parser.add_argument("--density", type=float, default=0.01, help="non-zero density")
     parser.add_argument("--seed", type=int, default=3, help="matrix generator seed")
     parser.add_argument("--cache-scale", type=int, default=16, help="SimConfig.scaled factor")
+    parser.add_argument(
+        "--processes", type=int, default=2, help="worker count for the sweep-engine pass"
+    )
+    parser.add_argument(
+        "--sweep-dim", type=int, default=512, help="matrix dimension of the sweep-engine pass"
+    )
     parser.add_argument(
         "--output",
         type=Path,
@@ -77,6 +116,8 @@ def main(argv=None) -> int:
 
     print(f"SpMV smoke sweep: {args.dim}x{args.dim}, density {args.density}")
     payload = run_sweep(args.dim, args.density, args.seed, args.cache_scale)
+    print(f"Sweep-engine pass: {args.sweep_dim} dim, {args.processes} processes")
+    payload["sweep_engine"] = run_sweep_engine(args.processes, args.cache_scale, args.sweep_dim)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"total {payload['total_kernel_seconds']}s -> {args.output}")
     return 0

@@ -11,20 +11,63 @@ Regenerate Figure 10/11 (SpMV speedup and instruction counts)::
 
     smash-repro run figure10
 
+Run one figure on four worker processes, restricted to two matrices, and
+save the raw result::
+
+    smash-repro run figure10 --processes 4 --matrices M2,M8 --output fig10.json
+
 Run every experiment at reduced size (a quick smoke test)::
 
     smash-repro all --quick
+
+Kernel results are memoized in a content-keyed on-disk cache
+(``.smash-cache/`` by default), so repeated invocations only execute jobs
+whose configuration changed; pass ``--no-cache`` to disable it. The default
+worker count can also be set via the ``SMASH_REPRO_PROCESSES`` environment
+variable.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
+import pathlib
 import sys
 from typing import List, Optional
 
-from repro.eval.figures import get_experiment, list_experiments
+from repro.eval.figures import Experiment, get_experiment, list_experiments
 from repro.eval.reporting import render_result
+from repro.eval.runner import DEFAULT_CACHE_DIR, PROCESSES_ENV_VAR, SweepRunner
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"worker processes for kernel jobs (default: ${PROCESSES_ENV_VAR} or 1 = serial)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="also write the raw result as JSON to FILE",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=pathlib.Path(DEFAULT_CACHE_DIR),
+        metavar="DIR",
+        help=f"report cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk report cache for this invocation",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,11 +84,64 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", help="experiment id, e.g. figure10, table3, area")
     run_parser.add_argument("--quick", action="store_true", help="use reduced problem sizes")
     run_parser.add_argument("--json", action="store_true", help="print the raw result as JSON")
+    run_parser.add_argument(
+        "--matrices",
+        type=str,
+        default=None,
+        metavar="M1,M2,...",
+        help="restrict the experiment to these workload ids (matrix ids; graph ids for figure18)",
+    )
+    run_parser.add_argument(
+        "--schemes",
+        type=str,
+        default=None,
+        metavar="S1,S2,...",
+        help="restrict a scheme sweep to these schemes (must include taco_csr)",
+    )
+    _add_runner_arguments(run_parser)
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--quick", action="store_true", help="use reduced problem sizes")
     all_parser.add_argument("--json", action="store_true", help="print raw results as JSON")
+    _add_runner_arguments(all_parser)
     return parser
+
+
+def _build_runner(args: argparse.Namespace) -> SweepRunner:
+    cache_dir = None if args.no_cache else args.cache_dir
+    return SweepRunner(processes=args.processes, cache_dir=cache_dir)
+
+
+def _driver_kwargs(experiment: Experiment, requested: dict) -> dict:
+    """Drop kwargs the experiment's driver does not accept.
+
+    Tables and structural figures take no runner/keys arguments; silently
+    filtering lets one ``all`` invocation thread the shared runner and any
+    selection flags through every driver that understands them.
+    """
+    parameters = inspect.signature(experiment.driver).parameters
+    if any(p.kind == p.VAR_KEYWORD for p in parameters.values()):
+        return dict(requested)
+    kwargs = {k: v for k, v in requested.items() if k in parameters}
+    # The runner is threaded through internally; only warn about options the
+    # user asked for explicitly.
+    dropped = sorted(set(requested) - set(kwargs) - {"runner"})
+    if dropped:
+        print(
+            f"[{experiment.identifier}] ignoring inapplicable options: {', '.join(dropped)}",
+            file=sys.stderr,
+        )
+    return kwargs
+
+
+def _report_stats(experiment: Experiment, runner: SweepRunner) -> None:
+    if runner.stats.submitted:
+        print(f"[{experiment.identifier}] jobs: {runner.stats.describe()}", file=sys.stderr)
+
+
+def _write_output(payload, path: Optional[pathlib.Path]) -> None:
+    if path is not None:
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -64,20 +160,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         except KeyError as error:
             print(error, file=sys.stderr)
             return 2
-        kwargs = experiment.quick_kwargs if args.quick else {}
-        result = experiment.driver(**kwargs)
+        runner = _build_runner(args)
+        kwargs = dict(experiment.quick_kwargs) if args.quick else {}
+        if args.matrices:
+            kwargs["keys"] = tuple(key.strip() for key in args.matrices.split(",") if key.strip())
+        if args.schemes:
+            kwargs["schemes"] = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+        kwargs["runner"] = runner
+        try:
+            result = experiment.driver(**_driver_kwargs(experiment, kwargs))
+        except (KeyError, ValueError) as error:
+            # Bad --matrices / --schemes selections surface as KeyError
+            # (unknown workload id) or ValueError (e.g. sweep without the
+            # taco_csr baseline) from the driver.
+            message = error.args[0] if error.args else error
+            print(f"{experiment.identifier}: {message}", file=sys.stderr)
+            return 2
+        _report_stats(experiment, runner)
+        _write_output(result, args.output)
         print(json.dumps(result, indent=2, default=str) if args.json else render_result(result))
         return 0
 
     if args.command == "all":
+        runner = _build_runner(args)
         results = {}
         for experiment in list_experiments():
-            kwargs = experiment.quick_kwargs if args.quick else {}
-            result = experiment.driver(**kwargs)
+            kwargs = dict(experiment.quick_kwargs) if args.quick else {}
+            kwargs["runner"] = runner
+            result = experiment.driver(**_driver_kwargs(experiment, kwargs))
             results[experiment.identifier] = result
             if not args.json:
                 print(render_result(result))
                 print()
+        if runner.stats.submitted:
+            print(f"[all] jobs: {runner.stats.describe()}", file=sys.stderr)
+        _write_output(results, args.output)
         if args.json:
             print(json.dumps(results, indent=2, default=str))
         return 0

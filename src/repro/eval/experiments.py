@@ -5,10 +5,19 @@ printable by :mod:`repro.eval.reporting`) containing the rows/series of the
 corresponding table or figure. All drivers accept sizing knobs (matrix ids,
 scaled dimension, iteration counts) so the same code can run as a quick test
 or as the full benchmark sweep; the defaults are the benchmark settings.
+
+Since the sweep-engine refactor the drivers are *pure post-processing*: each
+one enumerates its (kernel, scheme, workload, configuration) job matrix,
+submits it to a :class:`~repro.eval.runner.SweepRunner` (serial by default;
+pass ``runner=SweepRunner(processes=N, cache_dir=...)`` for parallel and/or
+incremental execution) and assembles the figure from the returned reports.
+Identical jobs — e.g. the ``taco_csr`` baselines shared between figures —
+are deduplicated by the runner and memoized on disk when a cache is enabled.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -17,16 +26,21 @@ from repro.core.config import SMASHConfig
 from repro.core.conversion import csr_to_smash, estimate_conversion_cost, smash_to_csr
 from repro.core.smash_matrix import SMASHMatrix
 from repro.eval.comparison import arithmetic_mean, geometric_mean
+from repro.eval.runner import (
+    SweepRunner,
+    app_job,
+    graph_source,
+    kernel_job,
+    locality_source,
+    suite_source,
+)
 from repro.formats.convert import coo_to_csr
-from repro.graphs.betweenness import betweenness_centrality
 from repro.graphs.generators import GRAPH_SPECS, generate_graph, get_graph_spec
 from repro.graphs.pagerank import pagerank
 from repro.hardware.area import AreaModel
 from repro.hardware.bmu import BitmapManagementUnit
-from repro.kernels.schemes import run_spadd, run_spmm, run_spmv
 from repro.sim.config import RealSystemConfig, SimConfig
-from repro.workloads.locality import matrix_with_locality
-from repro.workloads.suite import SUITE_SPECS, generate_matrix, get_spec
+from repro.workloads.suite import SUITE_SPECS, generate_matrix, get_spec, stable_seed
 
 #: Default matrix ids (the full Table 3 suite).
 ALL_MATRICES = tuple(spec.key for spec in SUITE_SPECS)
@@ -36,11 +50,17 @@ ALL_GRAPHS = tuple(spec.key for spec in GRAPH_SPECS)
 MAIN_SCHEMES = ("taco_csr", "taco_bcsr", "smash_sw", "smash_hw")
 #: Schemes shown in the software-only comparison (Figure 9).
 SOFTWARE_SCHEMES = ("taco_csr", "taco_bcsr", "mkl_csr", "smash_sw")
-#: Default scaled dimensions per kernel. ``None`` for SpMV means "use each
-#: matrix spec's own scaled dimension" (sparser matrices get larger dims so
-#: they keep a meaningful number of non-zeros); SpMM's O(rows*cols) outer
-#: loop needs a fixed smaller matrix to stay fast in pure Python.
-DEFAULT_SPMV_DIM = None
+#: Schemes with a sparse-addition kernel (see ``repro.kernels.spadd``): the
+#: motivation-figure CSR variants plus the SMASH hardware scheme.
+SPADD_SCHEMES = ("taco_csr", "mkl_csr", "ideal_csr", "smash_hw")
+#: Default scaled dimension for SpMV-shaped experiments. ``None`` is a
+#: sentinel meaning "use each matrix spec's own ``scaled_dim``" (sparser
+#: matrices get larger dims so they keep a meaningful number of non-zeros);
+#: every parameter annotated ``Optional[int]`` that defaults to this constant
+#: inherits the sentinel meaning. SpMM's O(rows*cols) outer loop needs a
+#: fixed smaller matrix to stay fast in pure Python, so its default is a
+#: concrete dimension.
+DEFAULT_SPMV_DIM: Optional[int] = None
 DEFAULT_SPMM_DIM = 96
 DEFAULT_GRAPH_VERTICES = 192
 #: Cache scaling factor applied to the Table 2 hierarchy for the scaled-down
@@ -56,36 +76,61 @@ def _suite(keys: Optional[Iterable[str]]) -> List:
     return [get_spec(key) for key in (keys or ALL_MATRICES)]
 
 
+def _runner(runner: Optional[SweepRunner]) -> SweepRunner:
+    """The runner to submit jobs through (default: serial, uncached)."""
+    return runner if runner is not None else SweepRunner()
+
+
+@functools.lru_cache(maxsize=None)
+def _suite_nnz(key: str, dim: Optional[int]) -> int:
+    """Non-zero count of one suite analogue, memoized per (matrix, dim).
+
+    The drivers need it only for the skip-empty-workloads guard; memoizing
+    avoids regenerating the same (deterministic) matrix once per kernel and
+    per driver in the enumeration loops.
+    """
+    return generate_matrix(key, dim=dim).nnz
+
+
 # --------------------------------------------------------------------------- #
 # Figure 3 — motivation: ideal indexing vs CSR
 # --------------------------------------------------------------------------- #
 def experiment_fig3(
     keys: Optional[Sequence[str]] = None,
-    spmv_dim: int = DEFAULT_SPMV_DIM,
+    spmv_dim: Optional[int] = DEFAULT_SPMV_DIM,
     spmm_dim: int = DEFAULT_SPMM_DIM,
     cache_scale: int = DEFAULT_CACHE_SCALE,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict:
     """Speedup and normalized instructions of Ideal CSR over CSR (Figure 3)."""
+    engine = _runner(runner)
     sim = _sim_config(cache_scale)
     kernels = {"spadd": spmv_dim, "spmv": spmv_dim, "spmm": spmm_dim}
-    runners = {"spadd": run_spadd, "spmv": run_spmv, "spmm": run_spmm}
-    results: Dict[str, Dict[str, float]] = {}
+    jobs, slots = [], []
     for kernel, dim in kernels.items():
-        speedups = []
-        instruction_ratios = []
         for spec in _suite(keys):
-            coo = generate_matrix(spec, dim=dim)
-            if coo.nnz == 0:
+            if _suite_nnz(spec.key, dim) == 0:
                 continue
-            run = runners[kernel]
-            baseline = run("taco_csr", coo, sim_config=sim)
-            ideal = run("ideal_csr", coo, sim_config=sim)
-            speedups.append(ideal.report.speedup_over(baseline.report))
-            instruction_ratios.append(ideal.report.instruction_ratio_over(baseline.report))
-        results[kernel] = {
-            "ideal_speedup": arithmetic_mean(speedups),
-            "ideal_normalized_instructions": arithmetic_mean(instruction_ratios),
+            source = suite_source(spec.key, dim)
+            jobs.append(kernel_job(kernel, "taco_csr", source, sim))
+            jobs.append(kernel_job(kernel, "ideal_csr", source, sim))
+            slots.append(kernel)
+    reports = engine.run(jobs)
+    per_kernel: Dict[str, Dict[str, List[float]]] = {
+        kernel: {"speedups": [], "instruction_ratios": []} for kernel in kernels
+    }
+    for index, kernel in enumerate(slots):
+        baseline = reports[2 * index]
+        ideal = reports[2 * index + 1]
+        per_kernel[kernel]["speedups"].append(ideal.speedup_over(baseline))
+        per_kernel[kernel]["instruction_ratios"].append(ideal.instruction_ratio_over(baseline))
+    results = {
+        kernel: {
+            "ideal_speedup": arithmetic_mean(series["speedups"]),
+            "ideal_normalized_instructions": arithmetic_mean(series["instruction_ratios"]),
         }
+        for kernel, series in per_kernel.items()
+    }
     return {
         "figure": "3",
         "description": "Ideal indexing vs CSR (speedup and normalized instructions)",
@@ -165,8 +210,9 @@ def experiment_table5() -> Dict:
 # --------------------------------------------------------------------------- #
 def experiment_fig9(
     keys: Optional[Sequence[str]] = None,
-    spmv_dim: int = DEFAULT_SPMV_DIM,
+    spmv_dim: Optional[int] = DEFAULT_SPMV_DIM,
     spmm_dim: int = DEFAULT_SPMM_DIM,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict:
     """Software-only schemes normalized to TACO-CSR (Figure 9).
 
@@ -175,23 +221,35 @@ def experiment_fig9(
     counts, exactly as on the paper's Xeon where the working sets are
     cache-resident relative to its large caches.
     """
+    engine = _runner(runner)
     sim = _sim_config(cache_scale=None)
-    results: Dict[str, Dict[str, float]] = {}
-    for kernel, dim, runner in (("spmv", spmv_dim, run_spmv), ("spmm", spmm_dim, run_spmm)):
-        per_scheme: Dict[str, List[float]] = {scheme: [] for scheme in SOFTWARE_SCHEMES}
+    jobs, slots = [], []
+    for kernel, dim in (("spmv", spmv_dim), ("spmm", spmm_dim)):
         for spec in _suite(keys):
-            coo = generate_matrix(spec, dim=dim)
-            if coo.nnz == 0:
+            if _suite_nnz(spec.key, dim) == 0:
                 continue
+            source = suite_source(spec.key, dim)
             config = spec.smash_config()
-            baseline = runner("taco_csr", coo, smash_config=config, sim_config=sim)
             for scheme in SOFTWARE_SCHEMES:
-                if scheme == "taco_csr":
-                    per_scheme[scheme].append(1.0)
-                    continue
-                candidate = runner(scheme, coo, smash_config=config, sim_config=sim)
-                per_scheme[scheme].append(candidate.report.speedup_over(baseline.report))
-        results[kernel] = {scheme: geometric_mean(vals) for scheme, vals in per_scheme.items() if vals}
+                jobs.append(kernel_job(kernel, scheme, source, sim, smash_config=config))
+            slots.append(kernel)
+    reports = engine.run(jobs)
+    per_kernel: Dict[str, Dict[str, List[float]]] = {
+        kernel: {scheme: [] for scheme in SOFTWARE_SCHEMES} for kernel in ("spmv", "spmm")
+    }
+    stride = len(SOFTWARE_SCHEMES)
+    for index, kernel in enumerate(slots):
+        group = reports[stride * index : stride * (index + 1)]
+        baseline = group[SOFTWARE_SCHEMES.index("taco_csr")]
+        for scheme, report in zip(SOFTWARE_SCHEMES, group):
+            if scheme == "taco_csr":
+                per_kernel[kernel][scheme].append(1.0)
+            else:
+                per_kernel[kernel][scheme].append(report.speedup_over(baseline))
+    results = {
+        kernel: {scheme: geometric_mean(vals) for scheme, vals in per_scheme.items() if vals}
+        for kernel, per_scheme in per_kernel.items()
+    }
     return {
         "figure": "9",
         "description": "Software-only schemes on the real system (speedup vs TACO-CSR)",
@@ -204,27 +262,35 @@ def experiment_fig9(
 
 
 # --------------------------------------------------------------------------- #
-# Figures 10-13 — main SpMV / SpMM results
+# Figures 10-13 — main SpMV / SpMM / SpAdd results
 # --------------------------------------------------------------------------- #
 def _kernel_sweep(
     kernel: str,
     keys: Optional[Sequence[str]],
-    dim: int,
+    dim: Optional[int],
     cache_scale: int,
     schemes: Sequence[str] = MAIN_SCHEMES,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict:
+    """Per-matrix scheme sweep for one kernel, normalized to ``taco_csr``."""
+    if "taco_csr" not in schemes:
+        raise ValueError("the scheme sweep needs the 'taco_csr' baseline")
+    engine = _runner(runner)
     sim = _sim_config(cache_scale)
-    runner = run_spmv if kernel == "spmv" else run_spmm
-    per_matrix: Dict[str, Dict[str, Dict[str, float]]] = {}
+    jobs, specs = [], []
     for spec in _suite(keys):
-        coo = generate_matrix(spec, dim=dim)
-        if coo.nnz == 0:
+        if _suite_nnz(spec.key, dim) == 0:
             continue
+        source = suite_source(spec.key, dim)
         config = spec.smash_config()
-        reports = {}
         for scheme in schemes:
-            result = runner(scheme, coo, smash_config=config, sim_config=sim)
-            reports[scheme] = result.report
+            jobs.append(kernel_job(kernel, scheme, source, sim, smash_config=config))
+        specs.append(spec)
+    reports_list = engine.run(jobs)
+    per_matrix: Dict[str, Dict[str, Dict[str, float]]] = {}
+    stride = len(schemes)
+    for index, spec in enumerate(specs):
+        reports = dict(zip(schemes, reports_list[stride * index : stride * (index + 1)]))
         baseline = reports["taco_csr"]
         per_matrix[spec.label()] = {
             "speedup": {s: reports[s].speedup_over(baseline) for s in schemes},
@@ -247,11 +313,13 @@ def _kernel_sweep(
 
 def experiment_fig10_11(
     keys: Optional[Sequence[str]] = None,
-    dim: int = DEFAULT_SPMV_DIM,
+    dim: Optional[int] = DEFAULT_SPMV_DIM,
     cache_scale: int = DEFAULT_CACHE_SCALE,
+    schemes: Sequence[str] = MAIN_SCHEMES,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict:
     """SpMV speedup (Fig. 10) and instruction count (Fig. 11) per matrix."""
-    data = _kernel_sweep("spmv", keys, dim, cache_scale)
+    data = _kernel_sweep("spmv", keys, dim, cache_scale, schemes=schemes, runner=runner)
     data.update(
         {
             "figure": "10/11",
@@ -269,9 +337,11 @@ def experiment_fig12_13(
     keys: Optional[Sequence[str]] = None,
     dim: int = DEFAULT_SPMM_DIM,
     cache_scale: int = DEFAULT_CACHE_SCALE,
+    schemes: Sequence[str] = MAIN_SCHEMES,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict:
     """SpMM speedup (Fig. 12) and instruction count (Fig. 13) per matrix."""
-    data = _kernel_sweep("spmm", keys, dim, cache_scale)
+    data = _kernel_sweep("spmm", keys, dim, cache_scale, schemes=schemes, runner=runner)
     data.update(
         {
             "figure": "12/13",
@@ -279,6 +349,34 @@ def experiment_fig12_13(
             "paper_reference": {
                 "average_speedup": {"taco_bcsr": 1.11, "smash_sw": 1.10, "smash_hw": 1.44},
                 "average_normalized_instructions": {"smash_hw": 0.50},
+            },
+        }
+    )
+    return data
+
+
+def experiment_spadd(
+    keys: Optional[Sequence[str]] = None,
+    dim: Optional[int] = DEFAULT_SPMV_DIM,
+    cache_scale: int = DEFAULT_CACHE_SCALE,
+    schemes: Sequence[str] = SPADD_SCHEMES,
+    runner: Optional[SweepRunner] = None,
+) -> Dict:
+    """SpAdd scheme sweep in the style of the main figures.
+
+    The paper's main figures sweep SpMV and SpMM only; SpAdd appears just in
+    the motivation study (Figure 3). This extra experiment runs the same
+    per-matrix scheme sweep for sparse addition over every scheme that
+    implements it, for scenario coverage beyond the paper.
+    """
+    data = _kernel_sweep("spadd", keys, dim, cache_scale, schemes=schemes, runner=runner)
+    data.update(
+        {
+            "experiment": "spadd",
+            "description": "SpAdd speedup and executed instructions (normalized to TACO-CSR)",
+            "paper_reference": {
+                "note": "no direct figure; Figure 3 reports ideal_speedup 2.21 for SpAdd, "
+                "which upper-bounds the smash_hw column here"
             },
         }
     )
@@ -294,24 +392,33 @@ def experiment_fig14_15(
     dim: Optional[int] = None,
     ratios: Sequence[int] = (2, 4, 8),
     cache_scale: int = DEFAULT_CACHE_SCALE,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict:
     """SMASH speedup sensitivity to the Bitmap-0 compression ratio."""
     if kernel not in ("spmv", "spmm"):
         raise ValueError("kernel must be 'spmv' or 'spmm'")
+    engine = _runner(runner)
     dim = dim or (DEFAULT_SPMV_DIM if kernel == "spmv" else DEFAULT_SPMM_DIM)
     sim = _sim_config(cache_scale)
-    runner = run_spmv if kernel == "spmv" else run_spmm
-    per_matrix: Dict[str, Dict[str, float]] = {}
+    jobs, specs = [], []
     for spec in _suite(keys):
-        coo = generate_matrix(spec, dim=dim)
-        if coo.nnz == 0:
+        if _suite_nnz(spec.key, dim) == 0:
             continue
+        source = suite_source(spec.key, dim)
         base_config = spec.smash_config()
-        reports = {}
         for ratio in ratios:
-            config = base_config.with_block_size(ratio)
-            result = runner("smash_hw", coo, smash_config=config, sim_config=sim)
-            reports[ratio] = result.report
+            jobs.append(
+                kernel_job(
+                    kernel, "smash_hw", source, sim,
+                    smash_config=base_config.with_block_size(ratio),
+                )
+            )
+        specs.append(spec)
+    reports_list = engine.run(jobs)
+    per_matrix: Dict[str, Dict[str, float]] = {}
+    stride = len(ratios)
+    for index, spec in enumerate(specs):
+        reports = dict(zip(ratios, reports_list[stride * index : stride * (index + 1)]))
         baseline = reports[ratios[0]]
         per_matrix[spec.key] = {
             f"B0-{ratio}:1": reports[ratio].speedup_over(baseline) for ratio in ratios
@@ -342,32 +449,42 @@ def experiment_fig16_17(
     localities: Sequence[float] = (12.5, 25, 37.5, 50, 62.5, 75, 87.5, 100),
     block_size: int = 8,
     cache_scale: int = DEFAULT_CACHE_SCALE,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict:
-    """SMASH speedup vs locality of sparsity for selected matrices."""
+    """SMASH speedup vs locality of sparsity for selected matrices.
+
+    The per-point generator seeds derive from :func:`stable_seed` (CRC-32 of
+    the matrix key and locality), not Python's randomized ``hash()``, so the
+    figure is identical across processes regardless of ``PYTHONHASHSEED``.
+    """
     if kernel not in ("spmv", "spmm"):
         raise ValueError("kernel must be 'spmv' or 'spmm'")
+    engine = _runner(runner)
     dim = dim or (256 if kernel == "spmv" else DEFAULT_SPMM_DIM)
     sim = _sim_config(cache_scale)
-    runner = run_spmv if kernel == "spmv" else run_spmm
-    per_matrix: Dict[str, Dict[str, float]] = {}
+    jobs, slots = [], []
     for key in keys:
         spec = get_spec(key)
         nnz = max(block_size, int(round(spec.density * dim * dim)))
         config = SMASHConfig((block_size,) + spec.smash_config().ratios[1:])
-        reports = {}
         for locality in localities:
-            coo = matrix_with_locality(
-                dim, dim, nnz, block_size, locality, seed=hash((key, locality)) % (2**31)
+            # nnz >= block_size >= 1 above, so the generated matrix always
+            # holds at least one non-zero — no empty-workload guard needed.
+            source = locality_source(
+                dim, dim, nnz, block_size, locality, seed=stable_seed(key, locality)
             )
-            if coo.nnz == 0:
-                continue
-            result = runner("smash_hw", coo, smash_config=config, sim_config=sim)
-            reports[locality] = result.report
-        if not reports:
-            continue
-        baseline_key = min(reports)
-        baseline = reports[baseline_key]
-        per_matrix[f"{key}.{config.label()}"] = {
+            jobs.append(kernel_job(kernel, "smash_hw", source, sim, smash_config=config))
+            slots.append((key, config, locality))
+    reports_list = engine.run(jobs)
+    series: Dict[str, Dict[float, object]] = {}
+    labels: Dict[str, str] = {}
+    for (key, config, locality), report in zip(slots, reports_list):
+        series.setdefault(key, {})[locality] = report
+        labels[key] = f"{key}.{config.label()}"
+    per_matrix: Dict[str, Dict[str, float]] = {}
+    for key, reports in series.items():
+        baseline = reports[min(reports)]
+        per_matrix[labels[key]] = {
             f"{locality}%": reports[locality].speedup_over(baseline) for locality in reports
         }
     return {
@@ -391,33 +508,28 @@ def experiment_fig18(
     bc_sources: int = 4,
     cache_scale: int = DEFAULT_CACHE_SCALE,
     smash_config: Optional[SMASHConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict:
     """PageRank and Betweenness Centrality, SMASH vs CSR (Figure 18)."""
+    engine = _runner(runner)
     sim = _sim_config(cache_scale)
     config = smash_config or SMASHConfig((2, 4, 16))
+    apps = (("pagerank", {"iterations": pagerank_iterations}), ("bc", {"max_sources": bc_sources}))
+    graph_keys = list(keys or ALL_GRAPHS)
+    jobs = []
+    for key in graph_keys:
+        source = graph_source(key, n_vertices)
+        for app, params in apps:
+            for scheme in ("taco_csr", "smash_hw"):
+                jobs.append(app_job(app, scheme, source, sim, smash_config=config, **params))
+    reports_list = engine.run(jobs)
     per_graph: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for key in keys or ALL_GRAPHS:
-        spec = get_graph_spec(key)
-        graph = generate_graph(spec, n_vertices=n_vertices)
+    cursor = 0
+    for key in graph_keys:
         entry: Dict[str, Dict[str, float]] = {}
-        for app, runner_kwargs in (
-            ("pagerank", {"iterations": pagerank_iterations}),
-            ("bc", {"max_sources": bc_sources}),
-        ):
-            if app == "pagerank":
-                _, csr_report = pagerank(
-                    graph, "taco_csr", sim_config=sim, smash_config=config, **runner_kwargs
-                )
-                _, smash_report = pagerank(
-                    graph, "smash_hw", sim_config=sim, smash_config=config, **runner_kwargs
-                )
-            else:
-                _, csr_report = betweenness_centrality(
-                    graph, "taco_csr", sim_config=sim, smash_config=config, **runner_kwargs
-                )
-                _, smash_report = betweenness_centrality(
-                    graph, "smash_hw", sim_config=sim, smash_config=config, **runner_kwargs
-                )
+        for app, _ in apps:
+            csr_report, smash_report = reports_list[cursor], reports_list[cursor + 1]
+            cursor += 2
             entry[app] = {
                 "speedup": smash_report.speedup_over(csr_report),
                 "normalized_instructions": smash_report.instruction_ratio_over(csr_report),
@@ -498,7 +610,8 @@ def experiment_fig19(
     :func:`_paper_scale_storage`); the synthetic analogue only supplies the
     non-zero clustering statistics that determine SMASH's NZA and bitmap
     sizes. The analogue's own (scaled-down) ratios are included for
-    reference.
+    reference. No instrumented kernels run here, so this driver does not use
+    the sweep engine.
     """
     per_matrix: Dict[str, Dict[str, float]] = {}
     for spec in _suite(keys):
@@ -536,19 +649,22 @@ def experiment_fig20(
     spmv_key: str = "M8",
     spmm_key: str = "M8",
     graph_key: str = "G2",
-    spmv_dim: int = DEFAULT_SPMV_DIM,
+    spmv_dim: Optional[int] = DEFAULT_SPMV_DIM,
     spmm_dim: int = DEFAULT_SPMM_DIM,
     n_vertices: int = DEFAULT_GRAPH_VERTICES,
     pagerank_iterations: int = 40,
     cache_scale: int = DEFAULT_CACHE_SCALE,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict:
     """End-to-end execution breakdown with CSR<->SMASH conversion (Figure 20).
 
     PageRank is an iterative, long-running application (the paper runs it to
     convergence on million-vertex graphs), so its default iteration count
     here is high enough that the one-off conversion cost is amortized the
-    same way.
+    same way. The kernel runs go through the sweep engine; the (cheap,
+    structural) conversion-cost estimates are computed in-driver.
     """
+    engine = _runner(runner)
     sim = _sim_config(cache_scale)
     breakdown: Dict[str, Dict[str, float]] = {}
 
@@ -560,35 +676,41 @@ def experiment_fig20(
             "smash_to_csr_percent": 100.0 * back_cycles / total if total else 0.0,
         }
 
+    spmv_spec = get_spec(spmv_key)
+    spmm_spec = get_spec(spmm_key)
+    pagerank_config = SMASHConfig((2, 4, 16))
+    jobs = [
+        kernel_job(
+            "spmv", "smash_hw", suite_source(spmv_spec.key, spmv_dim), sim,
+            smash_config=spmv_spec.smash_config(),
+        ),
+        kernel_job(
+            "spmm", "smash_hw", suite_source(spmm_spec.key, spmm_dim), sim,
+            smash_config=spmm_spec.smash_config(),
+        ),
+        app_job(
+            "pagerank", "smash_hw", graph_source(graph_key, n_vertices), sim,
+            smash_config=pagerank_config, iterations=pagerank_iterations,
+        ),
+    ]
+    spmv_report, spmm_report, pr_report = engine.run(jobs)
+
     # SpMV: single short-running kernel invocation.
-    spec = get_spec(spmv_key)
-    coo = generate_matrix(spec, dim=spmv_dim)
-    csr = coo_to_csr(coo)
-    config = spec.smash_config()
-    smash, to_cost = csr_to_smash(csr, config)
+    csr = coo_to_csr(generate_matrix(spmv_spec, dim=spmv_dim))
+    smash, to_cost = csr_to_smash(csr, spmv_spec.smash_config())
     _, back_cost = smash_to_csr(smash)
-    spmv_result = run_spmv("smash_hw", coo, smash_config=config, sim_config=sim)
-    record("spmv", to_cost.cycles(sim), spmv_result.report.cycles, back_cost.cycles(sim))
+    record("spmv", to_cost.cycles(sim), spmv_report.cycles, back_cost.cycles(sim))
 
     # SpMM: a much longer-running kernel.
-    spec = get_spec(spmm_key)
-    coo = generate_matrix(spec, dim=spmm_dim)
-    csr = coo_to_csr(coo)
-    config = spec.smash_config()
-    smash, to_cost = csr_to_smash(csr, config)
+    csr = coo_to_csr(generate_matrix(spmm_spec, dim=spmm_dim))
+    smash, to_cost = csr_to_smash(csr, spmm_spec.smash_config())
     _, back_cost = smash_to_csr(smash)
-    spmm_result = run_spmm("smash_hw", coo, smash_config=config, sim_config=sim)
-    record("spmm", to_cost.cycles(sim), spmm_result.report.cycles, back_cost.cycles(sim))
+    record("spmm", to_cost.cycles(sim), spmm_report.cycles, back_cost.cycles(sim))
 
     # PageRank: many SpMV iterations over the same matrix.
     graph = generate_graph(get_graph_spec(graph_key), n_vertices=n_vertices)
-    transition = graph.transition_matrix()
-    csr = coo_to_csr(transition)
-    config = SMASHConfig((2, 4, 16))
-    round_trip = estimate_conversion_cost(csr, config, round_trip=True)
-    _, pr_report = pagerank(
-        graph, "smash_hw", iterations=pagerank_iterations, smash_config=config, sim_config=sim
-    )
+    csr = coo_to_csr(graph.transition_matrix())
+    round_trip = estimate_conversion_cost(csr, pagerank_config, round_trip=True)
     record("pagerank", round_trip.cycles(sim) / 2.0, pr_report.cycles, round_trip.cycles(sim) / 2.0)
 
     return {

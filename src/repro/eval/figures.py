@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
@@ -52,24 +53,29 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "figure12", "figure", "SpMM speedup and instructions", experiments.experiment_fig12_13,
         {"keys": _QUICK_MATRICES, "dim": 48},
     ),
+    "spadd": Experiment(
+        "spadd", "extra", "SpAdd scheme sweep (main-figure style)",
+        experiments.experiment_spadd,
+        {"keys": _QUICK_MATRICES, "dim": 96},
+    ),
     "figure14": Experiment(
         "figure14", "figure", "Compression-ratio sensitivity (SpMV)",
-        lambda **kw: experiments.experiment_fig14_15(kernel="spmv", **kw),
+        functools.partial(experiments.experiment_fig14_15, kernel="spmv"),
         {"keys": _QUICK_MATRICES, "dim": 96},
     ),
     "figure15": Experiment(
         "figure15", "figure", "Compression-ratio sensitivity (SpMM)",
-        lambda **kw: experiments.experiment_fig14_15(kernel="spmm", **kw),
+        functools.partial(experiments.experiment_fig14_15, kernel="spmm"),
         {"keys": _QUICK_MATRICES, "dim": 48},
     ),
     "figure16": Experiment(
         "figure16", "figure", "Locality-of-sparsity sensitivity (SpMV)",
-        lambda **kw: experiments.experiment_fig16_17(kernel="spmv", **kw),
+        functools.partial(experiments.experiment_fig16_17, kernel="spmv"),
         {"keys": ("M8",), "dim": 96, "localities": (12.5, 50, 100)},
     ),
     "figure17": Experiment(
         "figure17", "figure", "Locality-of-sparsity sensitivity (SpMM)",
-        lambda **kw: experiments.experiment_fig16_17(kernel="spmm", **kw),
+        functools.partial(experiments.experiment_fig16_17, kernel="spmm"),
         {"keys": ("M8",), "dim": 48, "localities": (12.5, 50, 100)},
     ),
     "figure18": Experiment(

@@ -1,0 +1,370 @@
+"""Sweep engine: enumerable jobs, parallel execution, persistent report cache.
+
+Every paper experiment boils down to a *job matrix*: run kernel K under
+scheme S on a deterministically generated workload W with configurations
+(SimConfig, SMASHConfig). This module expresses each cell of that matrix as
+a pure, picklable :class:`Job`, executes batches of jobs through
+:class:`SweepRunner` — serially or on a ``ProcessPoolExecutor`` — and
+memoizes every resulting :class:`~repro.sim.instrumentation.CostReport` in a
+content-keyed on-disk cache, so re-running an experiment (or a different
+experiment sharing jobs, e.g. the ``taco_csr`` baselines) re-executes
+nothing.
+
+Design invariants (see DESIGN.md section 9):
+
+* **Jobs are pure.** A job carries a *description* of its workload (a
+  ``source`` tuple naming the generator and its seed), never the matrix
+  itself; workers rebuild the workload from the description, so a job's
+  result is a function of its fields alone.
+* **Keys are content hashes.** ``job_key`` is the SHA-256 of the canonical
+  JSON of the job's fields (including the full ``SimConfig``), so any
+  configuration change invalidates exactly the affected cache entries.
+* **Every path is bit-identical.** Reports are always round-tripped through
+  :meth:`CostReport.to_dict`/``from_dict`` — whether computed serially,
+  computed in a worker process, or loaded from cache — and Python floats
+  round-trip exactly through JSON, so the three paths return identical
+  reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import SMASHConfig
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport
+
+#: Bumped whenever the job payload or report layout changes incompatibly;
+#: entries written under another schema are treated as cache misses.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default location of the on-disk report cache (relative to the CWD).
+DEFAULT_CACHE_DIR = ".smash-cache"
+
+#: Environment variable consulted for the default worker count.
+PROCESSES_ENV_VAR = "SMASH_REPRO_PROCESSES"
+
+#: Kernel job kinds (dispatched through the scheme runners) and application
+#: job kinds (dispatched through the graph drivers).
+KERNEL_KINDS = ("spmv", "spmm", "spadd")
+APP_KINDS = ("pagerank", "bc")
+
+#: Schemes whose operand preparation consumes the SMASHConfig; for every
+#: other scheme the config is irrelevant and is normalized out of the job
+#: key so e.g. a ``taco_csr`` baseline is shared across drivers that pass
+#: different per-matrix SMASH configurations.
+_SMASH_SCHEMES = ("smash_sw", "smash_hw")
+
+
+# --------------------------------------------------------------------------- #
+# Workload sources
+# --------------------------------------------------------------------------- #
+def suite_source(key: str, dim: Optional[int] = None, seed: Optional[int] = None) -> Tuple:
+    """Workload description for a Table 3 suite matrix (``generate_matrix``)."""
+    return ("suite", key, dim, seed)
+
+
+def locality_source(
+    rows: int, cols: int, nnz: int, block_size: int, locality_percent: float, seed: int
+) -> Tuple:
+    """Workload description for a controlled-locality matrix (Figures 16/17)."""
+    return ("locality", rows, cols, nnz, block_size, locality_percent, seed)
+
+
+def graph_source(key: str, n_vertices: Optional[int] = None) -> Tuple:
+    """Workload description for a Table 4 graph (``generate_graph``)."""
+    return ("graph", key, n_vertices)
+
+
+def materialize_source(source: Sequence):
+    """Rebuild the workload (COO matrix or graph) a source tuple describes."""
+    tag = source[0]
+    if tag == "suite":
+        from repro.workloads.suite import generate_matrix
+
+        _, key, dim, seed = source
+        return generate_matrix(key, dim=dim, seed=seed)
+    if tag == "locality":
+        from repro.workloads.locality import matrix_with_locality
+
+        _, rows, cols, nnz, block_size, locality_percent, seed = source
+        return matrix_with_locality(rows, cols, nnz, block_size, locality_percent, seed=seed)
+    if tag == "graph":
+        from repro.graphs.generators import generate_graph, get_graph_spec
+
+        _, key, n_vertices = source
+        return generate_graph(get_graph_spec(key), n_vertices=n_vertices)
+    raise ValueError(f"unknown workload source {source!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Jobs
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Job:
+    """One pure unit of evaluation work.
+
+    ``kind`` selects the dispatcher: a kernel name (``spmv``/``spmm``/
+    ``spadd``) runs one instrumented kernel through the scheme runners; an
+    application name (``pagerank``/``bc``) runs one graph application.
+    ``params`` holds the dispatcher's extra keyword arguments as a sorted
+    tuple of pairs so the job stays hashable and canonically ordered.
+    """
+
+    kind: str
+    scheme: str
+    source: Tuple
+    sim: SimConfig
+    smash: Optional[SMASHConfig] = None
+    params: Tuple[Tuple[str, Union[int, float, str]], ...] = ()
+
+    def payload(self) -> Dict:
+        """Canonical JSON-ready form of the job; the basis of its cache key."""
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "scheme": self.scheme,
+            "source": list(self.source),
+            "sim": dataclasses.asdict(self.sim),
+            "smash": list(self.smash.ratios) if self.smash is not None else None,
+            "params": dict(self.params),
+        }
+
+
+def kernel_job(
+    kernel: str,
+    scheme: str,
+    source: Tuple,
+    sim: SimConfig,
+    smash_config: Optional[SMASHConfig] = None,
+    **params,
+) -> Job:
+    """A kernel job; drops the SMASH config for schemes that ignore it."""
+    if kernel not in KERNEL_KINDS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNEL_KINDS}")
+    smash = smash_config if scheme in _SMASH_SCHEMES else None
+    return Job(kernel, scheme, tuple(source), sim, smash, _freeze_params(params))
+
+
+def app_job(
+    app: str,
+    scheme: str,
+    source: Tuple,
+    sim: SimConfig,
+    smash_config: Optional[SMASHConfig] = None,
+    **params,
+) -> Job:
+    """A graph-application job (``pagerank`` or ``bc``)."""
+    if app not in APP_KINDS:
+        raise ValueError(f"unknown application {app!r}; expected one of {APP_KINDS}")
+    smash = smash_config if scheme in _SMASH_SCHEMES else None
+    return Job(app, scheme, tuple(source), sim, smash, _freeze_params(params))
+
+
+def _freeze_params(params: Dict) -> Tuple[Tuple[str, Union[int, float, str]], ...]:
+    return tuple(sorted(params.items()))
+
+
+def job_key(job: Job) -> str:
+    """Stable content hash of a job (SHA-256 of its canonical JSON)."""
+    blob = json.dumps(job.payload(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def execute_job(job: Job) -> CostReport:
+    """Run one job to completion and return its cost report."""
+    params = dict(job.params)
+    if job.kind in KERNEL_KINDS:
+        from repro.kernels.schemes import run_spadd, run_spmm, run_spmv
+
+        runners = {"spmv": run_spmv, "spmm": run_spmm, "spadd": run_spadd}
+        coo = materialize_source(job.source)
+        kwargs = {"seed": int(params["seed"])} if "seed" in params else {}
+        result = runners[job.kind](
+            job.scheme, coo, smash_config=job.smash, sim_config=job.sim, **kwargs
+        )
+        return result.report
+    if job.kind == "pagerank":
+        from repro.graphs.pagerank import pagerank
+
+        graph = materialize_source(job.source)
+        _, report = pagerank(
+            graph,
+            job.scheme,
+            iterations=int(params["iterations"]),
+            smash_config=job.smash,
+            sim_config=job.sim,
+        )
+        return report
+    if job.kind == "bc":
+        from repro.graphs.betweenness import betweenness_centrality
+
+        graph = materialize_source(job.source)
+        _, report = betweenness_centrality(
+            graph,
+            job.scheme,
+            max_sources=int(params["max_sources"]),
+            smash_config=job.smash,
+            sim_config=job.sim,
+        )
+        return report
+    raise ValueError(f"unknown job kind {job.kind!r}")
+
+
+def _execute_job_payload(job: Job) -> Dict:
+    """Worker entry point: execute a job and serialize its report."""
+    return execute_job(job).to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# Persistent report cache
+# --------------------------------------------------------------------------- #
+class ReportCache:
+    """Content-keyed on-disk cache of serialized cost reports.
+
+    Layout: ``<root>/<key[:2]>/<key>.json``, one JSON document per job
+    holding the canonical job payload (for hash-collision and staleness
+    guards, and debuggability) plus the serialized report. Writes go
+    through a per-process temporary file and ``os.replace`` so concurrent
+    writers — several pool workers, or several CLI invocations — can never
+    leave a torn entry behind.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = pathlib.Path(root)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Where the entry for ``key`` lives on disk."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str, job: Job) -> Optional[Dict]:
+        """The cached report payload for ``job``, or None on miss."""
+        try:
+            document = json.loads(self.path_for(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict):
+            return None
+        if document.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if document.get("job") != job.payload():
+            return None
+        report = document.get("report")
+        return report if isinstance(report, dict) else None
+
+    def store(self, key: str, job: Job, report_payload: Dict) -> None:
+        """Persist the report payload for ``job`` (atomic replace)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "job": job.payload(),
+            "report": report_payload,
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(document, sort_keys=True, indent=1) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+
+# --------------------------------------------------------------------------- #
+# The runner
+# --------------------------------------------------------------------------- #
+@dataclass
+class SweepStats:
+    """Counters describing what a :class:`SweepRunner` actually did."""
+
+    submitted: int = 0
+    unique: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.submitted} submitted, {self.unique} unique, "
+            f"{self.executed} executed, {self.cache_hits} cached"
+        )
+
+
+def resolve_processes(processes: Optional[int] = None) -> int:
+    """The effective worker count: explicit value, else env var, else 1."""
+    if processes is None:
+        env = os.environ.get(PROCESSES_ENV_VAR, "").strip()
+        processes = int(env) if env else 1
+    if processes < 1:
+        raise ValueError("process count must be at least 1")
+    return processes
+
+
+class SweepRunner:
+    """Executes job batches with deduplication, caching and fan-out.
+
+    ``processes=1`` (the default) runs everything in-process — no pool, no
+    pickling — so debugging with pdb or print stays trivial; ``processes>1``
+    fans cache misses out over a ``ProcessPoolExecutor``. ``cache_dir=None``
+    disables the on-disk cache (in-batch deduplication still applies).
+    Results are independent of both knobs.
+    """
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+    ) -> None:
+        self.processes = resolve_processes(processes)
+        self.cache = ReportCache(cache_dir) if cache_dir is not None else None
+        self.stats = SweepStats()
+
+    def run(self, jobs: Sequence[Job]) -> List[CostReport]:
+        """Execute ``jobs`` and return their reports in submission order.
+
+        Jobs with identical keys are executed once; cached jobs are not
+        executed at all. Every report — fresh or cached — is delivered
+        through the JSON round trip, so repeated calls return equal reports
+        regardless of where each one came from.
+        """
+        jobs = list(jobs)
+        self.stats.submitted += len(jobs)
+        keys = [job_key(job) for job in jobs]
+        unique: Dict[str, Job] = {}
+        for key, job in zip(keys, jobs):
+            unique.setdefault(key, job)
+        self.stats.unique += len(unique)
+
+        payloads: Dict[str, Dict] = {}
+        misses: List[Tuple[str, Job]] = []
+        for key, job in unique.items():
+            cached = self.cache.load(key, job) if self.cache is not None else None
+            if cached is not None:
+                payloads[key] = cached
+                self.stats.cache_hits += 1
+            else:
+                misses.append((key, job))
+
+        if misses:
+            self.stats.executed += len(misses)
+            miss_jobs = [job for _, job in misses]
+            if self.processes > 1 and len(miss_jobs) > 1:
+                workers = min(self.processes, len(miss_jobs))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    fresh = list(pool.map(_execute_job_payload, miss_jobs))
+            else:
+                fresh = [_execute_job_payload(job) for job in miss_jobs]
+            for (key, job), payload in zip(misses, fresh):
+                if self.cache is not None:
+                    self.cache.store(key, job, payload)
+                payloads[key] = payload
+
+        return [CostReport.from_dict(payloads[key]) for key in keys]
+
+    def run_one(self, job: Job) -> CostReport:
+        """Convenience wrapper for a single job."""
+        return self.run([job])[0]

@@ -108,6 +108,50 @@ class CostReport:
         """Total executed instructions."""
         return self.instructions.total
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable form of the report (see :meth:`from_dict`).
+
+        Every count is coerced to a built-in ``int``/``float`` so the payload
+        survives ``json.dumps`` regardless of numpy scalar types leaking in
+        from the trace engine. Python floats round-trip exactly through JSON
+        (``repr`` emits the shortest exact representation), so a serialized
+        report deserializes bit-identical to the original.
+        """
+        return {
+            "kernel": self.kernel,
+            "scheme": self.scheme,
+            "instructions": {k: int(v) for k, v in self.instructions.counts.items()},
+            "issue_cycles": float(self.issue_cycles),
+            "memory_stall_cycles": float(self.memory_stall_cycles),
+            "dram_accesses": int(self.dram_accesses),
+            "l1_miss_rate": float(self.l1_miss_rate),
+            "l2_miss_rate": float(self.l2_miss_rate),
+            "l3_miss_rate": float(self.l3_miss_rate),
+            "per_structure_accesses": {k: int(v) for k, v in self.per_structure_accesses.items()},
+            "metadata": {k: float(v) for k, v in self.metadata.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CostReport":
+        """Rebuild a report serialized by :meth:`to_dict`."""
+        return cls(
+            kernel=payload["kernel"],
+            scheme=payload["scheme"],
+            instructions=InstructionCounter(
+                {k: int(v) for k, v in payload["instructions"].items()}
+            ),
+            issue_cycles=float(payload["issue_cycles"]),
+            memory_stall_cycles=float(payload["memory_stall_cycles"]),
+            dram_accesses=int(payload["dram_accesses"]),
+            l1_miss_rate=float(payload["l1_miss_rate"]),
+            l2_miss_rate=float(payload["l2_miss_rate"]),
+            l3_miss_rate=float(payload["l3_miss_rate"]),
+            per_structure_accesses={
+                k: int(v) for k, v in payload["per_structure_accesses"].items()
+            },
+            metadata={k: float(v) for k, v in payload["metadata"].items()},
+        )
+
     def speedup_over(self, baseline: "CostReport") -> float:
         """Speedup of this report relative to ``baseline`` (baseline/self)."""
         if self.cycles == 0:

@@ -23,9 +23,17 @@ class MatrixMarketError(ValueError):
 
 
 def read_matrix_market(path: Union[str, pathlib.Path]) -> COOMatrix:
-    """Read a MatrixMarket coordinate file into a COO matrix."""
+    """Read a MatrixMarket coordinate file into a COO matrix.
+
+    Comment (``%``) and blank lines are skipped anywhere after the header,
+    as the format allows. Every malformed construct — truncated or
+    non-numeric size/entry lines, missing value tokens, out-of-range 1-based
+    indices — raises :class:`MatrixMarketError` with the offending line
+    number instead of leaking a bare ``ValueError``/``IndexError``.
+    """
     path = pathlib.Path(path)
     with path.open("r", encoding="utf-8") as handle:
+        lineno = 1
         header = handle.readline().strip()
         if not header.startswith("%%MatrixMarket"):
             raise MatrixMarketError(f"{path}: missing %%MatrixMarket header")
@@ -39,24 +47,65 @@ def read_matrix_market(path: Union[str, pathlib.Path]) -> COOMatrix:
         if symmetry not in {"general", "symmetric"}:
             raise MatrixMarketError(f"{path}: unsupported symmetry {symmetry!r}")
 
-        line = handle.readline()
-        while line.startswith("%"):
-            line = handle.readline()
-        dims = line.split()
-        if len(dims) != 3:
-            raise MatrixMarketError(f"{path}: malformed size line {line!r}")
-        rows, cols, nnz = int(dims[0]), int(dims[1]), int(dims[2])
+        def next_content_line() -> Tuple[str, int]:
+            """The next non-comment, non-blank line (empty string at EOF)."""
+            nonlocal lineno
+            while True:
+                line = handle.readline()
+                if not line:
+                    return "", lineno
+                lineno += 1
+                stripped = line.strip()
+                if stripped and not stripped.startswith("%"):
+                    return stripped, lineno
 
+        size_line, size_lineno = next_content_line()
+        if not size_line:
+            raise MatrixMarketError(f"{path}: unexpected end of file before the size line")
+        dims = size_line.split()
+        if len(dims) != 3:
+            raise MatrixMarketError(
+                f"{path}:{size_lineno}: malformed size line {size_line!r}"
+            )
+        try:
+            rows, cols, nnz = (int(dim) for dim in dims)
+        except ValueError as error:
+            raise MatrixMarketError(
+                f"{path}:{size_lineno}: non-integer size line {size_line!r}"
+            ) from error
+        if rows < 0 or cols < 0 or nnz < 0:
+            raise MatrixMarketError(
+                f"{path}:{size_lineno}: negative dimensions in size line {size_line!r}"
+            )
+
+        min_tokens = 2 if field == "pattern" else 3
         entry_rows: List[int] = []
         entry_cols: List[int] = []
         entry_vals: List[float] = []
-        for _ in range(nnz):
-            line = handle.readline()
-            if not line:
-                raise MatrixMarketError(f"{path}: unexpected end of file")
-            tokens = line.split()
-            i, j = int(tokens[0]) - 1, int(tokens[1]) - 1
-            value = 1.0 if field == "pattern" else float(tokens[2])
+        for index in range(nnz):
+            entry, entry_lineno = next_content_line()
+            if not entry:
+                raise MatrixMarketError(
+                    f"{path}: unexpected end of file after {index} of {nnz} entries"
+                )
+            tokens = entry.split()
+            if len(tokens) < min_tokens:
+                raise MatrixMarketError(
+                    f"{path}:{entry_lineno}: entry line {entry!r} has "
+                    f"{len(tokens)} tokens, expected at least {min_tokens}"
+                )
+            try:
+                i, j = int(tokens[0]) - 1, int(tokens[1]) - 1
+                value = 1.0 if field == "pattern" else float(tokens[2])
+            except ValueError as error:
+                raise MatrixMarketError(
+                    f"{path}:{entry_lineno}: non-numeric entry line {entry!r}"
+                ) from error
+            if not 0 <= i < rows or not 0 <= j < cols:
+                raise MatrixMarketError(
+                    f"{path}:{entry_lineno}: index ({i + 1}, {j + 1}) outside "
+                    f"the declared {rows} x {cols} matrix"
+                )
             entry_rows.append(i)
             entry_cols.append(j)
             entry_vals.append(value)

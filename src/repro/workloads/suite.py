@@ -10,6 +10,7 @@ distribution so the full evaluation can run offline in seconds.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -138,3 +139,16 @@ def generate_suite(
 def _stable_seed(key: str) -> int:
     """A deterministic per-matrix seed derived from the matrix id."""
     return sum(ord(ch) * (i + 1) for i, ch in enumerate(key)) + 20_190_527
+
+
+def stable_seed(*parts) -> int:
+    """A deterministic 31-bit seed derived from arbitrary key parts.
+
+    Unlike Python's built-in ``hash()``, whose string hashing is randomized
+    per process by ``PYTHONHASHSEED``, this uses CRC-32 of the ``repr`` of
+    every part, so experiments seeded through it are reproducible across
+    processes and machines. Use it wherever a seed must be derived from
+    workload identifiers (matrix keys, sweep parameters, ...).
+    """
+    blob = ":".join(repr(part) for part in parts)
+    return zlib.crc32(blob.encode("utf-8")) & 0x7FFFFFFF

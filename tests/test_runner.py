@@ -1,0 +1,274 @@
+"""Tests for the sweep engine: jobs, keys, cache, parallel execution, CLI."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import SMASHConfig
+from repro.eval.cli import main as cli_main
+from repro.eval.experiments import experiment_fig10_11, experiment_fig16_17, experiment_spadd
+from repro.eval.runner import (
+    CACHE_SCHEMA_VERSION,
+    PROCESSES_ENV_VAR,
+    Job,
+    ReportCache,
+    SweepRunner,
+    app_job,
+    execute_job,
+    graph_source,
+    job_key,
+    kernel_job,
+    locality_source,
+    materialize_source,
+    resolve_processes,
+    suite_source,
+)
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport
+
+QUICK = ("M5", "M8")
+SIM = SimConfig.scaled(16)
+
+
+def _quick_jobs(dim=48):
+    config = SMASHConfig((2, 4, 16))
+    return [
+        kernel_job("spmv", scheme, suite_source(key, dim), SIM, smash_config=config)
+        for key in QUICK
+        for scheme in ("taco_csr", "smash_hw")
+    ]
+
+
+class TestJobsAndKeys:
+    def test_key_is_stable_and_content_addressed(self):
+        job = _quick_jobs()[0]
+        assert job_key(job) == job_key(job)
+        assert len(job_key(job)) == 64
+
+    def test_key_changes_with_sim_config(self):
+        source = suite_source("M8", 48)
+        a = kernel_job("spmv", "taco_csr", source, SimConfig.scaled(16))
+        b = kernel_job("spmv", "taco_csr", source, SimConfig.scaled(32))
+        assert job_key(a) != job_key(b)
+
+    def test_key_changes_with_workload_and_scheme(self):
+        base = kernel_job("spmv", "taco_csr", suite_source("M8", 48), SIM)
+        assert job_key(base) != job_key(
+            kernel_job("spmv", "taco_csr", suite_source("M5", 48), SIM)
+        )
+        assert job_key(base) != job_key(
+            kernel_job("spmv", "mkl_csr", suite_source("M8", 48), SIM)
+        )
+        assert job_key(base) != job_key(
+            kernel_job("spmm", "taco_csr", suite_source("M8", 48), SIM)
+        )
+
+    def test_smash_config_normalized_out_for_csr_schemes(self):
+        source = suite_source("M8", 48)
+        plain = kernel_job("spmv", "taco_csr", source, SIM)
+        with_config = kernel_job(
+            "spmv", "taco_csr", source, SIM, smash_config=SMASHConfig((8, 4, 16))
+        )
+        assert job_key(plain) == job_key(with_config)
+        # ... but it matters for SMASH schemes.
+        a = kernel_job("spmv", "smash_hw", source, SIM, smash_config=SMASHConfig((2, 4, 16)))
+        b = kernel_job("spmv", "smash_hw", source, SIM, smash_config=SMASHConfig((8, 4, 16)))
+        assert job_key(a) != job_key(b)
+
+    def test_rejects_unknown_kinds(self):
+        with pytest.raises(ValueError):
+            kernel_job("spgemm", "taco_csr", suite_source("M8"), SIM)
+        with pytest.raises(ValueError):
+            app_job("bfs", "taco_csr", graph_source("G1"), SIM)
+        with pytest.raises(ValueError):
+            execute_job(Job("nope", "taco_csr", suite_source("M8"), SIM))
+
+    def test_materialize_sources(self):
+        coo = materialize_source(suite_source("M8", 48))
+        assert coo.shape == (48, 48) and coo.nnz > 0
+        loc = materialize_source(locality_source(32, 32, 16, 8, 50.0, seed=3))
+        assert loc.nnz > 0
+        graph = materialize_source(graph_source("G2", 32))
+        assert graph.n_vertices == 32
+        with pytest.raises(ValueError):
+            materialize_source(("nonsense", 1))
+
+
+class TestSweepRunner:
+    def test_serial_and_parallel_reports_identical(self):
+        jobs = _quick_jobs()
+        serial = SweepRunner(processes=1).run(jobs)
+        parallel = SweepRunner(processes=2).run(jobs)
+        assert len(serial) == len(parallel) == len(jobs)
+        for left, right in zip(serial, parallel):
+            assert left == right  # dataclass equality: every field, exactly
+
+    def test_serial_vs_parallel_driver_equivalence(self):
+        serial = experiment_fig10_11(keys=QUICK, dim=48, runner=SweepRunner(processes=1))
+        parallel = experiment_fig10_11(keys=QUICK, dim=48, runner=SweepRunner(processes=2))
+        assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
+
+    def test_in_batch_deduplication(self):
+        job = _quick_jobs()[0]
+        runner = SweepRunner()
+        reports = runner.run([job, job, job])
+        assert runner.stats.executed == 1 and runner.stats.submitted == 3
+        assert reports[0] == reports[1] == reports[2]
+
+    def test_cache_second_run_executes_zero_jobs(self, tmp_path):
+        jobs = _quick_jobs()
+        cold = SweepRunner(cache_dir=tmp_path)
+        cold_reports = cold.run(jobs)
+        assert cold.stats.executed == len(jobs) and cold.stats.cache_hits == 0
+        warm = SweepRunner(cache_dir=tmp_path)
+        warm_reports = warm.run(jobs)
+        assert warm.stats.executed == 0 and warm.stats.cache_hits == len(jobs)
+        assert cold_reports == warm_reports
+
+    def test_cache_invalidated_by_sim_config_change(self, tmp_path):
+        source = suite_source("M8", 48)
+        first = SweepRunner(cache_dir=tmp_path)
+        first.run([kernel_job("spmv", "taco_csr", source, SimConfig.scaled(16))])
+        second = SweepRunner(cache_dir=tmp_path)
+        second.run([kernel_job("spmv", "taco_csr", source, SimConfig.scaled(32))])
+        assert second.stats.executed == 1 and second.stats.cache_hits == 0
+
+    def test_cache_ignores_corrupt_and_mismatched_entries(self, tmp_path):
+        job = _quick_jobs()[0]
+        key = job_key(job)
+        cache = ReportCache(tmp_path)
+        runner = SweepRunner(cache_dir=tmp_path)
+        report = runner.run([job])[0]
+        # Corrupt entry -> miss, then re-executed and repaired.
+        cache.path_for(key).write_text("{ not json")
+        rerun = SweepRunner(cache_dir=tmp_path)
+        assert rerun.run([job])[0] == report and rerun.stats.executed == 1
+        # Wrong schema version -> miss.
+        document = json.loads(cache.path_for(key).read_text())
+        document["schema"] = CACHE_SCHEMA_VERSION + 1
+        cache.path_for(key).write_text(json.dumps(document))
+        stale = SweepRunner(cache_dir=tmp_path)
+        assert stale.run([job])[0] == report and stale.stats.executed == 1
+
+    def test_cached_report_round_trips_exactly(self, tmp_path):
+        job = _quick_jobs()[0]
+        fresh = SweepRunner().run([job])[0]
+        SweepRunner(cache_dir=tmp_path).run([job])
+        cached = SweepRunner(cache_dir=tmp_path).run([job])[0]
+        assert isinstance(cached, CostReport)
+        assert cached == fresh
+        assert cached.cycles == fresh.cycles
+
+    def test_processes_from_environment(self, monkeypatch):
+        monkeypatch.setenv(PROCESSES_ENV_VAR, "3")
+        assert resolve_processes() == 3
+        assert SweepRunner().processes == 3
+        monkeypatch.delenv(PROCESSES_ENV_VAR)
+        assert resolve_processes() == 1
+        with pytest.raises(ValueError):
+            resolve_processes(0)
+
+    def test_app_jobs_execute(self):
+        job = app_job(
+            "pagerank", "taco_csr", graph_source("G2", 32), SIM,
+            smash_config=SMASHConfig((2, 4, 16)), iterations=2,
+        )
+        report = execute_job(job)
+        assert report.kernel == "pagerank" and report.total_instructions > 0
+
+
+class TestDeterminism:
+    def test_fig16_17_two_invocations_identical(self):
+        kwargs = dict(keys=("M8",), kernel="spmv", dim=48, localities=(12.5, 100))
+        first = experiment_fig16_17(**kwargs)
+        second = experiment_fig16_17(**kwargs)
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_fig16_byte_identical_across_hash_seeds(self):
+        """The PYTHONHASHSEED regression test for the Figure 16/17 seeding."""
+        repo_root = Path(__file__).resolve().parent.parent
+        code = (
+            "import sys, json; sys.path.insert(0, 'src'); "
+            "from repro.eval.experiments import experiment_fig16_17; "
+            "print(json.dumps(experiment_fig16_17(keys=('M8',), kernel='spmv', "
+            "dim=48, localities=(12.5, 100)), sort_keys=True))"
+        )
+        outputs = []
+        for hash_seed in ("1", "31337"):
+            completed = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={**os.environ, "PYTHONHASHSEED": hash_seed},
+                cwd=repo_root,
+            )
+            outputs.append(completed.stdout)
+        assert outputs[0] == outputs[1]
+
+    def test_spadd_sweep_shapes(self):
+        result = experiment_spadd(keys=QUICK, dim=48)
+        for entry in result["per_matrix"].values():
+            assert entry["speedup"]["taco_csr"] == pytest.approx(1.0)
+        assert result["average"]["speedup"]["smash_hw"] > 1.0
+        assert result["average"]["normalized_instructions"]["smash_hw"] < 1.0
+
+
+class TestCLIIntegration:
+    def test_run_with_processes_output_and_cache(self, tmp_path, capsys):
+        output = tmp_path / "fig10.json"
+        cache = tmp_path / "cache"
+        argv = [
+            "run", "figure10", "--quick", "--processes", "2",
+            "--matrices", "M5,M8",
+            "--output", str(output), "--cache-dir", str(cache),
+        ]
+        assert cli_main(argv) == 0
+        first_err = capsys.readouterr().err
+        assert "executed" in first_err
+        payload = json.loads(output.read_text())
+        assert payload["figure"] == "10/11"
+        assert set(payload["per_matrix"]) == {"M5.16.4.2", "M8.16.4.2"}
+        # Second invocation: same bytes, zero jobs executed.
+        output2 = tmp_path / "fig10_again.json"
+        argv[argv.index(str(output))] = str(output2)
+        assert cli_main(argv) == 0
+        assert ", 0 executed" in capsys.readouterr().err
+        assert output.read_text() == output2.read_text()
+
+    def test_run_no_cache_leaves_no_cache_dir(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["run", "area", "--no-cache"]) == 0
+        assert not (tmp_path / ".smash-cache").exists()
+
+    def test_schemes_flag_restricts_sweep(self, tmp_path, capsys):
+        argv = [
+            "run", "figure10", "--quick", "--json", "--no-cache",
+            "--matrices", "M8", "--schemes", "taco_csr,smash_hw",
+        ]
+        assert cli_main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["average"]["speedup"]) == {"taco_csr", "smash_hw"}
+
+    def test_bad_selection_is_a_clean_error(self, capsys):
+        # Matrix ids passed where graph ids are expected (figure18), unknown
+        # matrix ids, and baseline-free scheme sweeps all exit 2 with a
+        # message instead of an uncaught traceback.
+        assert cli_main(["run", "figure18", "--no-cache", "--matrices", "M2"]) == 2
+        assert "unknown graph id" in capsys.readouterr().err
+        assert cli_main(["run", "figure10", "--no-cache", "--matrices", "M99"]) == 2
+        assert "M99" in capsys.readouterr().err
+        assert cli_main(
+            ["run", "figure10", "--quick", "--no-cache", "--schemes", "smash_hw"]
+        ) == 2
+        assert "taco_csr" in capsys.readouterr().err
+
+    def test_inapplicable_flags_warn_but_run(self, capsys):
+        assert cli_main(["run", "table5", "--matrices", "M1", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "ignoring inapplicable options" in captured.err
+        assert "Xeon" in captured.out
