@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -31,7 +33,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.eval.runner import SweepRunner, kernel_job, suite_source  # noqa: E402
 from repro.kernels.schemes import SCHEMES, run_spmv  # noqa: E402
 from repro.sim.config import SimConfig  # noqa: E402
+from repro.sim.trace import CHUNK_ENV_VAR  # noqa: E402
 from repro.workloads.synthetic import uniform_random_matrix  # noqa: E402
+
+#: Chunk budget (accesses) used for the chunked side of the RSS probe. Small
+#: enough that the bounded path's trace footprint is negligible next to the
+#: interpreter baseline, large enough to keep per-segment overhead low.
+RSS_PROBE_CHUNK = 1 << 16
 
 
 def run_sweep(dim: int, density: float, seed: int, cache_scale: int) -> dict:
@@ -94,6 +102,60 @@ def run_sweep_engine(processes: int, cache_scale: int, dim: int = 512) -> dict:
     }
 
 
+def _rss_probe_child(dim: int, density: float, seed: int, cache_scale: int) -> dict:
+    """Run one taco_csr SpMV and report this process's peak RSS.
+
+    Executed in a fresh subprocess per replay mode (the high-water mark is
+    process-wide and monotonic, so monolithic and chunked must not share a
+    process); the replay mode is selected by the parent through the
+    SMASH_REPRO_TRACE_CHUNK environment variable.
+    """
+    import resource
+
+    coo = uniform_random_matrix(dim, dim, density=density, seed=seed)
+    sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
+    start = time.perf_counter()
+    run_spmv("taco_csr", coo, sim_config=sim)
+    elapsed = time.perf_counter() - start
+    # ru_maxrss is kilobytes on Linux but bytes on macOS.
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return {
+        "nnz": coo.nnz,
+        "kernel_seconds": round(elapsed, 4),
+        "peak_rss_mb": round(peak / divisor, 1),
+    }
+
+
+def run_rss_probe(dim: int, density: float, seed: int, cache_scale: int) -> dict:
+    """Peak RSS and wall-clock of monolithic vs chunked replay (subprocesses)."""
+    results = {}
+    for label, chunk in (("monolithic", "0"), ("chunked", str(RSS_PROBE_CHUNK))):
+        env = dict(os.environ, **{CHUNK_ENV_VAR: chunk})
+        out = subprocess.run(
+            [
+                sys.executable, str(Path(__file__).resolve()), "--rss-probe-child",
+                "--rss-dim", str(dim), "--rss-density", str(density),
+                "--seed", str(seed), "--cache-scale", str(cache_scale),
+            ],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        results[label] = json.loads(out.stdout)
+        print(
+            f"  rss[{label}] {results[label]['peak_rss_mb']:8.1f} MB "
+            f"{results[label]['kernel_seconds']:8.3f}s",
+            flush=True,
+        )
+    return {
+        "dim": dim,
+        "density": density,
+        "nnz": results["monolithic"]["nnz"],
+        "chunk_accesses": RSS_PROBE_CHUNK,
+        "monolithic": {k: v for k, v in results["monolithic"].items() if k != "nnz"},
+        "chunked": {k: v for k, v in results["chunked"].items() if k != "nnz"},
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dim", type=int, default=2048, help="matrix dimension (square)")
@@ -107,6 +169,17 @@ def main(argv=None) -> int:
         "--sweep-dim", type=int, default=512, help="matrix dimension of the sweep-engine pass"
     )
     parser.add_argument(
+        "--rss-dim", type=int, default=4096, help="matrix dimension of the peak-RSS probe"
+    )
+    parser.add_argument(
+        "--rss-density", type=float, default=0.02, help="density of the peak-RSS probe matrix"
+    )
+    parser.add_argument(
+        "--rss-probe-child",
+        action="store_true",
+        help=argparse.SUPPRESS,  # internal: run one probe in this process and print JSON
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_spmv_smoke.json",
@@ -114,10 +187,18 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.rss_probe_child:
+        print(json.dumps(_rss_probe_child(args.rss_dim, args.rss_density, args.seed, args.cache_scale)))
+        return 0
+
     print(f"SpMV smoke sweep: {args.dim}x{args.dim}, density {args.density}")
     payload = run_sweep(args.dim, args.density, args.seed, args.cache_scale)
     print(f"Sweep-engine pass: {args.sweep_dim} dim, {args.processes} processes")
     payload["sweep_engine"] = run_sweep_engine(args.processes, args.cache_scale, args.sweep_dim)
+    print(f"Replay-memory probe: {args.rss_dim} dim, density {args.rss_density}")
+    payload["replay_memory"] = run_rss_probe(
+        args.rss_dim, args.rss_density, args.seed, args.cache_scale
+    )
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"total {payload['total_kernel_seconds']}s -> {args.output}")
     return 0

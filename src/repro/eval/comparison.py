@@ -8,19 +8,44 @@ from typing import Dict, Iterable, Mapping
 from repro.sim.instrumentation import CostReport
 
 
+def _materialize(values: Iterable[float], caller: str) -> "list[float]":
+    """Consume ``values`` exactly once into floats, rejecting NaN.
+
+    Both means accept arbitrary iterables — including single-pass
+    generators, which have no ``len()`` and cannot be iterated twice — so
+    the input is materialized before any validation or aggregation. NaN is
+    rejected eagerly: it would otherwise poison the mean silently.
+    """
+    materialized = []
+    for value in values:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"{caller} got NaN in its input")
+        materialized.append(value)
+    return materialized
+
+
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean of positive values (0.0 for an empty input)."""
-    values = [float(v) for v in values]
+    """Geometric mean of positive values (0.0 for an empty input).
+
+    Raises ``ValueError`` on zero or negative inputs (whose logarithm is
+    undefined), naming the offending value; a speedup of +inf propagates to
+    an +inf mean.
+    """
+    values = _materialize(values, "geometric_mean")
     if not values:
         return 0.0
-    if any(v <= 0 for v in values):
-        raise ValueError("geometric mean requires strictly positive values")
+    for value in values:
+        if value <= 0:
+            raise ValueError(
+                f"geometric mean requires strictly positive values; got {value!r}"
+            )
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def arithmetic_mean(values: Iterable[float]) -> float:
-    """Arithmetic mean (0.0 for an empty input)."""
-    values = [float(v) for v in values]
+    """Arithmetic mean (0.0 for an empty input); rejects NaN inputs."""
+    values = _materialize(values, "arithmetic_mean")
     return sum(values) / len(values) if values else 0.0
 
 

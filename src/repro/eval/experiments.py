@@ -726,6 +726,105 @@ def experiment_fig20(
 
 
 # --------------------------------------------------------------------------- #
+# Scale sweep — dimensions beyond the monolithic trace engine's reach
+# --------------------------------------------------------------------------- #
+#: Documented memory budget for trace replay (DESIGN.md section 10). The
+#: monolithic build-then-replay path peaks at roughly
+#: ``accesses * TRACE_BYTES_PER_ACCESS * MONOLITHIC_PEAK_FACTOR`` bytes —
+#: the assembled columns, the concatenated trace and the replay's
+#: address/line scratch all coexist — so any dimension whose estimate
+#: exceeds this budget is only reachable through the chunked replay.
+TRACE_MEMORY_BUDGET_MB = 64.0
+#: Bytes per trace access: two int64 columns (structure id, offset) plus one
+#: uint8 kind column.
+TRACE_BYTES_PER_ACCESS = 17
+#: Peak multiplier of the monolithic path over the bare column footprint.
+MONOLITHIC_PEAK_FACTOR = 3
+
+
+def experiment_scale(
+    keys: Sequence[str] = ("M13",),
+    dims: Sequence[int] = (512, 1024, 2048, 4096),
+    schemes: Sequence[str] = ("taco_csr", "smash_hw"),
+    cache_scale: int = DEFAULT_CACHE_SCALE,
+    runner: Optional[SweepRunner] = None,
+) -> Dict:
+    """SpMV dimension sweep at sizes beyond the monolithic trace engine.
+
+    Extends the paper's evaluation toward the ROADMAP's ever-larger scenario
+    coverage: the same Table 3 analogues are regenerated at growing
+    dimensions and run through the sweep engine under the bounded-memory
+    chunked replay. For every point the driver reports the estimated peak
+    memory the *monolithic* build-then-replay path would have needed, and
+    flags the dimensions where that estimate exceeds
+    :data:`TRACE_MEMORY_BUDGET_MB` — those points are only reachable because
+    replay memory is now decoupled from workload size. The default sweep
+    (the clustered M13 analogue, whose non-zero count grows quadratically
+    with the dimension) crosses the budget at its largest dimension.
+    """
+    from repro.sim.trace import DEFAULT_CHUNK_ACCESSES, trace_chunk_accesses
+
+    if "taco_csr" not in schemes:
+        raise ValueError("the scale sweep needs the 'taco_csr' baseline")
+    engine = _runner(runner)
+    sim = _sim_config(cache_scale)
+    jobs, slots = [], []
+    for key in keys:
+        spec = get_spec(key)
+        for dim in dims:
+            nnz = _suite_nnz(spec.key, dim)
+            if nnz == 0:
+                continue
+            source = suite_source(spec.key, dim)
+            for scheme in schemes:
+                jobs.append(
+                    kernel_job("spmv", scheme, source, sim, smash_config=spec.smash_config())
+                )
+            slots.append((key, dim, nnz))
+    reports_list = engine.run(jobs)
+
+    chunk = trace_chunk_accesses()
+    chunked_peak_mb = (
+        (chunk or 0) * TRACE_BYTES_PER_ACCESS * MONOLITHIC_PEAK_FACTOR / 2**20
+        if chunk
+        else None
+    )
+    per_point: Dict[str, Dict] = {}
+    stride = len(schemes)
+    for index, (key, dim, nnz) in enumerate(slots):
+        reports = dict(zip(schemes, reports_list[stride * index : stride * (index + 1)]))
+        baseline = reports["taco_csr"]
+        # Trace volume of the CSR baseline traversal: one row_ptr load and
+        # one y store per row, three accesses (col_ind, value, x) per nnz.
+        accesses = 2 * dim + 3 * nnz
+        monolithic_mb = accesses * TRACE_BYTES_PER_ACCESS * MONOLITHIC_PEAK_FACTOR / 2**20
+        per_point[f"{key}@{dim}"] = {
+            "rows": dim,
+            "nnz": nnz,
+            "trace_accesses": accesses,
+            "monolithic_trace_mb": round(monolithic_mb, 2),
+            "exceeds_monolithic_budget": monolithic_mb > TRACE_MEMORY_BUDGET_MB,
+            "cycles": {s: reports[s].cycles for s in schemes},
+            "dram_accesses": {s: reports[s].dram_accesses for s in schemes},
+            "speedup": {s: reports[s].speedup_over(baseline) for s in schemes},
+        }
+    return {
+        "experiment": "scale",
+        "description": "SpMV dimension sweep under bounded-memory chunked replay",
+        "trace_chunk_accesses": chunk,
+        "default_chunk_accesses": DEFAULT_CHUNK_ACCESSES,
+        "chunked_peak_trace_mb": chunked_peak_mb,
+        "memory_budget_mb": TRACE_MEMORY_BUDGET_MB,
+        "per_point": per_point,
+        "paper_reference": {
+            "note": "beyond the paper: the monolithic batched engine (PR 1) held the "
+            "whole columnar trace in memory, capping the largest runnable dimension; "
+            "chunked replay bounds peak trace memory by the chunk budget"
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Section 7.6 — area overhead
 # --------------------------------------------------------------------------- #
 def experiment_area(

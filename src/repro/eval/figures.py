@@ -90,6 +90,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "figure20", "figure", "Format conversion overhead", experiments.experiment_fig20,
         {"spmv_dim": 96, "spmm_dim": 48, "n_vertices": 64, "pagerank_iterations": 3},
     ),
+    "scale": Experiment(
+        "scale", "extra", "SpMV dimension sweep (bounded-memory chunked replay)",
+        experiments.experiment_scale,
+        {"keys": ("M8",), "dims": (128, 256)},
+    ),
     "area": Experiment(
         "area", "section", "BMU area overhead (Section 7.6)", experiments.experiment_area, {},
     ),

@@ -59,14 +59,15 @@ def render_result(result: Mapping) -> str:
             lines.append(f"[{key}]")
             lines.append(_render_nested(section))
 
-    for key in ("per_matrix", "per_graph"):
+    for key in ("per_matrix", "per_graph", "per_point"):
         section = result.get(key)
         if isinstance(section, Mapping) and section:
             lines.append("")
             lines.append(f"[{key}]")
             lines.append(_render_nested(section))
 
-    for key in ("sram_bytes", "register_bytes", "total_area_mm2", "core_area_mm2", "overhead_percent"):
+    for key in ("sram_bytes", "register_bytes", "total_area_mm2", "core_area_mm2", "overhead_percent",
+                "trace_chunk_accesses", "chunked_peak_trace_mb", "memory_budget_mb"):
         if key in result:
             lines.append(f"{key}: {_fmt(result[key])}")
 

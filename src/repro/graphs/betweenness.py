@@ -87,9 +87,9 @@ def betweenness_centrality(
     kernel = get_kernel("spmv", scheme)
     n = graph.n_vertices
     if n == 0:
-        from repro.graphs.pagerank import merge_placeholder
-
-        return np.zeros(0), merge_placeholder(scheme)
+        # A vertex-free graph runs no SpMV; the placeholder report must
+        # still carry this application's label, not pagerank's.
+        return np.zeros(0), CostReport.empty("betweenness", scheme)
 
     adjacency_coo = graph.adjacency_matrix()
     # The forward sweep multiplies A^T by the frontier vector; for the

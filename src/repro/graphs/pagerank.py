@@ -63,8 +63,7 @@ def pagerank(
     kernel = get_kernel("spmv", scheme)
     n = graph.n_vertices
     if n == 0:
-        empty = merge_placeholder(scheme)
-        return np.zeros(0), empty
+        return np.zeros(0), CostReport.empty("pagerank", scheme)
 
     transition = graph.transition_matrix()
     operand = prepare_operand(transition, scheme, smash_config, orientation="row")
@@ -82,20 +81,3 @@ def pagerank(
         reports.append(report)
         ranks = damping * product + teleport
     return ranks, merge_reports("pagerank", scheme, reports)
-
-
-def merge_placeholder(scheme: str) -> CostReport:
-    """An empty cost report for degenerate (vertex-free) graphs."""
-    from repro.sim.instrumentation import InstructionCounter
-
-    return CostReport(
-        kernel="pagerank",
-        scheme=scheme,
-        instructions=InstructionCounter(),
-        issue_cycles=0.0,
-        memory_stall_cycles=0.0,
-        dram_accesses=0,
-        l1_miss_rate=0.0,
-        l2_miss_rate=0.0,
-        l3_miss_rate=0.0,
-    )

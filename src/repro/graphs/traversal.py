@@ -100,9 +100,8 @@ def connected_components(
         raise ValueError("connected components is defined here for undirected graphs")
     n = graph.n_vertices
     if n == 0:
-        from repro.graphs.pagerank import merge_placeholder
-
-        return np.zeros(0, dtype=np.int64), merge_placeholder(scheme)
+        # Label the placeholder with this application, not pagerank's.
+        return np.zeros(0, dtype=np.int64), CostReport.empty("connected_components", scheme)
 
     adjacency = graph.adjacency_matrix()
     operand = prepare_operand(adjacency, scheme, smash_config, orientation="row")

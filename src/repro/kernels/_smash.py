@@ -41,24 +41,33 @@ WORD_BYTES = 8
 
 
 class BlockBodies:
-    """Pre-assembled SpMV block bodies for every non-zero block.
+    """Lazily assembled SpMV block bodies for every non-zero block.
 
-    ``columns`` holds the concatenated per-block access pattern
-    ``[nza load, x load] * valid + [y store]``; ``starts``/``ends`` delimit
-    each block's slice so scan planners can splice word-load or buffer-reload
-    events between any two blocks.
+    Each block's body is the access pattern ``[nza load, x load] * valid +
+    [y store]``. When the whole plan fits in the builder's chunk budget, the
+    interleaved columns are assembled once up front and :meth:`emit_range`
+    just slices them (the fast path for every cache-scale workload).
+    Beyond the budget only the O(blocks) plan (bit positions, per-block
+    element counts and access-offset prefix sums) is materialized; the
+    columns of a block range are scattered on demand, in sub-ranges sized
+    to the budget, so peak trace memory stays bounded even when a scan plan
+    emits the whole matrix in one range.
     """
 
-    __slots__ = ("bits", "valid", "starts", "ends", "ids", "offsets", "kinds")
+    __slots__ = (
+        "bits", "valid", "starts", "block", "cols", "id_nza", "id_x", "id_y", "_columns"
+    )
 
-    def __init__(self, bits, valid, starts, ends, ids, offsets, kinds) -> None:
+    def __init__(self, bits, valid, starts, block, cols, id_nza, id_x, id_y) -> None:
         self.bits = bits
         self.valid = valid
         self.starts = starts
-        self.ends = ends
-        self.ids = ids
-        self.offsets = offsets
-        self.kinds = kinds
+        self.block = block
+        self.cols = cols
+        self.id_nza = id_nza
+        self.id_x = id_x
+        self.id_y = id_y
+        self._columns = None
 
     @property
     def n_blocks(self) -> int:
@@ -69,12 +78,72 @@ class BlockBodies:
         """Stored elements visited (bounded by the matrix tail)."""
         return int(self.valid.sum())
 
+    @property
+    def total_len(self) -> int:
+        """Accesses across all block bodies."""
+        n = self.n_blocks
+        return int(self.starts[n - 1] + 2 * self.valid[n - 1] + 1) if n else 0
+
     def emit_range(self, builder: TraceBuilder, lo: int, hi: int) -> None:
         """Append the bodies of blocks ``[lo, hi)`` to ``builder``."""
+        lo, hi = int(lo), int(hi)
         if hi <= lo:
             return
-        a, b = int(self.starts[lo]), int(self.ends[hi - 1])
-        builder.add_columns(self.ids[a:b], self.offsets[a:b], self.kinds[a:b])
+        if self._columns is not None:
+            ids, offsets, kinds = self._columns
+            a = int(self.starts[lo])
+            b = int(self.starts[hi - 1] + 2 * self.valid[hi - 1] + 1)
+            builder.add_columns(ids[a:b], offsets[a:b], kinds[a:b])
+            return
+        budget = builder.chunk_accesses
+        cursor = lo
+        while cursor < hi:
+            if budget:
+                target = int(self.starts[cursor]) + budget
+                sub = int(np.searchsorted(self.starts, target, side="left"))
+                sub = max(cursor + 1, min(sub, hi))
+            else:
+                sub = hi
+            builder.add_columns(*self._assemble(cursor, sub))
+            cursor = sub
+
+    def materialize_columns(self, budget: Optional[int]) -> None:
+        """Assemble all columns eagerly when they fit in ``budget`` accesses.
+
+        Eager assembly restores the slice-only ``emit_range`` fast path used
+        by every plan that fits the chunk budget; oversized plans stay lazy
+        so their peak memory remains bounded.
+        """
+        if self.n_blocks and (budget is None or self.total_len <= budget):
+            self._columns = self._assemble(0, self.n_blocks)
+
+    def _assemble(self, lo: int, hi: int):
+        """Scatter the interleaved columns of blocks ``[lo, hi)``."""
+        bits = self.bits[lo:hi]
+        valid = self.valid[lo:hi]
+        block, cols = self.block, self.cols
+        lengths = 2 * valid + 1
+        starts = exclusive_cumsum(lengths)
+        total_len = int(lengths.sum())
+        ids = np.empty(total_len, dtype=np.int64)
+        offsets = np.empty(total_len, dtype=np.int64)
+        kinds = np.empty(total_len, dtype=np.uint8)
+
+        elem_block = np.repeat(np.arange(hi - lo, dtype=np.int64), valid)
+        elem = grouped_arange(valid)
+        pos = np.repeat(starts, valid) + 2 * elem
+        linear = bits[elem_block] * block + elem
+        ids[pos] = self.id_nza
+        offsets[pos] = ((lo + elem_block) * block + elem) * VAL
+        kinds[pos] = KIND_STREAM
+        ids[pos + 1] = self.id_x
+        offsets[pos + 1] = (linear % cols) * VAL
+        kinds[pos + 1] = KIND_STREAM
+        store_pos = starts + 2 * valid
+        ids[store_pos] = self.id_y
+        offsets[store_pos] = ((bits * block) // cols) * VAL
+        kinds[store_pos] = KIND_WRITE
+        return ids, offsets, kinds
 
 
 def block_bodies(
@@ -84,36 +153,30 @@ def block_bodies(
     x_name: str = "x",
     y_name: str = "y",
 ) -> BlockBodies:
-    """Assemble the SpMV bodies of every non-zero block, vectorized."""
+    """Plan the SpMV bodies of every non-zero block.
+
+    Columns are assembled eagerly when the whole plan fits the builder's
+    chunk budget (slice-only emission, the common case) and lazily per
+    emitted range otherwise (bounded memory at any scale).
+    """
     bits = matrix.hierarchy.base.set_bit_array()
-    n = bits.size
     block = matrix.block_size
     rows, cols = matrix.shape
     total = rows * cols
     valid = np.minimum(block, total - bits * block)
-    lengths = 2 * valid + 1
-    starts = exclusive_cumsum(lengths)
-    ends = starts + lengths
-    total_len = int(lengths.sum())
-    ids = np.empty(total_len, dtype=np.int64)
-    offsets = np.empty(total_len, dtype=np.int64)
-    kinds = np.empty(total_len, dtype=np.uint8)
-
-    elem_block = np.repeat(np.arange(n, dtype=np.int64), valid)
-    elem = grouped_arange(valid)
-    pos = np.repeat(starts, valid) + 2 * elem
-    linear = bits[elem_block] * block + elem
-    ids[pos] = builder.structure_id(nza_name)
-    offsets[pos] = (elem_block * block + elem) * VAL
-    kinds[pos] = KIND_STREAM
-    ids[pos + 1] = builder.structure_id(x_name)
-    offsets[pos + 1] = (linear % cols) * VAL
-    kinds[pos + 1] = KIND_STREAM
-    store_pos = starts + 2 * valid
-    ids[store_pos] = builder.structure_id(y_name)
-    offsets[store_pos] = ((bits * block) // cols) * VAL
-    kinds[store_pos] = KIND_WRITE
-    return BlockBodies(bits, valid, starts, ends, ids, offsets, kinds)
+    starts = exclusive_cumsum(2 * valid + 1)
+    bodies = BlockBodies(
+        bits,
+        valid,
+        starts,
+        block,
+        cols,
+        builder.structure_id(nza_name),
+        builder.structure_id(x_name),
+        builder.structure_id(y_name),
+    )
+    bodies.materialize_columns(builder.chunk_accesses)
+    return bodies
 
 
 def accumulate_spmv(matrix: SMASHMatrix, bodies: BlockBodies, x: np.ndarray) -> np.ndarray:

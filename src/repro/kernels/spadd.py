@@ -10,7 +10,9 @@ the operands at NZA-block granularity through the BMU.
 The batched implementations derive each row's (or the whole bitmap's) merge
 sequence from searchsorted arithmetic over the sorted index arrays and
 scatter the per-step loads/stores into one trace segment, reproducing the
-per-element reference kernels in :mod:`repro.kernels.legacy` bit-exactly.
+per-element reference kernels in :mod:`repro.kernels.legacy` bit-exactly at
+any chunk budget (the per-row segments stream through the bounded-memory
+chunked replay of DESIGN.md section 10).
 """
 
 from __future__ import annotations

@@ -22,8 +22,11 @@ The batched implementations keep the outer (row, column) loop in Python but
 assemble each pair's merge sequence — which side advances at every step, and
 therefore which index/value loads are issued — with vectorized searchsorted
 arithmetic over the sorted index arrays, then scatter the per-step access
-columns into one trace segment. Cost reports are bit-identical to the
-per-element reference kernels in :mod:`repro.kernels.legacy`.
+columns into one trace segment. Because each pair appends its own segment,
+the streaming trace builder bounds peak trace memory by the chunk budget
+with no kernel-side changes (DESIGN.md section 10). Cost reports are
+bit-identical to the per-element reference kernels in
+:mod:`repro.kernels.legacy`, at any chunk size.
 
 Every function returns ``(C, CostReport)`` where ``C`` is a dense result
 array.

@@ -3,11 +3,13 @@
 Every function computes ``y = A @ x`` for one scheme while charging the
 analytic performance model, and returns ``(y, CostReport)``. The kernels are
 *vectorized*: instead of one ``instr.load()`` call per non-zero they assemble
-the complete access trace of the traversal as numpy arrays — interleaved in
-the exact order the compiled implementation would issue the accesses — and
-replay it through the batched memory engine in one pass. Instruction-class
-totals are charged in bulk. The resulting cost reports are bit-identical to
-the per-element reference kernels in :mod:`repro.kernels.legacy` (asserted by
+the access trace of the traversal as numpy arrays — interleaved in the exact
+order the compiled implementation would issue the accesses — one row block
+at a time, streaming each block through the bounded-memory chunked replay
+(DESIGN.md section 10), so peak trace memory is set by the chunk budget
+rather than the matrix size. Instruction-class totals are charged in bulk.
+The resulting cost reports are bit-identical to the per-element reference
+kernels in :mod:`repro.kernels.legacy` at any chunk size (asserted by
 ``tests/test_trace_equivalence.py``).
 
 Schemes
@@ -64,6 +66,20 @@ def _check_vector(x: np.ndarray, cols: int) -> np.ndarray:
     return x
 
 
+def _rows_per_chunk(chunk_accesses: Optional[int], rows: int, total_accesses: int) -> int:
+    """Row-block height whose assembled trace stays near the chunk budget.
+
+    With chunking disabled (``None``) the whole matrix is one block — the
+    monolithic assembly path. Otherwise the height is chosen from the
+    average per-row access count, so both the scatter scratch arrays and the
+    builder's buffered columns stay O(chunk) instead of O(total accesses).
+    """
+    if not chunk_accesses or rows <= 1:
+        return max(rows, 1)
+    per_row = max(1.0, total_accesses / rows)
+    return max(1, min(rows, int(chunk_accesses / per_row)))
+
+
 # --------------------------------------------------------------------------- #
 # CSR family
 # --------------------------------------------------------------------------- #
@@ -80,8 +96,11 @@ def _spmv_csr_like(
     Per-row access order (mirroring the compiled loop nest): one ``row_ptr``
     load, then per non-zero ``[col_ind, values, x]`` (``[values, x]`` under
     ideal indexing, where positions are known for free), then the ``y``
-    store. The whole trace is assembled by scattering the three per-nnz
-    columns and the two per-row columns into their program-order positions.
+    store. The trace is assembled one row block at a time — scattering the
+    three per-nnz columns and the two per-row columns into their
+    program-order positions within the block — and streamed through the
+    chunked replay, so peak trace memory is bounded by the chunk budget
+    (one block spans all rows when chunking is disabled).
     """
     x = _check_vector(x, csr.cols)
     instr = KernelInstrumentation("spmv", scheme, config)
@@ -92,49 +111,69 @@ def _spmv_csr_like(
     rows, nnz = csr.rows, csr.nnz
     row_ptr = csr.row_ptr.astype(np.int64, copy=False)
     col = csr.col_ind.astype(np.int64, copy=False)
-    row_of = np.repeat(np.arange(rows, dtype=np.int64), np.diff(row_ptr))
-    row_ids = np.arange(rows, dtype=np.int64)
-    nnz_ids = np.arange(nnz, dtype=np.int64)
 
     builder = instr.trace_builder()
-    width = 2 if ideal_indexing else 3
-    total = 2 * rows + width * nnz
-    ids = np.empty(total, dtype=np.int64)
-    offsets = np.empty(total, dtype=np.int64)
-    kinds = np.empty(total, dtype=np.uint8)
-
-    prefix = width * row_ptr[:-1] + 2 * row_ids
-    ids[prefix] = builder.structure_id("A_row_ptr")
-    offsets[prefix] = (row_ids + 1) * IDX
-    kinds[prefix] = KIND_STREAM
-
-    body = width * nnz_ids + 2 * row_of + 1
+    id_rp = builder.structure_id("A_row_ptr")
     if ideal_indexing:
-        ids[body] = builder.structure_id("A_values")
-        offsets[body] = nnz_ids * VAL
-        kinds[body] = KIND_STREAM
-        ids[body + 1] = builder.structure_id("x")
-        offsets[body + 1] = col * VAL
-        kinds[body + 1] = KIND_STREAM
+        id_ci = None
+        id_av = builder.structure_id("A_values")
+        id_x = builder.structure_id("x")
     else:
-        ids[body] = builder.structure_id("A_col_ind")
-        offsets[body] = nnz_ids * IDX
-        kinds[body] = KIND_STREAM
-        ids[body + 1] = builder.structure_id("A_values")
-        offsets[body + 1] = nnz_ids * VAL
-        kinds[body + 1] = KIND_STREAM
-        # The x address depends on the loaded column index: this is the
-        # pointer-chasing access the paper highlights.
-        ids[body + 2] = builder.structure_id("x")
-        offsets[body + 2] = col * VAL
-        kinds[body + 2] = KIND_DEPENDENT
+        id_ci = builder.structure_id("A_col_ind")
+        id_av = builder.structure_id("A_values")
+        id_x = builder.structure_id("x")
+    id_y = builder.structure_id("y")
+    width = 2 if ideal_indexing else 3
 
-    suffix = width * row_ptr[1:] + 2 * row_ids + 1
-    ids[suffix] = builder.structure_id("y")
-    offsets[suffix] = row_ids * VAL
-    kinds[suffix] = KIND_WRITE
+    chunk_rows = _rows_per_chunk(builder.chunk_accesses, rows, 2 * rows + width * nnz)
+    for r0 in range(0, rows, chunk_rows):
+        r1 = min(rows, r0 + chunk_rows)
+        z0, z1 = int(row_ptr[r0]), int(row_ptr[r1])
+        n_rows = r1 - r0
+        n_nnz = z1 - z0
+        local_ptr = row_ptr[r0 : r1 + 1] - z0
+        row_ids = np.arange(n_rows, dtype=np.int64)
+        nnz_ids = np.arange(n_nnz, dtype=np.int64)
+        row_of = np.repeat(row_ids, np.diff(local_ptr))
+        block_col = col[z0:z1]
 
-    builder.add_columns(ids, offsets, kinds)
+        total = 2 * n_rows + width * n_nnz
+        ids = np.empty(total, dtype=np.int64)
+        offsets = np.empty(total, dtype=np.int64)
+        kinds = np.empty(total, dtype=np.uint8)
+
+        prefix = width * local_ptr[:-1] + 2 * row_ids
+        ids[prefix] = id_rp
+        offsets[prefix] = (r0 + row_ids + 1) * IDX
+        kinds[prefix] = KIND_STREAM
+
+        body = width * nnz_ids + 2 * row_of + 1
+        if ideal_indexing:
+            ids[body] = id_av
+            offsets[body] = (z0 + nnz_ids) * VAL
+            kinds[body] = KIND_STREAM
+            ids[body + 1] = id_x
+            offsets[body + 1] = block_col * VAL
+            kinds[body + 1] = KIND_STREAM
+        else:
+            ids[body] = id_ci
+            offsets[body] = (z0 + nnz_ids) * IDX
+            kinds[body] = KIND_STREAM
+            ids[body + 1] = id_av
+            offsets[body + 1] = (z0 + nnz_ids) * VAL
+            kinds[body + 1] = KIND_STREAM
+            # The x address depends on the loaded column index: this is the
+            # pointer-chasing access the paper highlights.
+            ids[body + 2] = id_x
+            offsets[body + 2] = block_col * VAL
+            kinds[body + 2] = KIND_DEPENDENT
+
+        suffix = width * local_ptr[1:] + 2 * row_ids + 1
+        ids[suffix] = id_y
+        offsets[suffix] = (r0 + row_ids) * VAL
+        kinds[suffix] = KIND_WRITE
+
+        builder.add_columns(ids, offsets, kinds)
     instr.replay_trace(builder.build())
 
     instr.count_batch(
@@ -149,7 +188,8 @@ def _spmv_csr_like(
     )
 
     products = csr.values * x[col]
-    y = np.bincount(row_of, weights=products, minlength=rows) if nnz else np.zeros(rows)
+    row_of_nnz = np.repeat(np.arange(rows, dtype=np.int64), np.diff(row_ptr))
+    y = np.bincount(row_of_nnz, weights=products, minlength=rows) if nnz else np.zeros(rows)
     return y, instr.report()
 
 
@@ -203,46 +243,63 @@ def spmv_bcsr_instrumented(
     block_rows = bcsr.block_rows
     n_blocks = bcsr.n_blocks
     block_ptr = bcsr.block_row_ptr.astype(np.int64, copy=False)
-    block_col = bcsr.block_col_ind.astype(np.int64, copy=False)
-    row_of = np.repeat(np.arange(block_rows, dtype=np.int64), np.diff(block_ptr))
-    row_ids = np.arange(block_rows, dtype=np.int64)
-    blk_ids = np.arange(n_blocks, dtype=np.int64)
+    all_block_col = bcsr.block_col_ind.astype(np.int64, copy=False)
 
     builder = instr.trace_builder()
+    id_rp = builder.structure_id("A_block_row_ptr")
+    id_ci = builder.structure_id("A_block_col_ind")
+    id_blk = builder.structure_id("A_blocks")
+    id_x = builder.structure_id("x")
+    id_y = builder.structure_id("y")
+
     unit = 1 + block_elems + bc
     per_row = 1 + br
-    total = block_rows * per_row + n_blocks * unit
-    ids = np.empty(total, dtype=np.int64)
-    offsets = np.empty(total, dtype=np.int64)
-    kinds = np.empty(total, dtype=np.uint8)
+    chunk_rows = _rows_per_chunk(
+        builder.chunk_accesses, block_rows, block_rows * per_row + n_blocks * unit
+    )
+    for r0 in range(0, block_rows, chunk_rows):
+        r1 = min(block_rows, r0 + chunk_rows)
+        z0, z1 = int(block_ptr[r0]), int(block_ptr[r1])
+        n_rows = r1 - r0
+        n_blk = z1 - z0
+        local_ptr = block_ptr[r0 : r1 + 1] - z0
+        row_ids = np.arange(n_rows, dtype=np.int64)
+        blk_ids = np.arange(n_blk, dtype=np.int64)
+        row_of = np.repeat(row_ids, np.diff(local_ptr))
+        block_col = all_block_col[z0:z1]
 
-    prefix = unit * block_ptr[:-1] + per_row * row_ids
-    ids[prefix] = builder.structure_id("A_block_row_ptr")
-    offsets[prefix] = (row_ids + 1) * IDX
-    kinds[prefix] = KIND_STREAM
+        total = n_rows * per_row + n_blk * unit
+        ids = np.empty(total, dtype=np.int64)
+        offsets = np.empty(total, dtype=np.int64)
+        kinds = np.empty(total, dtype=np.uint8)
 
-    start = unit * blk_ids + per_row * row_of + 1
-    ids[start] = builder.structure_id("A_block_col_ind")
-    offsets[start] = blk_ids * IDX
-    kinds[start] = KIND_STREAM
-    elems = start[:, None] + 1 + np.arange(block_elems)
-    ids[elems] = builder.structure_id("A_blocks")
-    offsets[elems] = (blk_ids[:, None] * block_elems + np.arange(block_elems)) * VAL
-    kinds[elems] = KIND_STREAM
-    # The x sub-vector address depends on the loaded block column index:
-    # first access dependent, the rest of the sub-vector streams.
-    xpos = start[:, None] + 1 + block_elems + np.arange(bc)
-    ids[xpos] = builder.structure_id("x")
-    offsets[xpos] = (block_col[:, None] * bc + np.arange(bc)) * VAL
-    kinds[xpos] = KIND_STREAM
-    kinds[xpos[:, 0]] = KIND_DEPENDENT
+        prefix = unit * local_ptr[:-1] + per_row * row_ids
+        ids[prefix] = id_rp
+        offsets[prefix] = (r0 + row_ids + 1) * IDX
+        kinds[prefix] = KIND_STREAM
 
-    suffix = (unit * block_ptr[1:] + per_row * row_ids + 1)[:, None] + np.arange(br)
-    ids[suffix] = builder.structure_id("y")
-    offsets[suffix] = (row_ids[:, None] * br + np.arange(br)) * VAL
-    kinds[suffix] = KIND_WRITE
+        start = unit * blk_ids + per_row * row_of + 1
+        ids[start] = id_ci
+        offsets[start] = (z0 + blk_ids) * IDX
+        kinds[start] = KIND_STREAM
+        elems = start[:, None] + 1 + np.arange(block_elems)
+        ids[elems] = id_blk
+        offsets[elems] = ((z0 + blk_ids)[:, None] * block_elems + np.arange(block_elems)) * VAL
+        kinds[elems] = KIND_STREAM
+        # The x sub-vector address depends on the loaded block column index:
+        # first access dependent, the rest of the sub-vector streams.
+        xpos = start[:, None] + 1 + block_elems + np.arange(bc)
+        ids[xpos] = id_x
+        offsets[xpos] = (block_col[:, None] * bc + np.arange(bc)) * VAL
+        kinds[xpos] = KIND_STREAM
+        kinds[xpos[:, 0]] = KIND_DEPENDENT
 
-    builder.add_columns(ids, offsets, kinds)
+        suffix = (unit * local_ptr[1:] + per_row * row_ids + 1)[:, None] + np.arange(br)
+        ids[suffix] = id_y
+        offsets[suffix] = ((r0 + row_ids)[:, None] * br + np.arange(br)) * VAL
+        kinds[suffix] = KIND_WRITE
+
+        builder.add_columns(ids, offsets, kinds)
     instr.replay_trace(builder.build())
 
     instr.count_batch(
@@ -260,8 +317,9 @@ def spmv_bcsr_instrumented(
     x_blocks = padded_x.reshape(bcsr.block_cols, bc)
     y_blocks = np.zeros((block_rows, br), dtype=np.float64)
     if n_blocks:
-        contributions = np.einsum("kij,kj->ki", bcsr.blocks, x_blocks[block_col])
-        np.add.at(y_blocks, row_of, contributions)
+        row_of_blk = np.repeat(np.arange(block_rows, dtype=np.int64), np.diff(block_ptr))
+        contributions = np.einsum("kij,kj->ki", bcsr.blocks, x_blocks[all_block_col])
+        np.add.at(y_blocks, row_of_blk, contributions)
     return y_blocks.reshape(-1)[: bcsr.rows], instr.report()
 
 

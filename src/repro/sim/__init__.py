@@ -40,6 +40,12 @@ from repro.sim.instrumentation import (
     KernelInstrumentation,
     merge_reports,
 )
+from repro.sim.trace import (
+    AccessTrace,
+    TraceBuilder,
+    DEFAULT_CHUNK_ACCESSES,
+    trace_chunk_accesses,
+)
 
 __all__ = [
     "CacheConfig",
@@ -63,4 +69,8 @@ __all__ = [
     "CostReport",
     "KernelInstrumentation",
     "merge_reports",
+    "AccessTrace",
+    "TraceBuilder",
+    "DEFAULT_CHUNK_ACCESSES",
+    "trace_chunk_accesses",
 ]

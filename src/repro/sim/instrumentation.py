@@ -21,13 +21,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.sim.config import SimConfig
 from repro.sim.memory import AddressSpace, MemoryHierarchy
-from repro.sim.trace import KIND_DEPENDENT, KIND_STREAM, KIND_WRITE, AccessTrace, TraceBuilder
+from repro.sim.trace import (
+    KIND_DEPENDENT,
+    KIND_STREAM,
+    KIND_WRITE,
+    AccessTrace,
+    TraceBuilder,
+    trace_chunk_accesses,
+)
 
 
 class InstructionClass(enum.Enum):
@@ -132,6 +139,28 @@ class CostReport:
         }
 
     @classmethod
+    def empty(cls, kernel: str, scheme: str) -> "CostReport":
+        """A zeroed report for degenerate inputs (empty graphs/systems).
+
+        The single factory used by every application-layer driver that must
+        return a well-formed report without running a kernel, so the
+        ``kernel`` label always matches the caller (an empty-graph
+        betweenness run reports ``kernel="betweenness"``, not the label of
+        whatever helper it borrowed the constructor from).
+        """
+        return cls(
+            kernel=kernel,
+            scheme=scheme,
+            instructions=InstructionCounter(),
+            issue_cycles=0.0,
+            memory_stall_cycles=0.0,
+            dram_accesses=0,
+            l1_miss_rate=0.0,
+            l2_miss_rate=0.0,
+            l3_miss_rate=0.0,
+        )
+
+    @classmethod
     def from_dict(cls, payload: Mapping) -> "CostReport":
         """Rebuild a report serialized by :meth:`to_dict`."""
         return cls(
@@ -225,7 +254,13 @@ class KernelInstrumentation:
     configured instruction costs and the replayed cache behaviour.
     """
 
-    def __init__(self, kernel: str, scheme: str, config: Optional[SimConfig] = None) -> None:
+    def __init__(
+        self,
+        kernel: str,
+        scheme: str,
+        config: Optional[SimConfig] = None,
+        trace_chunk: Optional[int] = -1,
+    ) -> None:
         self.kernel = kernel
         self.scheme = scheme
         self.config = config or SimConfig.default()
@@ -233,6 +268,11 @@ class KernelInstrumentation:
         self.memory = MemoryHierarchy(self.config)
         self.address_space = AddressSpace()
         self._metadata: Dict[str, float] = {}
+        #: Per-segment access budget for streaming trace builders. ``None``
+        #: means monolithic build-then-replay; the default (-1 sentinel)
+        #: resolves the SMASH_REPRO_TRACE_CHUNK environment knob. Chunking
+        #: only changes peak memory, never the report (DESIGN.md section 10).
+        self.trace_chunk = trace_chunk_accesses() if trace_chunk == -1 else trace_chunk
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -253,16 +293,46 @@ class KernelInstrumentation:
 
     # -- batched trace API --------------------------------------------- #
     def trace_builder(self) -> TraceBuilder:
-        """A fresh builder for assembling an interleaved access trace."""
-        return TraceBuilder()
+        """A fresh builder for assembling an interleaved access trace.
 
-    def replay_trace(self, trace: AccessTrace) -> None:
+        The builder streams: whenever its buffered accesses reach
+        :attr:`trace_chunk`, they are replayed through the memory hierarchy
+        immediately and the buffer is dropped, so peak trace memory is
+        bounded by the chunk budget instead of the workload size. With
+        ``trace_chunk=None`` the builder accumulates everything until
+        :meth:`~repro.sim.trace.TraceBuilder.build` (the monolithic path).
+        Either way the kernel idiom ``replay_trace(builder.build())``
+        replays exactly the accesses recorded, in order, with bit-identical
+        statistics.
+        """
+        return TraceBuilder(sink=self._replay_segment, chunk_accesses=self.trace_chunk)
+
+    def replay_trace(
+        self, trace: Union[AccessTrace, Iterable[AccessTrace], None]
+    ) -> None:
         """Replay a pre-assembled trace through the memory hierarchy.
+
+        Accepts one :class:`AccessTrace`, ``None`` (a no-op, for convenience
+        of streaming callers), or any iterable of traces — the segment
+        protocol: segments are replayed in order and all replay state (cache
+        contents, prefetcher streams, stall totals) carries across segment
+        boundaries, so a segmented trace produces bit-identical statistics
+        to the equivalent monolithic one.
 
         The trace carries memory events only; instruction accounting is the
         kernel's job (via :meth:`count_batch`), because instruction counts
         are order-independent while memory accesses are not.
         """
+        if trace is None:
+            return
+        if isinstance(trace, AccessTrace):
+            self._replay_segment(trace)
+            return
+        for segment in trace:
+            self._replay_segment(segment)
+
+    def _replay_segment(self, trace: AccessTrace) -> None:
+        """Resolve one segment's addresses and replay it (state persists)."""
         if trace.n_accesses == 0:
             return
         bases = np.array(

@@ -18,6 +18,19 @@ Two entry points share one engine:
 * :meth:`MemoryHierarchy.access` — the legacy per-element API, kept as a
   thin shim that replays a one-access trace. Results are bit-identical to
   the batched path by construction.
+
+**Chunk-boundary contract.** Every piece of replay state lives on the
+hierarchy object and persists across :meth:`MemoryHierarchy.replay` calls:
+cache contents and LRU order, prefetcher stream table, and the running
+stall/statistics totals. Replaying one trace as N consecutive segments is
+therefore bit-identical to replaying it in one call, for *any* cut points —
+including a cut inside a coalesced streaming run: the run head on the far
+side of the cut walks the hierarchy, scores the same guaranteed L1 hit the
+bulk credit would have recorded, and its stride-0 prefetcher probe leaves
+the stream state untouched. This is the invariant the bounded-memory
+chunked replay (see :mod:`repro.sim.trace` and DESIGN.md section 10) is
+built on, and ``tests/test_trace_equivalence.py`` asserts it for every
+kernel x scheme at multiple chunk sizes.
 """
 
 from __future__ import annotations
@@ -133,7 +146,10 @@ class MemoryHierarchy:
         head walks the hierarchy, the repeats are credited as guaranteed L1
         hits in bulk (the head just made the line MRU, and a stride-0 repeat
         leaves the prefetcher untouched). The per-access statistics are
-        bit-identical to replaying each access through :meth:`access`.
+        bit-identical to replaying each access through :meth:`access`, and —
+        because all replay state persists on ``self`` between calls — to
+        replaying the same accesses split across any number of consecutive
+        :meth:`replay` calls (the chunk-boundary contract above).
         """
         n = int(addresses.size)
         if n == 0:

@@ -20,11 +20,33 @@ The replay preserves the *exact* sequential semantics of the per-element API:
 a trace replays to bit-identical statistics as the equivalent sequence of
 ``load``/``store`` calls (the equivalence suite in
 ``tests/test_trace_equivalence.py`` asserts this for every kernel x scheme).
+
+Chunked (bounded-memory) replay
+-------------------------------
+
+A :class:`TraceBuilder` can operate in *streaming* mode: constructed with a
+``sink`` callable and a ``chunk_accesses`` budget, it hands completed
+:class:`AccessTrace` *segments* to the sink as soon as the buffered accesses
+reach the budget, instead of holding the whole trace until :meth:`build`.
+The structure table is shared across all segments of one builder, and
+:meth:`build` returns only the un-flushed tail, so the usual kernel idiom
+``instr.replay_trace(builder.build())`` works unchanged in both modes.
+
+Because :meth:`repro.sim.memory.MemoryHierarchy.replay` carries every piece
+of replay state (cache contents, prefetcher streams, running stall totals)
+across calls, replaying a trace as segments is bit-identical to replaying it
+monolithically for *any* segmentation — including cuts in the middle of a
+streaming run (see DESIGN.md section 10). Peak replay memory then depends on
+the chunk budget, not on the workload size. The budget defaults to
+:data:`DEFAULT_CHUNK_ACCESSES` and can be overridden through the
+``SMASH_REPRO_TRACE_CHUNK`` environment variable (``0`` restores the
+monolithic build-then-replay behaviour).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import os
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +54,29 @@ import numpy as np
 KIND_STREAM = 0
 KIND_DEPENDENT = 1
 KIND_WRITE = 2
+
+#: Default per-segment access budget for streaming builders. One access costs
+#: 17 bytes of column data (two int64 plus one uint8), so the default bounds
+#: each buffered segment to ~17 MB regardless of workload size.
+DEFAULT_CHUNK_ACCESSES = 1 << 20
+
+#: Environment variable overriding the chunk budget (``0`` = monolithic).
+CHUNK_ENV_VAR = "SMASH_REPRO_TRACE_CHUNK"
+
+
+def trace_chunk_accesses() -> Optional[int]:
+    """The configured chunk budget: env override, else the default.
+
+    Returns ``None`` when chunking is disabled (``SMASH_REPRO_TRACE_CHUNK=0``),
+    i.e. the builder should accumulate the whole trace and build it once.
+    """
+    raw = os.environ.get(CHUNK_ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_CHUNK_ACCESSES
+    value = int(raw)
+    if value < 0:
+        raise ValueError(f"{CHUNK_ENV_VAR} must be non-negative, got {value}")
+    return value if value else None
 
 
 class AccessTrace:
@@ -74,18 +119,35 @@ class AccessTrace:
 
 
 class TraceBuilder:
-    """Accumulates trace segments and finalizes them into one `AccessTrace`.
+    """Accumulates trace segments and finalizes them into `AccessTrace` chunks.
 
     Builders are append-only: segments are recorded as chunks of column
     arrays and concatenated once at :meth:`build` time, so emitting a segment
     is O(1) numpy bookkeeping regardless of how the kernel interleaves its
     data structures.
+
+    With a ``sink`` and a ``chunk_accesses`` budget the builder *streams*:
+    whenever the buffered accesses reach the budget, the buffer is finalized
+    into one or more budget-sized :class:`AccessTrace` segments and handed to
+    the sink in program order, keeping peak memory bounded by the budget.
+    The structure-id table is shared by every segment the builder emits, and
+    :meth:`build` returns only the un-flushed tail.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        sink: Optional[Callable[[AccessTrace], None]] = None,
+        chunk_accesses: Optional[int] = None,
+    ) -> None:
+        if chunk_accesses is not None and chunk_accesses < 1:
+            raise ValueError("chunk_accesses must be positive (or None for monolithic)")
         self._names: List[str] = []
         self._ids: dict = {}
         self._chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._buffered = 0
+        self._total = 0
+        self.sink = sink
+        self.chunk_accesses = chunk_accesses if sink is not None else None
 
     def structure_id(self, name: str) -> int:
         """Return (allocating if needed) the id of structure ``name``."""
@@ -102,23 +164,19 @@ class TraceBuilder:
         if offs.size == 0:
             return
         sid = self.structure_id(structure)
-        self._chunks.append(
-            (
-                np.full(offs.size, sid, dtype=np.int64),
-                offs,
-                np.full(offs.size, kind, dtype=np.uint8),
-            )
+        self._append(
+            np.full(offs.size, sid, dtype=np.int64),
+            offs,
+            np.full(offs.size, kind, dtype=np.uint8),
         )
 
     def add_one(self, structure: str, offset: int, kind: int) -> None:
         """Append a single access."""
         sid = self.structure_id(structure)
-        self._chunks.append(
-            (
-                np.array([sid], dtype=np.int64),
-                np.array([offset], dtype=np.int64),
-                np.array([kind], dtype=np.uint8),
-            )
+        self._append(
+            np.array([sid], dtype=np.int64),
+            np.array([offset], dtype=np.int64),
+            np.array([kind], dtype=np.uint8),
         )
 
     def add_columns(self, struct_ids, offsets, kinds) -> None:
@@ -126,12 +184,10 @@ class TraceBuilder:
         ids = np.ascontiguousarray(struct_ids, dtype=np.int64)
         if ids.size == 0:
             return
-        self._chunks.append(
-            (
-                ids,
-                np.ascontiguousarray(offsets, dtype=np.int64),
-                np.ascontiguousarray(kinds, dtype=np.uint8),
-            )
+        self._append(
+            ids,
+            np.ascontiguousarray(offsets, dtype=np.int64),
+            np.ascontiguousarray(kinds, dtype=np.uint8),
         )
 
     def add_interleaved(self, columns) -> None:
@@ -154,22 +210,67 @@ class TraceBuilder:
             ids[slot::width] = self.structure_id(structure)
             offsets[slot::width] = offs[slot]
             kinds[slot::width] = kind
+        self._append(ids, offsets, kinds)
+
+    def _append(self, ids: np.ndarray, offsets: np.ndarray, kinds: np.ndarray) -> None:
+        """Record one buffered chunk and flush if the budget is reached."""
         self._chunks.append((ids, offsets, kinds))
+        self._buffered += ids.size
+        self._total += ids.size
+        if self.chunk_accesses is not None and self._buffered >= self.chunk_accesses:
+            self.flush()
 
     @property
     def n_accesses(self) -> int:
-        """Accesses accumulated so far."""
-        return sum(chunk[0].size for chunk in self._chunks)
+        """Accesses currently buffered (pending flush/build)."""
+        return self._buffered
 
-    def build(self) -> AccessTrace:
-        """Concatenate all chunks into a single immutable trace."""
+    @property
+    def total_accesses(self) -> int:
+        """Accesses recorded over the builder's lifetime, flushed or not."""
+        return self._total
+
+    def _drain(self) -> AccessTrace:
+        """Concatenate and clear the buffered chunks (structure table kept)."""
         if not self._chunks:
             empty = np.zeros(0, dtype=np.int64)
             return AccessTrace(self._names, empty, empty, np.zeros(0, dtype=np.uint8))
         ids = np.concatenate([c[0] for c in self._chunks])
         offsets = np.concatenate([c[1] for c in self._chunks])
         kinds = np.concatenate([c[2] for c in self._chunks])
+        self._chunks.clear()
+        self._buffered = 0
         return AccessTrace(self._names, ids, offsets, kinds)
+
+    def flush(self) -> None:
+        """Emit everything buffered to the sink as budget-sized segments.
+
+        A no-op without a sink. A single oversized appended chunk is split
+        into consecutive budget-sized slices, so no emitted segment exceeds
+        the budget regardless of how coarsely the kernel appends.
+        """
+        if self.sink is None or self._buffered == 0:
+            return
+        trace = self._drain()
+        budget = self.chunk_accesses or trace.n_accesses
+        for start in range(0, trace.n_accesses, budget):
+            stop = min(start + budget, trace.n_accesses)
+            self.sink(
+                AccessTrace(
+                    trace.structures,
+                    trace.struct_ids[start:stop],
+                    trace.offsets[start:stop],
+                    trace.kinds[start:stop],
+                )
+            )
+
+    def build(self) -> AccessTrace:
+        """Finalize the buffered accesses into a single immutable trace.
+
+        In streaming mode earlier budget-sized segments have already been
+        handed to the sink, so this returns only the un-flushed tail.
+        """
+        return self._drain()
 
 
 # --------------------------------------------------------------------------- #

@@ -9,6 +9,7 @@ import numpy as np
 from repro.core.config import SMASHConfig
 from repro.formats.coo import COOMatrix
 from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport
 from repro.solvers.common import SolverResult, SpMVEngine
 
 
@@ -67,7 +68,7 @@ def conjugate_gradient_solve(
     report = (
         engine.combined_report("conjugate_gradient")
         if engine.spmv_calls
-        else _empty_report(scheme)
+        else CostReport.empty("conjugate_gradient", scheme)
     )
     return SolverResult(
         solution=x,
@@ -75,20 +76,4 @@ def conjugate_gradient_solve(
         converged=converged,
         residual_norm=float(np.sqrt(rs_old)),
         report=report,
-    )
-
-
-def _empty_report(scheme: str):
-    from repro.sim.instrumentation import CostReport, InstructionCounter
-
-    return CostReport(
-        kernel="conjugate_gradient",
-        scheme=scheme,
-        instructions=InstructionCounter(),
-        issue_cycles=0.0,
-        memory_stall_cycles=0.0,
-        dram_accesses=0,
-        l1_miss_rate=0.0,
-        l2_miss_rate=0.0,
-        l3_miss_rate=0.0,
     )

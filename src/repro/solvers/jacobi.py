@@ -9,6 +9,7 @@ import numpy as np
 from repro.core.config import SMASHConfig
 from repro.formats.coo import COOMatrix
 from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport
 from repro.solvers.common import SolverResult, SpMVEngine
 
 
@@ -35,6 +36,16 @@ def jacobi_solve(
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (matrix.rows,):
         raise ValueError(f"b must have length {matrix.rows}, got {b.shape}")
+    if matrix.rows == 0:
+        # A 0x0 system is vacuously solved; report it under this solver's
+        # own label instead of running a kernel on an empty operand.
+        return SolverResult(
+            solution=np.zeros(0),
+            iterations=0,
+            converged=True,
+            residual_norm=0.0,
+            report=CostReport.empty("jacobi", scheme),
+        )
     dense_diag = _extract_diagonal(matrix)
     if np.any(dense_diag == 0.0):
         raise ValueError("Jacobi requires a non-zero diagonal")

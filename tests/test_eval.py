@@ -23,6 +23,7 @@ from repro.eval.experiments import (
     experiment_fig18,
     experiment_fig19,
     experiment_fig20,
+    experiment_scale,
     experiment_table2,
     experiment_table3,
     experiment_table4,
@@ -153,6 +154,27 @@ class TestFigureDrivers:
         # Figure 20: conversion dominates short-running SpMV but is negligible
         # for the long-running iterative PageRank.
         assert conversion_share(spmv) > conversion_share(pagerank)
+
+    def test_scale_sweep_reports_memory_budget(self, monkeypatch):
+        from repro.sim.trace import CHUNK_ENV_VAR
+
+        monkeypatch.delenv(CHUNK_ENV_VAR, raising=False)
+        result = experiment_scale(keys=("M8",), dims=(64, 128))
+        assert result["experiment"] == "scale"
+        assert result["memory_budget_mb"] > 0
+        points = result["per_point"]
+        assert set(points) == {"M8@64", "M8@128"}
+        for point in points.values():
+            assert point["trace_accesses"] == 2 * point["rows"] + 3 * point["nnz"]
+            assert point["speedup"]["taco_csr"] == 1.0
+            assert point["cycles"]["taco_csr"] > 0
+        # The default replay is chunked, so the sweep itself never needs the
+        # monolithic footprint it reports.
+        assert result["trace_chunk_accesses"] is not None
+
+    def test_scale_sweep_needs_baseline(self):
+        with pytest.raises(ValueError):
+            experiment_scale(schemes=("smash_hw",), dims=(64,))
 
     def test_area_overhead_matches_section76(self):
         result = experiment_area()

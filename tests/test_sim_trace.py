@@ -52,6 +52,94 @@ class TestTraceBuilder:
     def test_empty_builder(self):
         assert TraceBuilder().build().n_accesses == 0
 
+    def test_streaming_builder_flushes_budget_sized_segments(self):
+        segments = []
+        builder = TraceBuilder(sink=segments.append, chunk_accesses=4)
+        builder.add("a", [0, 8, 16], KIND_STREAM)  # buffered (3 < 4)
+        assert not segments
+        builder.add("b", [0, 8], KIND_WRITE)  # 5 >= 4: flush
+        assert [s.n_accesses for s in segments] == [4, 1]
+        builder.add_one("c", 0, KIND_DEPENDENT)
+        tail = builder.build()
+        assert tail.n_accesses == 1
+        assert builder.total_accesses == 6
+        assert builder.n_accesses == 0
+        # Every segment's table is a prefix of the builder's final table, so
+        # ids stay consistent across all segments of one builder.
+        assert tail.structures == ["a", "b", "c"]
+        for segment in segments:
+            assert segment.structures == tail.structures[: len(segment.structures)]
+        # Concatenating segments + tail reproduces the monolithic trace.
+        reference = TraceBuilder()
+        reference.add("a", [0, 8, 16], KIND_STREAM)
+        reference.add("b", [0, 8], KIND_WRITE)
+        reference.add_one("c", 0, KIND_DEPENDENT)
+        mono = reference.build()
+        np.testing.assert_array_equal(
+            np.concatenate([s.struct_ids for s in segments + [tail]]), mono.struct_ids
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([s.offsets for s in segments + [tail]]), mono.offsets
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([s.kinds for s in segments + [tail]]), mono.kinds
+        )
+
+    def test_streaming_builder_splits_oversized_appends(self):
+        segments = []
+        builder = TraceBuilder(sink=segments.append, chunk_accesses=10)
+        builder.add("a", np.arange(35, dtype=np.int64) * 8, KIND_STREAM)
+        assert [s.n_accesses for s in segments] == [10, 10, 10, 5]
+        assert builder.build().n_accesses == 0
+
+    def test_chunk_accesses_ignored_without_sink(self):
+        builder = TraceBuilder(chunk_accesses=2)
+        builder.add("a", [0, 8, 16, 24], KIND_STREAM)
+        assert builder.chunk_accesses is None
+        assert builder.build().n_accesses == 4
+
+    def test_invalid_chunk_budget_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuilder(sink=lambda t: None, chunk_accesses=0)
+
+    def test_trace_chunk_env_knob(self, monkeypatch):
+        from repro.sim.trace import CHUNK_ENV_VAR, DEFAULT_CHUNK_ACCESSES, trace_chunk_accesses
+
+        monkeypatch.delenv(CHUNK_ENV_VAR, raising=False)
+        assert trace_chunk_accesses() == DEFAULT_CHUNK_ACCESSES
+        monkeypatch.setenv(CHUNK_ENV_VAR, "0")
+        assert trace_chunk_accesses() is None
+        monkeypatch.setenv(CHUNK_ENV_VAR, "4096")
+        assert trace_chunk_accesses() == 4096
+        monkeypatch.setenv(CHUNK_ENV_VAR, "-1")
+        with pytest.raises(ValueError):
+            trace_chunk_accesses()
+
+    def test_replay_trace_accepts_segment_iterables(self):
+        from repro.sim.instrumentation import KernelInstrumentation
+        from repro.sim.config import SimConfig
+
+        def fresh():
+            instr = KernelInstrumentation("k", "s", SimConfig.scaled(16), trace_chunk=None)
+            instr.register_array("a", 4096)
+            return instr
+
+        offsets = np.arange(40, dtype=np.int64) * 8
+        mono = fresh()
+        builder = mono.trace_builder()
+        builder.add("a", offsets, KIND_STREAM)
+        mono.replay_trace(builder.build())
+
+        segmented = fresh()
+        parts = []
+        for start in range(0, 40, 7):
+            b = TraceBuilder()
+            b.add("a", offsets[start : start + 7], KIND_STREAM)
+            parts.append(b.build())
+        segmented.replay_trace(iter(parts))
+        segmented.replay_trace(None)  # no-op by contract
+        assert mono.report().to_dict() == segmented.report().to_dict()
+
     def test_trace_validates_columns(self):
         with pytest.raises(ValueError):
             AccessTrace(["a"], np.zeros(2, np.int64), np.zeros(1, np.int64), np.zeros(2, np.uint8))

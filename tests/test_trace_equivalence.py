@@ -7,6 +7,12 @@ identical cycles (issue and stall, compared with ``==`` on the floats),
 identical per-structure traffic and metadata — for every scheme, every
 kernel, and matrices exercising tails, empty rows, and different SMASH
 configurations.
+
+The chunked-replay suite (``TestChunkedEquivalence``) layers the
+bounded-memory guarantee on top: for every kernel x scheme, replaying the
+trace in chunks — at multiple chunk sizes, including ones small enough to
+cut streaming runs mid-run — must produce reports bit-identical to the
+monolithic build-then-replay path (and hence to the legacy kernels).
 """
 
 import numpy as np
@@ -19,6 +25,7 @@ from repro.formats.convert import coo_to_csc, coo_to_csr
 from repro.kernels import legacy, spadd, spmm, spmv
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import InstructionClass
+from repro.sim.trace import CHUNK_ENV_VAR
 from repro.workloads.synthetic import clustered_matrix, uniform_random_matrix
 
 SIM = SimConfig.scaled(16)
@@ -27,6 +34,13 @@ SMASH_CONFIGS = {
     "b2.4": SMASHConfig((2, 4)),
     "b4": SMASHConfig.single_level(4),
 }
+
+#: Chunk budgets for the chunked-replay equivalence sweep. 3 is smaller than
+#: every kernel's interleaved loop body (and than the BCSR/SMASH block
+#: bodies, whose consecutive same-line accesses form streaming runs), so it
+#: is guaranteed to cut streaming runs mid-run; 64 exercises coarser
+#: mid-trace boundaries.
+CHUNK_SIZES = (3, 64)
 
 
 def assert_reports_identical(batched, reference, tag=""):
@@ -201,6 +215,136 @@ class TestSpAddEquivalence:
         c_old, r_old = legacy.spadd_smash_hardware_instrumented(a_sm, b_sm, SIM)
         assert_reports_identical(r_new, r_old, f"spadd_smash/{config_name}")
         np.testing.assert_allclose(c_new, c_old)
+
+
+class TestChunkedEquivalence:
+    """Chunked replay == monolithic replay == legacy, for every kernel x scheme.
+
+    Every batched kernel is run three times — monolithic (chunking
+    disabled), and once per ``CHUNK_SIZES`` budget — and all reports must be
+    exactly equal to each other and to the per-element reference kernel's.
+    """
+
+    def _run_modes(self, monkeypatch, fn, *args):
+        reports = {}
+        for label, chunk in [("monolithic", "0")] + [
+            (f"chunk{c}", str(c)) for c in CHUNK_SIZES
+        ]:
+            monkeypatch.setenv(CHUNK_ENV_VAR, chunk)
+            _, reports[label] = fn(*args, SIM)
+        monkeypatch.delenv(CHUNK_ENV_VAR)
+        return reports
+
+    def _assert_all_equal(self, reports, reference, tag):
+        for label, report in reports.items():
+            assert_reports_identical(report, reference, f"{tag}/{label}")
+
+    def test_spmv(self, workload, monkeypatch):
+        csr = coo_to_csr(workload)
+        bcsr = BCSRMatrix.from_coo(workload, (4, 4))
+        x = np.random.default_rng(5).uniform(0.1, 1.0, workload.cols)
+        pairs = TestSpMVEquivalence.CSR_PAIRS + [
+            (spmv.spmv_bcsr_instrumented, legacy.spmv_bcsr_instrumented)
+        ]
+        for batched_fn, reference_fn in pairs:
+            operand = bcsr if batched_fn is spmv.spmv_bcsr_instrumented else csr
+            reports = self._run_modes(monkeypatch, batched_fn, operand, x)
+            _, reference = reference_fn(operand, x, SIM)
+            self._assert_all_equal(reports, reference, batched_fn.__name__)
+
+    @pytest.mark.parametrize("config_name", sorted(SMASH_CONFIGS))
+    def test_spmv_smash(self, workload, config_name, monkeypatch):
+        matrix = SMASHMatrix.from_coo(workload, SMASH_CONFIGS[config_name])
+        x = np.random.default_rng(5).uniform(0.1, 1.0, workload.cols)
+        for batched_fn, reference_fn in [
+            (spmv.spmv_smash_software_instrumented, legacy.spmv_smash_software_instrumented),
+            (spmv.spmv_smash_hardware_instrumented, legacy.spmv_smash_hardware_instrumented),
+        ]:
+            reports = self._run_modes(monkeypatch, batched_fn, matrix, x)
+            _, reference = reference_fn(matrix, x, SIM)
+            self._assert_all_equal(reports, reference, f"{batched_fn.__name__}/{config_name}")
+
+    def test_spmm(self, workload, monkeypatch):
+        b = (
+            uniform_random_matrix(workload.cols, workload.rows, density=0.07, seed=77)
+            if workload.rows != workload.cols
+            else workload
+        )
+        a_csr, b_csc = coo_to_csr(workload), coo_to_csc(b)
+        pairs = TestSpMMEquivalence.CSR_PAIRS + [
+            (spmm.spmm_bcsr_instrumented, legacy.spmm_bcsr_instrumented)
+        ]
+        bcsr = BCSRMatrix.from_coo(workload, (4, 4))
+        for batched_fn, reference_fn in pairs:
+            a = bcsr if batched_fn is spmm.spmm_bcsr_instrumented else a_csr
+            reports = self._run_modes(monkeypatch, batched_fn, a, b_csc)
+            _, reference = reference_fn(a, b_csc, SIM)
+            self._assert_all_equal(reports, reference, batched_fn.__name__)
+
+    def test_spmm_smash(self, workload, monkeypatch):
+        config = SMASH_CONFIGS["b2.4.16"]
+        if workload.cols % config.block_size:
+            pytest.skip("row length must be a multiple of the block size")
+        b = (
+            uniform_random_matrix(workload.cols, workload.rows, density=0.07, seed=77)
+            if workload.rows != workload.cols
+            else workload
+        )
+        a_sm = SMASHMatrix.from_coo(workload, config)
+        bt_sm = SMASHMatrix.from_coo(b.transpose(), config)
+        for batched_fn, reference_fn in [
+            (spmm.spmm_smash_software_instrumented, legacy.spmm_smash_software_instrumented),
+            (spmm.spmm_smash_hardware_instrumented, legacy.spmm_smash_hardware_instrumented),
+        ]:
+            reports = self._run_modes(monkeypatch, batched_fn, a_sm, bt_sm)
+            _, reference = reference_fn(a_sm, bt_sm, SIM)
+            self._assert_all_equal(reports, reference, batched_fn.__name__)
+
+    def test_spadd(self, workload, monkeypatch):
+        if workload.rows != workload.cols:
+            pytest.skip("spadd needs equal shapes; covered by the square workloads")
+        b = uniform_random_matrix(workload.rows, workload.cols, density=0.05, seed=5)
+        a_csr, b_csr = coo_to_csr(workload), coo_to_csr(b)
+        for batched_fn, reference_fn in [
+            (spadd.spadd_csr_instrumented, legacy.spadd_csr_instrumented),
+            (spadd.spadd_ideal_csr_instrumented, legacy.spadd_ideal_csr_instrumented),
+        ]:
+            reports = self._run_modes(monkeypatch, batched_fn, a_csr, b_csr)
+            _, reference = reference_fn(a_csr, b_csr, SIM)
+            self._assert_all_equal(reports, reference, batched_fn.__name__)
+        config = SMASH_CONFIGS["b2.4.16"]
+        a_sm = SMASHMatrix.from_coo(workload, config)
+        b_sm = SMASHMatrix.from_coo(b, config)
+        reports = self._run_modes(
+            monkeypatch, spadd.spadd_smash_hardware_instrumented, a_sm, b_sm
+        )
+        _, reference = legacy.spadd_smash_hardware_instrumented(a_sm, b_sm, SIM)
+        self._assert_all_equal(reports, reference, "spadd_smash_hw")
+
+    def test_mid_run_split_is_exact(self):
+        """A chunk cut inside a coalesced streaming run changes nothing.
+
+        The trace interleaves a long same-line run (stride-0 repeats, which
+        the monolithic replay coalesces into one head plus bulk L1 credits)
+        with striding accesses; replaying it at chunk size 3 forces cuts
+        inside the run, whose far side must score the same guaranteed L1
+        hits and leave the prefetcher untouched.
+        """
+        from repro.sim.instrumentation import KernelInstrumentation
+
+        def build(chunk):
+            instr = KernelInstrumentation("k", "s", SIM, trace_chunk=chunk)
+            instr.register_array("a", 4096)
+            instr.register_array("b", 4096)
+            builder = instr.trace_builder()
+            builder.add("a", np.zeros(50, dtype=np.int64), 0)  # one line, 50 repeats
+            builder.add("b", np.arange(20, dtype=np.int64) * 64, 0)
+            builder.add("a", np.full(30, 8, dtype=np.int64), 1)  # dependent repeats
+            instr.replay_trace(builder.build())
+            return instr.report()
+
+        assert_reports_identical(build(3), build(None), "mid-run split")
+        assert_reports_identical(build(1), build(None), "every-access split")
 
 
 class TestBatchApiEquivalence:
