@@ -30,8 +30,11 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.api.config import RuntimeConfig  # noqa: E402
+from repro.api.session import Session  # noqa: E402
+from repro.api.specs import JobSpec, Workload  # noqa: E402
 from repro.eval.runner import SweepRunner, kernel_job, suite_source  # noqa: E402
-from repro.kernels.schemes import SCHEMES, run_spmv  # noqa: E402
+from repro.kernels.schemes import SCHEMES  # noqa: E402
 from repro.sim.config import SimConfig  # noqa: E402
 from repro.sim.trace import CHUNK_ENV_VAR  # noqa: E402
 from repro.workloads.synthetic import uniform_random_matrix  # noqa: E402
@@ -46,11 +49,12 @@ def run_sweep(dim: int, density: float, seed: int, cache_scale: int) -> dict:
     """Time one instrumented SpMV per scheme; return the results payload."""
     coo = uniform_random_matrix(dim, dim, density=density, seed=seed)
     sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
+    session = Session(sim=sim)
     schemes = {}
     total = 0.0
     for scheme in SCHEMES:
         start = time.perf_counter()
-        result = run_spmv(scheme, coo, sim_config=sim)
+        result = session.run_kernel("spmv", scheme, coo)
         elapsed = time.perf_counter() - start
         total += elapsed
         schemes[scheme] = {
@@ -102,6 +106,57 @@ def run_sweep_engine(processes: int, cache_scale: int, dim: int = 512) -> dict:
     }
 
 
+def run_facade_overhead(cache_scale: int, dim: int = 512) -> dict:
+    """Measure the Session facade's overhead over the raw sweep runner.
+
+    The same fig10-style job matrix (3 matrices x all schemes, cache
+    disabled so every job executes) runs once through a bare
+    ``SweepRunner`` on hand-built jobs and once through
+    ``Session.sweep`` on declarative specs; the difference is the cost of
+    spec validation and lowering. The record is a measurement, not an
+    assertion — the facade work is O(jobs), the kernels O(nnz).
+    """
+    sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
+    keys = ("M2", "M8", "M13")
+    specs = [
+        JobSpec("spmv", scheme, Workload.suite(key, dim))
+        for key in keys
+        for scheme in SCHEMES
+    ]
+    jobs = [spec.to_job(sim=sim) for spec in specs]
+    session = Session(sim=sim, runtime=RuntimeConfig(cache_dir=None))
+
+    # One untimed round per path first: without it the second timed path
+    # inherits allocator/numpy warm-up from the first and the recorded
+    # overhead goes (impossibly) negative.
+    SweepRunner().run(jobs)
+    session.sweep(specs)
+
+    start = time.perf_counter()
+    SweepRunner().run(jobs)
+    direct_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    session.sweep(specs)
+    session_seconds = time.perf_counter() - start
+
+    overhead = session_seconds - direct_seconds
+    print(
+        f"  facade[direct] {direct_seconds:8.3f}s  [session] {session_seconds:8.3f}s "
+        f"({100.0 * overhead / direct_seconds:+.1f}%)",
+        flush=True,
+    )
+    return {
+        "jobs": len(jobs),
+        "dim": dim,
+        "matrices": list(keys),
+        "direct_runner_seconds": round(direct_seconds, 4),
+        "session_seconds": round(session_seconds, 4),
+        "overhead_seconds": round(overhead, 4),
+        "overhead_percent": round(100.0 * overhead / direct_seconds, 2),
+    }
+
+
 def _rss_probe_child(dim: int, density: float, seed: int, cache_scale: int) -> dict:
     """Run one taco_csr SpMV and report this process's peak RSS.
 
@@ -114,8 +169,11 @@ def _rss_probe_child(dim: int, density: float, seed: int, cache_scale: int) -> d
 
     coo = uniform_random_matrix(dim, dim, density=density, seed=seed)
     sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
+    # A fresh environment-derived Session so the parent's CHUNK env override
+    # selects the replay mode under measurement.
+    session = Session(sim=sim)
     start = time.perf_counter()
-    run_spmv("taco_csr", coo, sim_config=sim)
+    session.run_kernel("spmv", "taco_csr", coo)
     elapsed = time.perf_counter() - start
     # ru_maxrss is kilobytes on Linux but bytes on macOS.
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -195,6 +253,8 @@ def main(argv=None) -> int:
     payload = run_sweep(args.dim, args.density, args.seed, args.cache_scale)
     print(f"Sweep-engine pass: {args.sweep_dim} dim, {args.processes} processes")
     payload["sweep_engine"] = run_sweep_engine(args.processes, args.cache_scale, args.sweep_dim)
+    print(f"Facade-overhead pass: {args.sweep_dim} dim (Session vs direct runner)")
+    payload["facade_overhead"] = run_facade_overhead(args.cache_scale, args.sweep_dim)
     print(f"Replay-memory probe: {args.rss_dim} dim, density {args.rss_density}")
     payload["replay_memory"] = run_rss_probe(
         args.rss_dim, args.rss_density, args.seed, args.cache_scale

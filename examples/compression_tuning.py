@@ -17,9 +17,9 @@ Run with::
 
 import numpy as np
 
+from repro.api import Session
 from repro.core import SMASHConfig, SMASHMatrix
 from repro.formats import CSRMatrix
-from repro.kernels import spmv_smash_hardware_instrumented
 from repro.sim import SimConfig
 from repro.workloads import matrix_with_locality, locality_of_sparsity
 
@@ -29,7 +29,7 @@ def sweep_block_size() -> None:
     coo = matrix_with_locality(256, 256, nnz=1600, block_size=8, locality_percent=60, seed=3)
     dense = coo.to_dense()
     x = np.random.default_rng(1).uniform(size=256)
-    sim = SimConfig.scaled(16)
+    session = Session(sim=SimConfig.scaled(16))
     csr = CSRMatrix.from_dense(dense)
 
     print("=== Bitmap-0 block-size sweep (256x256, 1600 non-zeros) ===")
@@ -39,7 +39,7 @@ def sweep_block_size() -> None:
     for block in (2, 4, 8, 16):
         config = SMASHConfig((block, 4, 16))
         smash = SMASHMatrix.from_dense(dense, config)
-        _, report = spmv_smash_hardware_instrumented(smash, x, sim)
+        report = session.run_kernel("spmv", "smash_hw", coo, x=x, smash=config).report
         print(
             f"{block:>5d} {smash.nza.storage_bytes():>10d} "
             f"{smash.hierarchy.stored_nonzero_bitmap_bytes():>13d} "
@@ -54,7 +54,7 @@ def sweep_block_size() -> None:
 
 def sweep_locality() -> None:
     """Figure 16-style sweep: same nnz, increasing clustering."""
-    sim = SimConfig.scaled(16)
+    session = Session(sim=SimConfig.scaled(16))
     x = np.random.default_rng(2).uniform(size=256)
     config = SMASHConfig((8, 4, 16))
 
@@ -65,7 +65,7 @@ def sweep_locality() -> None:
         coo = matrix_with_locality(256, 256, nnz=2000, block_size=8,
                                    locality_percent=target, seed=7)
         smash = SMASHMatrix.from_dense(coo.to_dense(), config)
-        _, report = spmv_smash_hardware_instrumented(smash, x, sim)
+        report = session.run_kernel("spmv", "smash_hw", coo, x=x, smash=config).report
         baseline_cycles = baseline_cycles or report.cycles
         print(
             f"{target:>6.1f}% {locality_of_sparsity(coo, 8):>8.1f}% "

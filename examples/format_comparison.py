@@ -15,13 +15,9 @@ Run with::
 
 import numpy as np
 
+from repro.api import Session
 from repro.core import SMASHConfig, SMASHMatrix
 from repro.formats import BCSRMatrix, CSRMatrix, DIAMatrix
-from repro.kernels import (
-    spmv_bcsr_instrumented,
-    spmv_csr_instrumented,
-    spmv_smash_hardware_instrumented,
-)
 from repro.sim import SimConfig
 from repro.workloads import (
     banded_matrix,
@@ -42,7 +38,7 @@ def build_workloads() -> dict:
 
 
 def main() -> None:
-    sim = SimConfig.scaled(16)
+    session = Session(sim=SimConfig.scaled(16))
     x = np.random.default_rng(0).uniform(size=192)
 
     print(f"{'matrix':18s} {'format':8s} {'storage B':>10s} {'SpMV cycles':>12s}")
@@ -53,19 +49,19 @@ def main() -> None:
         rows = []
 
         csr = CSRMatrix.from_dense(dense)
-        _, csr_report = spmv_csr_instrumented(csr, x, sim)
+        csr_report = session.run_kernel("spmv", "taco_csr", coo, x=x).report
         rows.append(("CSR", csr.storage_bytes(), csr_report.cycles))
 
         bcsr = BCSRMatrix.from_dense(dense, (4, 4))
-        _, bcsr_report = spmv_bcsr_instrumented(bcsr, x, sim)
+        bcsr_report = session.run_kernel("spmv", "taco_bcsr", coo, x=x).report
         rows.append(("BCSR", bcsr.storage_bytes(), bcsr_report.cycles))
 
         dia = DIAMatrix.from_dense(dense)
         rows.append(("DIA", dia.storage_bytes(), float("nan")))
 
         smash = SMASHMatrix.from_dense(dense, config)
-        _, smash_report = spmv_smash_hardware_instrumented(smash, x, sim)
-        rows.append((f"SMASH", smash.storage_bytes(), smash_report.cycles))
+        smash_report = session.run_kernel("spmv", "smash_hw", coo, x=x, smash=config).report
+        rows.append(("SMASH", smash.storage_bytes(), smash_report.cycles))
 
         for fmt, storage, cycles in rows:
             cycles_text = f"{cycles:12.0f}" if cycles == cycles else "           -"

@@ -2,9 +2,11 @@
 
 The paper's second use case (Section 7.3) runs two Ligra applications as
 iterative SpMV computations. This example builds a synthetic social-network
-style graph (the com-Youtube analogue of Table 4), runs PageRank and
-Betweenness Centrality with both the CSR-based and the SMASH-based SpMV, and
-reports the ranking agreement and the modeled performance difference.
+style graph (the com-Youtube analogue of Table 4), validates the numeric
+results against dense references, and then compares the CSR-based and the
+SMASH-based runs through the declarative :class:`repro.api.Session` facade —
+the same specs the Figure 18 driver submits, so repeated invocations hit the
+shared report cache.
 
 Run with::
 
@@ -13,27 +15,49 @@ Run with::
 
 import numpy as np
 
+from repro.api import JobSpec, Session, Workload
 from repro.graphs import betweenness_centrality, generate_graph, pagerank, pagerank_reference
 from repro.sim import SimConfig
 
+GRAPH_KEY = "G1"
+N_VERTICES = 192
+PAGERANK_ITERATIONS = 20
+BC_SOURCES = 8
+
 
 def main() -> None:
-    graph = generate_graph("G1", n_vertices=192)
+    graph = generate_graph(GRAPH_KEY, n_vertices=N_VERTICES)
     sim = SimConfig.scaled(16)
     print(f"Graph: {graph.n_vertices} vertices, {graph.n_edges} edges "
           f"(synthetic analogue of com-Youtube)")
     print()
 
-    # --- PageRank ------------------------------------------------------- #
-    reference = pagerank_reference(graph, iterations=20)
-    ranks_csr, csr_report = pagerank(graph, "taco_csr", iterations=20, sim_config=sim)
-    ranks_smash, smash_report = pagerank(graph, "smash_hw", iterations=20, sim_config=sim)
+    # --- Numeric validation against the dense references ----------------- #
+    reference = pagerank_reference(graph, iterations=PAGERANK_ITERATIONS)
+    ranks, _ = pagerank(graph, "smash_hw", iterations=PAGERANK_ITERATIONS, sim_config=sim)
+    assert np.allclose(ranks, reference)
+    scores_csr, _ = betweenness_centrality(graph, "taco_csr", max_sources=BC_SOURCES, sim_config=sim)
+    scores_smash, _ = betweenness_centrality(graph, "smash_hw", max_sources=BC_SOURCES, sim_config=sim)
+    assert np.allclose(scores_csr, scores_smash)
 
-    assert np.allclose(ranks_csr, reference)
-    assert np.allclose(ranks_smash, reference)
-    top = np.argsort(ranks_smash)[::-1][:5]
-    print("=== PageRank (20 iterations) ===")
+    # --- Declarative cost comparison through the facade ------------------ #
+    workload = Workload.graph(GRAPH_KEY, N_VERTICES)
+    apps = (
+        ("pagerank", {"iterations": PAGERANK_ITERATIONS}),
+        ("bc", {"max_sources": BC_SOURCES}),
+    )
+    with Session(sim=sim) as session:
+        result = session.sweep(
+            JobSpec(app, scheme, workload, params=params)
+            for app, params in apps
+            for scheme in ("taco_csr", "smash_hw")
+        )
+
+    print(f"=== PageRank ({PAGERANK_ITERATIONS} iterations) ===")
+    top = np.argsort(ranks)[::-1][:5]
     print(f"Top-5 vertices by rank: {top.tolist()}")
+    csr_report = result.one(kernel="pagerank", scheme="taco_csr")
+    smash_report = result.one(kernel="pagerank", scheme="smash_hw")
     print(f"CSR-based  : {csr_report.total_instructions:>10d} instructions, "
           f"{csr_report.cycles:>12.0f} cycles")
     print(f"SMASH-based: {smash_report.total_instructions:>10d} instructions, "
@@ -41,17 +65,11 @@ def main() -> None:
     print(f"SMASH speedup over CSR: {smash_report.speedup_over(csr_report):.2f}x")
     print()
 
-    # --- Betweenness Centrality ----------------------------------------- #
-    scores_csr, bc_csr_report = betweenness_centrality(
-        graph, "taco_csr", max_sources=8, sim_config=sim
-    )
-    scores_smash, bc_smash_report = betweenness_centrality(
-        graph, "smash_hw", max_sources=8, sim_config=sim
-    )
-    assert np.allclose(scores_csr, scores_smash)
+    print(f"=== Betweenness Centrality ({BC_SOURCES} sampled sources) ===")
     central = np.argsort(scores_smash)[::-1][:5]
-    print("=== Betweenness Centrality (8 sampled sources) ===")
     print(f"Top-5 vertices by centrality: {central.tolist()}")
+    bc_csr_report = result.one(kernel="bc", scheme="taco_csr")
+    bc_smash_report = result.one(kernel="bc", scheme="smash_hw")
     print(f"CSR-based  : {bc_csr_report.total_instructions:>10d} instructions")
     print(f"SMASH-based: {bc_smash_report.total_instructions:>10d} instructions")
     print(f"SMASH speedup over CSR: {bc_smash_report.speedup_over(bc_csr_report):.2f}x")

@@ -6,8 +6,8 @@ This example walks through the core workflow of the library:
    then a larger synthetic matrix),
 2. compress it with CSR (the baseline) and with SMASH's hierarchical bitmap
    encoding,
-3. run SpMV with the CSR kernel, the software-only SMASH kernel, and the
-   BMU-accelerated SMASH kernel,
+3. run SpMV under the CSR scheme, the software-only SMASH scheme, and the
+   BMU-accelerated SMASH scheme through a :class:`repro.api.Session`,
 4. compare the modeled instruction counts and cycles.
 
 Run with::
@@ -17,13 +17,9 @@ Run with::
 
 import numpy as np
 
+from repro.api import Session
 from repro.core import SMASHConfig, SMASHMatrix
 from repro.formats import CSRMatrix
-from repro.kernels import (
-    spmv_csr_instrumented,
-    spmv_smash_hardware_instrumented,
-    spmv_smash_software_instrumented,
-)
 from repro.sim import SimConfig
 from repro.workloads import clustered_matrix
 
@@ -51,28 +47,32 @@ def figure1_example() -> None:
 
 
 def spmv_comparison() -> None:
-    """Compare the three SpMV schemes on a larger synthetic matrix."""
+    """Compare the three SpMV schemes on a larger synthetic matrix.
+
+    The Session facade prepares each scheme's operand (CSR or SMASH) from
+    the same COO workload matrix and runs the corresponding instrumented
+    kernel — one call per scheme instead of per-format plumbing.
+    """
     coo = clustered_matrix(256, 256, density=0.02, cluster_size=6, cluster_height=3, seed=42)
-    dense = coo.to_dense()
     x = np.random.default_rng(0).uniform(0.1, 1.0, size=256)
-    expected = dense @ x
+    expected = coo.to_dense() @ x
 
     config = SMASHConfig.from_label_ratios(16, 4, 2)
-    csr = CSRMatrix.from_dense(dense)
-    smash = SMASHMatrix.from_dense(dense, config)
-    sim = SimConfig.scaled(16)
+    smash = SMASHMatrix.from_coo(coo, config)
+    session = Session(sim=SimConfig.scaled(16), smash=config)
 
     print("=== SpMV on a 256x256 clustered matrix "
           f"({coo.nnz} non-zeros, locality {smash.locality_of_sparsity():.0f}%) ===")
     results = {
-        "TACO-CSR": spmv_csr_instrumented(csr, x, sim),
-        "Software-only SMASH": spmv_smash_software_instrumented(smash, x, sim),
-        "SMASH (BMU)": spmv_smash_hardware_instrumented(smash, x, sim),
+        "TACO-CSR": session.run_kernel("spmv", "taco_csr", coo, x=x),
+        "Software-only SMASH": session.run_kernel("spmv", "smash_sw", coo, x=x),
+        "SMASH (BMU)": session.run_kernel("spmv", "smash_hw", coo, x=x),
     }
-    baseline = results["TACO-CSR"][1]
+    baseline = results["TACO-CSR"].report
     print(f"{'scheme':24s} {'instructions':>14s} {'cycles':>12s} {'speedup':>9s}")
-    for name, (y, report) in results.items():
-        assert np.allclose(y, expected), f"{name} produced a wrong result"
+    for name, result in results.items():
+        assert np.allclose(result.output, expected), f"{name} produced a wrong result"
+        report = result.report
         print(
             f"{name:24s} {report.total_instructions:14d} {report.cycles:12.0f} "
             f"{report.speedup_over(baseline):8.2f}x"

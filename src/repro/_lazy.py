@@ -1,0 +1,41 @@
+"""Shared PEP 562 lazy-attribute machinery for package initializers.
+
+Several package ``__init__`` modules (:mod:`repro`, :mod:`repro.api`,
+:mod:`repro.eval`) export names whose defining modules sit *above* them in
+the layering — importing them eagerly would cycle. Each such package builds
+its ``__getattr__``/``__dir__`` pair from this one helper instead of
+hand-rolling the pattern::
+
+    _LAZY = {"Session": "repro.api.session", ...}
+    __getattr__, __dir__ = lazy_attributes(__name__, _LAZY)
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from typing import Callable, Dict, List, Tuple
+
+
+def lazy_attributes(
+    module_name: str, lazy_map: Dict[str, str]
+) -> Tuple[Callable[[str], object], Callable[[], List[str]]]:
+    """Build a module ``__getattr__``/``__dir__`` pair for lazy exports.
+
+    ``lazy_map`` maps attribute names to the modules defining them. On first
+    access the attribute is imported, cached in the package's globals (so
+    ``__getattr__`` runs once per name), and returned; unknown names raise
+    the standard ``AttributeError``.
+    """
+
+    def __getattr__(name: str) -> object:
+        if name in lazy_map:
+            value = getattr(importlib.import_module(lazy_map[name]), name)
+            setattr(sys.modules[module_name], name, value)
+            return value
+        raise AttributeError(f"module {module_name!r} has no attribute {name!r}")
+
+    def __dir__() -> List[str]:
+        return sorted(set(vars(sys.modules[module_name])) | set(lazy_map))
+
+    return __getattr__, __dir__

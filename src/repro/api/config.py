@@ -1,0 +1,135 @@
+"""Runtime configuration of the facade: the one place the environment is read.
+
+Every runtime knob that used to live in a scattered ``os.environ`` read —
+the worker-process count (``SMASH_REPRO_PROCESSES``), the trace chunk budget
+(``SMASH_REPRO_TRACE_CHUNK``), and the report-cache location/enablement
+(``SMASH_REPRO_CACHE_DIR`` / ``SMASH_REPRO_CACHE``) — is a field of the
+frozen :class:`RuntimeConfig`. :meth:`RuntimeConfig.from_env` is the *only*
+code in the library that reads ``os.environ``; everything else (the sweep
+runner, the trace engine, the CLI) receives an explicit, validated value.
+
+None of these knobs can change a result: processes and cache only affect
+where/whether a job executes, and the chunk budget only bounds peak replay
+memory (DESIGN.md section 10). That is why none of them participate in the
+report-cache job key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.sim.trace import CHUNK_ENV_VAR, DEFAULT_CHUNK_ACCESSES
+
+#: Default location of the on-disk report cache (relative to the CWD).
+DEFAULT_CACHE_DIR = ".smash-cache"
+
+#: Environment variable consulted for the default worker count.
+PROCESSES_ENV_VAR = "SMASH_REPRO_PROCESSES"
+
+#: Environment variable relocating the report cache.
+CACHE_DIR_ENV_VAR = "SMASH_REPRO_CACHE_DIR"
+
+#: Environment variable disabling the report cache (``0``/``false``/``off``).
+CACHE_ENV_VAR = "SMASH_REPRO_CACHE"
+
+#: Re-exported so runtime-config users need only this module.
+TRACE_CHUNK_ENV_VAR = CHUNK_ENV_VAR
+
+_UNSET = object()
+_FALSY = ("0", "false", "no", "off")
+
+
+def _parse_int(raw: str, origin: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{origin} must be an integer, got {raw!r}") from None
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """How (not what) to execute: workers, report cache, trace chunking.
+
+    ``processes`` is the sweep-engine worker count (1 = serial, in-process).
+    ``cache_dir`` locates the on-disk report cache; ``None`` disables it.
+    ``trace_chunk`` is the per-segment access budget of the bounded-memory
+    trace replay; ``None`` (or 0, normalized to ``None``) restores the
+    monolithic build-then-replay path.
+    """
+
+    processes: int = 1
+    cache_dir: Optional[Union[str, pathlib.Path]] = DEFAULT_CACHE_DIR
+    trace_chunk: Optional[int] = DEFAULT_CHUNK_ACCESSES
+
+    def __post_init__(self) -> None:
+        if isinstance(self.processes, bool) or not isinstance(self.processes, int):
+            raise ValueError(
+                f"worker process count must be a positive integer, got {self.processes!r}"
+            )
+        if self.processes < 1:
+            raise ValueError(
+                f"worker process count must be at least 1, got {self.processes}"
+            )
+        if self.trace_chunk is not None:
+            chunk = self.trace_chunk
+            if isinstance(chunk, bool) or not isinstance(chunk, int):
+                raise ValueError(f"trace chunk budget must be an integer, got {chunk!r}")
+            if chunk < 0:
+                raise ValueError(f"trace chunk budget must be non-negative, got {chunk}")
+            if chunk == 0:
+                # 0 is the documented spelling of "monolithic" in the
+                # environment knob; normalize so there is one falsy value.
+                object.__setattr__(self, "trace_chunk", None)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_env(
+        cls,
+        processes: Optional[int] = None,
+        cache_dir: object = _UNSET,
+        trace_chunk: object = _UNSET,
+    ) -> "RuntimeConfig":
+        """Build a config from the environment, explicit arguments winning.
+
+        This classmethod is the single site in the library that reads
+        ``os.environ``. Each keyword, when passed (e.g. from a CLI flag),
+        takes precedence over its environment variable; an invalid value —
+        explicit or environmental — raises ``ValueError`` with a message
+        naming the offending knob.
+        """
+        if processes is None:
+            raw = os.environ.get(PROCESSES_ENV_VAR, "").strip()
+            processes = _parse_int(raw, PROCESSES_ENV_VAR) if raw else 1
+        if cache_dir is _UNSET:
+            if os.environ.get(CACHE_ENV_VAR, "").strip().lower() in _FALSY:
+                cache_dir = None
+            else:
+                cache_dir = os.environ.get(CACHE_DIR_ENV_VAR, "").strip() or DEFAULT_CACHE_DIR
+        if trace_chunk is _UNSET:
+            raw = os.environ.get(CHUNK_ENV_VAR, "").strip()
+            trace_chunk = _parse_int(raw, CHUNK_ENV_VAR) if raw else DEFAULT_CHUNK_ACCESSES
+        return cls(processes=processes, cache_dir=cache_dir, trace_chunk=trace_chunk)
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether the on-disk report cache is in use."""
+        return self.cache_dir is not None
+
+    def replace(self, **changes) -> "RuntimeConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        cache = str(self.cache_dir) if self.cache_enabled else "disabled"
+        chunk = self.trace_chunk if self.trace_chunk is not None else "monolithic"
+        return f"processes={self.processes}, cache={cache}, trace_chunk={chunk}"

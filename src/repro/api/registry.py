@@ -1,0 +1,163 @@
+"""One registry mechanism for every pluggable namespace in the library.
+
+Kernels, schemes, workload suites and experiments used to each maintain their
+own dispatch dict with its own lookup error. :class:`Registry` unifies them:
+a named, ordered mapping with decorator or direct registration, alias
+support, lazy population (a ``loader`` callback runs on first access, so
+registering modules are only imported when a lookup actually happens), and a
+validated :meth:`get` whose failure mode is a *did-you-mean* error instead of
+a bare ``KeyError`` deep inside the consumer.
+
+The concrete registries live next to what they register:
+
+* kernel implementations — :mod:`repro.kernels.registry` (``spmv/taco_csr``),
+* schemes — :data:`repro.kernels.schemes.SCHEME_REGISTRY`,
+* workload ids — :data:`repro.workloads.suite.MATRIX_REGISTRY` (Table 3)
+  and :data:`repro.graphs.generators.GRAPH_REGISTRY` (Table 4),
+* experiments — :data:`repro.eval.figures.EXPERIMENT_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+_MISSING = object()
+
+
+class UnknownNameError(KeyError, ValueError):
+    """Lookup failure carrying a did-you-mean message.
+
+    Subclasses both ``KeyError`` and ``ValueError`` so existing handlers —
+    the CLI catches ``KeyError`` for workload ids and ``ValueError`` for
+    schemes — keep working no matter which convention a call site grew up
+    with. ``str()`` returns the plain message (``KeyError`` would quote it).
+    """
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+def suggestion(name: str, candidates: Sequence[str]) -> str:
+    """A ``" did you mean 'x'?"`` fragment, or ``""`` when nothing is close."""
+    close = difflib.get_close_matches(str(name), [str(c) for c in candidates], n=2, cutoff=0.6)
+    if not close:
+        return ""
+    if len(close) == 1:
+        return f" did you mean {close[0]!r}?"
+    return f" did you mean {close[0]!r} or {close[1]!r}?"
+
+
+class Registry:
+    """An ordered name -> object mapping with validated, suggesting lookup.
+
+    ``kind`` names what is being registered ("scheme", "experiment", ...)
+    and prefixes every error message. ``loader``, when given, is called with
+    the registry on first access so self-registering modules can be imported
+    lazily (the kernel registry uses this to defer importing the kernel
+    modules until a kernel is actually resolved).
+    """
+
+    def __init__(self, kind: str, loader: Optional[Callable[["Registry"], None]] = None) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Any] = {}
+        self._aliases: Dict[str, str] = {}
+        self._loader = loader
+        self._loaded = loader is None
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, obj: Any = _MISSING, *, aliases: Sequence[str] = ()) -> Any:
+        """Register ``obj`` under ``name`` (and ``aliases``).
+
+        With ``obj`` omitted, returns a decorator::
+
+            @EXPERIMENT_REGISTRY.register("figure10", aliases=("10",))
+            def driver(...): ...
+
+        Re-registering a name to a *different* object is an error; binding
+        the same object again is a no-op so idempotent module reloads stay
+        safe.
+        """
+        if obj is _MISSING:
+            return lambda target: self.register(name, target, aliases=aliases)
+        existing = self._entries.get(name, _MISSING)
+        if existing is not _MISSING and existing is not obj:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = obj
+        for alias in aliases:
+            self._aliases[alias] = name
+        return obj
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` and any aliases pointing at it (missing is an error)."""
+        self._ensure_loaded()
+        if name not in self._entries:
+            raise UnknownNameError(f"cannot unregister unknown {self.kind} {name!r}")
+        del self._entries[name]
+        for alias in [a for a, target in self._aliases.items() if target == name]:
+            del self._aliases[alias]
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def resolve(self, name: str) -> str:
+        """The canonical name for ``name`` (following aliases), validated."""
+        self._ensure_loaded()
+        if name in self._entries:
+            return name
+        if name in self._aliases:
+            return self._aliases[name]
+        candidates = list(self._entries) + list(self._aliases)
+        raise UnknownNameError(
+            f"unknown {self.kind} {name!r};{suggestion(name, candidates)}"
+            f" known {self.kind}s: {sorted(self._entries)}"
+        )
+
+    def get(self, name: str) -> Any:
+        """The object registered under ``name`` (or one of its aliases)."""
+        return self._entries[self.resolve(name)]
+
+    def names(self) -> Tuple[str, ...]:
+        """Canonical names, in registration order."""
+        self._ensure_loaded()
+        return tuple(self._entries)
+
+    def items(self) -> List[Tuple[str, Any]]:
+        """``(name, object)`` pairs, in registration order."""
+        self._ensure_loaded()
+        return list(self._entries.items())
+
+    def aliases(self) -> Dict[str, str]:
+        """Alias -> canonical name mapping, in registration order."""
+        self._ensure_loaded()
+        return dict(self._aliases)
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_loaded()
+        return name in self._entries or name in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._entries)
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        # Mark first so a loader that triggers a lookup cannot recurse; on
+        # failure, roll back both the flag and any partial registrations so
+        # the next access re-raises the real error instead of reporting a
+        # misleading empty registry.
+        self._loaded = True
+        before = set(self._entries)
+        try:
+            self._loader(self)
+        except BaseException:
+            for name in set(self._entries) - before:
+                self.unregister(name)
+            self._loaded = False
+            raise

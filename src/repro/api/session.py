@@ -1,0 +1,184 @@
+"""The Session facade: one programmable entry point for running anything.
+
+A :class:`Session` binds the three configuration axes together —
+
+* ``sim``: the simulated machine (:class:`~repro.sim.config.SimConfig`),
+* ``smash``: a default bitmap configuration for SMASH schemes,
+* ``runtime``: *how* to execute (:class:`~repro.api.config.RuntimeConfig`:
+  worker processes, report cache, trace chunk budget)
+
+— and owns the resulting sweep engine: its persistent worker pool, its
+on-disk report cache and its job statistics. Work is described
+declaratively as :class:`~repro.api.specs.JobSpec` /
+:class:`~repro.api.specs.SweepSpec` and submitted through :meth:`run` /
+:meth:`sweep`; ad-hoc in-memory matrices (not content-addressable, hence
+uncacheable) run through :meth:`run_kernel`.
+
+Typical use::
+
+    from repro.api import JobSpec, Session, SweepSpec, Workload
+
+    with Session(sim=SimConfig.scaled(16)) as session:
+        report = session.run(JobSpec("spmv", "smash_hw", Workload.suite("M8")))
+        sweep = SweepSpec.product(
+            kernels="spmv", schemes=("taco_csr", "smash_hw"),
+            matrices=("M2", "M8", "M13"),
+        )
+        result = session.sweep(sweep)
+
+Results are independent of every runtime knob: the same specs produce
+bit-identical reports whether executed serially, on a pool, or loaded from
+cache (DESIGN.md sections 9-11).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.api.config import RuntimeConfig
+from repro.api.registry import UnknownNameError, suggestion
+from repro.api.specs import JobSpec, SweepResult, SweepSpec
+from repro.core.config import SMASHConfig
+from repro.eval.runner import USE_ENV_CHUNK, SweepRunner, SweepStats
+from repro.sim import trace as _trace
+from repro.sim.config import SimConfig
+from repro.sim.instrumentation import CostReport
+
+
+class Session:
+    """Owns configuration, cache and executor for a series of runs.
+
+    ``sim`` defaults to the paper's Table 2 machine
+    (:meth:`SimConfig.default`); ``runtime`` defaults to
+    :meth:`RuntimeConfig.from_env`, so a bare ``Session()`` honours the
+    documented environment knobs. Pass ``runner`` to wrap an existing
+    :class:`SweepRunner` (sharing its cache and statistics) instead of
+    constructing one.
+    """
+
+    def __init__(
+        self,
+        sim: Optional[SimConfig] = None,
+        smash: Optional[SMASHConfig] = None,
+        runtime: Optional[RuntimeConfig] = None,
+        *,
+        runner: Optional[SweepRunner] = None,
+    ) -> None:
+        self.sim = sim if sim is not None else SimConfig.default()
+        self.smash = smash
+        if runner is not None:
+            if runtime is not None:
+                raise ValueError("pass either runtime or runner, not both")
+            self.runtime = RuntimeConfig(
+                processes=runner.processes,
+                cache_dir=runner.cache.root if runner.cache is not None else None,
+                trace_chunk=(
+                    runner.trace_chunk
+                    if runner.trace_chunk is not USE_ENV_CHUNK
+                    else RuntimeConfig.from_env(processes=1, cache_dir=None).trace_chunk
+                ),
+            )
+            self._runner = runner
+        else:
+            self.runtime = runtime if runtime is not None else RuntimeConfig.from_env()
+            self._runner = SweepRunner(
+                processes=self.runtime.processes,
+                cache_dir=self.runtime.cache_dir,
+                trace_chunk=self.runtime.trace_chunk,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Declarative execution
+    # ------------------------------------------------------------------ #
+    def run(self, spec: JobSpec) -> CostReport:
+        """Execute one spec (cached, dedupable) and return its report."""
+        return self.sweep((spec,)).reports[0]
+
+    def sweep(
+        self,
+        specs: Union[SweepSpec, Iterable[JobSpec]],
+        sim: Optional[SimConfig] = None,
+    ) -> SweepResult:
+        """Execute a batch of specs and pair each with its report.
+
+        ``sim`` overrides the Session default for specs that carry no
+        override of their own (the figure drivers use this for their
+        per-experiment cache scaling). Identical jobs are deduplicated and
+        cached by the owned sweep engine; reports come back in submission
+        order regardless of where each one came from.
+        """
+        specs = tuple(specs)
+        sim = sim if sim is not None else self.sim
+        jobs = [spec.to_job(sim=sim, smash=self.smash) for spec in specs]
+        reports = self._runner.run(jobs)
+        return SweepResult(specs, tuple(reports))
+
+    # ------------------------------------------------------------------ #
+    # Imperative escape hatch
+    # ------------------------------------------------------------------ #
+    def run_kernel(self, kernel: str, scheme: str, *operands, **kwargs):
+        """Run one instrumented kernel on in-memory operands, uncached.
+
+        ``operands`` are the kernel's matrix arguments (a COO workload
+        matrix, plus a second one for SpMM/SpAdd); keyword arguments
+        ``x``/``seed`` forward to the kernel runner and ``smash``/``sim``
+        override the Session defaults. Returns a
+        :class:`~repro.kernels.schemes.KernelResult` (numeric output plus
+        cost report). Unlike :meth:`run`, the workload is an actual matrix
+        — not content-addressable — so the result is never cached.
+        """
+        from repro.kernels.schemes import DEFAULT_SEED, KERNEL_RUNNERS
+
+        if kernel not in KERNEL_RUNNERS:
+            raise UnknownNameError(
+                f"unknown kernel {kernel!r};{suggestion(kernel, tuple(KERNEL_RUNNERS))} "
+                f"known kernels: {sorted(KERNEL_RUNNERS)}"
+            )
+        smash = kwargs.pop("smash", None)
+        sim = kwargs.pop("sim", None)
+        seed = kwargs.pop("seed", None)
+        with _trace.chunk_override(self.runtime.trace_chunk):
+            return KERNEL_RUNNERS[kernel](
+                scheme,
+                *operands,
+                smash_config=smash if smash is not None else self.smash,
+                sim_config=sim if sim is not None else self.sim,
+                seed=DEFAULT_SEED if seed is None else seed,
+                **kwargs,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> SweepStats:
+        """Job counters of the owned sweep engine (submitted/executed/cached)."""
+        return self._runner.stats
+
+    def close(self) -> None:
+        """Release the executor (idempotent). The report cache persists."""
+        self._runner.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Session({self.runtime.describe()})"
+
+
+_default_session: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide Session backing the deprecated module-level runners.
+
+    Created on first use with environment-derived runtime configuration and
+    the default simulated machine.
+    """
+    global _default_session
+    if _default_session is None:
+        _default_session = Session()
+    return _default_session

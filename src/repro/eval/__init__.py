@@ -6,19 +6,26 @@ DESIGN.md). The :mod:`repro.eval.figures` registry maps figure/table ids to
 those drivers, :mod:`repro.eval.reporting` renders their results as text
 tables, and :mod:`repro.eval.cli` exposes everything as the ``smash-repro``
 command line tool (also available as ``python -m repro.eval``).
+
+The package initializer loads its exports lazily (PEP 562): the experiment
+drivers sit *above* the :mod:`repro.api` facade, so importing a low-level
+module like :mod:`repro.eval.runner` must not drag the whole driver stack
+(and with it the facade) back in.
 """
 
-from repro.eval.comparison import geometric_mean, normalize_to, speedups_over
-from repro.eval.figures import EXPERIMENTS, get_experiment, list_experiments
-from repro.eval.reporting import format_table, render_result
+from repro._lazy import lazy_attributes
 
-__all__ = [
-    "geometric_mean",
-    "normalize_to",
-    "speedups_over",
-    "EXPERIMENTS",
-    "get_experiment",
-    "list_experiments",
-    "format_table",
-    "render_result",
-]
+_LAZY = {
+    "geometric_mean": "repro.eval.comparison",
+    "normalize_to": "repro.eval.comparison",
+    "speedups_over": "repro.eval.comparison",
+    "EXPERIMENTS": "repro.eval.figures",
+    "get_experiment": "repro.eval.figures",
+    "list_experiments": "repro.eval.figures",
+    "format_table": "repro.eval.reporting",
+    "render_result": "repro.eval.reporting",
+}
+
+__all__ = list(_LAZY)
+
+__getattr__, __dir__ = lazy_attributes(__name__, _LAZY)

@@ -20,11 +20,15 @@ Run every experiment at reduced size (a quick smoke test)::
 
     smash-repro all --quick
 
-Kernel results are memoized in a content-keyed on-disk cache
-(``.smash-cache/`` by default), so repeated invocations only execute jobs
-whose configuration changed; pass ``--no-cache`` to disable it. The default
-worker count can also be set via the ``SMASH_REPRO_PROCESSES`` environment
-variable.
+The CLI is a thin shell over :class:`repro.api.Session`: flags and the
+documented environment knobs (``SMASH_REPRO_PROCESSES``,
+``SMASH_REPRO_TRACE_CHUNK``, ``SMASH_REPRO_CACHE_DIR``,
+``SMASH_REPRO_CACHE``) are folded into one validated
+:class:`~repro.api.config.RuntimeConfig` — explicit flags win — and every
+experiment driver receives the resulting Session. Kernel results are
+memoized in a content-keyed on-disk cache (``.smash-cache/`` by default),
+so repeated invocations only execute jobs whose configuration changed; pass
+``--no-cache`` to disable it.
 """
 
 from __future__ import annotations
@@ -36,9 +40,10 @@ import pathlib
 import sys
 from typing import List, Optional
 
+from repro.api.config import DEFAULT_CACHE_DIR, PROCESSES_ENV_VAR, RuntimeConfig
+from repro.api.session import Session
 from repro.eval.figures import Experiment, get_experiment, list_experiments
 from repro.eval.reporting import render_result
-from repro.eval.runner import DEFAULT_CACHE_DIR, PROCESSES_ENV_VAR, SweepRunner
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -59,9 +64,12 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
         type=pathlib.Path,
-        default=pathlib.Path(DEFAULT_CACHE_DIR),
+        default=None,
         metavar="DIR",
-        help=f"report cache directory (default: {DEFAULT_CACHE_DIR})",
+        help=(
+            f"report cache directory (default: ${{SMASH_REPRO_CACHE_DIR}} "
+            f"or {DEFAULT_CACHE_DIR})"
+        ),
     )
     parser.add_argument(
         "--no-cache",
@@ -107,25 +115,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_runner(args: argparse.Namespace) -> SweepRunner:
-    cache_dir = None if args.no_cache else args.cache_dir
-    return SweepRunner(processes=args.processes, cache_dir=cache_dir)
+def _build_session(args: argparse.Namespace) -> Session:
+    """A Session for this invocation; flags win over environment knobs.
+
+    Invalid values — a non-positive ``--processes``, a malformed environment
+    variable — surface as ``ValueError`` from
+    :meth:`RuntimeConfig.from_env`, reported by :func:`main` as a clean CLI
+    error instead of a traceback.
+    """
+    kwargs = {"processes": args.processes}
+    if args.no_cache:
+        kwargs["cache_dir"] = None
+    elif args.cache_dir is not None:
+        kwargs["cache_dir"] = args.cache_dir
+    # With neither --no-cache nor --cache-dir given, from_env consults the
+    # SMASH_REPRO_CACHE / SMASH_REPRO_CACHE_DIR environment knobs.
+    runtime = RuntimeConfig.from_env(**kwargs)
+    return Session(runtime=runtime)
 
 
 def _driver_kwargs(experiment: Experiment, requested: dict) -> dict:
     """Drop kwargs the experiment's driver does not accept.
 
-    Tables and structural figures take no runner/keys arguments; silently
-    filtering lets one ``all`` invocation thread the shared runner and any
+    Tables and structural figures take no session/keys arguments; silently
+    filtering lets one ``all`` invocation thread the shared session and any
     selection flags through every driver that understands them.
     """
     parameters = inspect.signature(experiment.driver).parameters
     if any(p.kind == p.VAR_KEYWORD for p in parameters.values()):
         return dict(requested)
     kwargs = {k: v for k, v in requested.items() if k in parameters}
-    # The runner is threaded through internally; only warn about options the
-    # user asked for explicitly.
-    dropped = sorted(set(requested) - set(kwargs) - {"runner"})
+    # The session is threaded through internally; only warn about options
+    # the user asked for explicitly.
+    dropped = sorted(set(requested) - set(kwargs) - {"session"})
     if dropped:
         print(
             f"[{experiment.identifier}] ignoring inapplicable options: {', '.join(dropped)}",
@@ -134,9 +156,9 @@ def _driver_kwargs(experiment: Experiment, requested: dict) -> dict:
     return kwargs
 
 
-def _report_stats(experiment: Experiment, runner: SweepRunner) -> None:
-    if runner.stats.submitted:
-        print(f"[{experiment.identifier}] jobs: {runner.stats.describe()}", file=sys.stderr)
+def _report_stats(identifier: str, session: Session) -> None:
+    if session.stats.submitted:
+        print(f"[{identifier}] jobs: {session.stats.describe()}", file=sys.stderr)
 
 
 def _write_output(payload, path: Optional[pathlib.Path]) -> None:
@@ -158,15 +180,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             experiment = get_experiment(args.experiment)
         except KeyError as error:
-            print(error, file=sys.stderr)
+            print(error.args[0] if error.args else error, file=sys.stderr)
             return 2
-        runner = _build_runner(args)
+        try:
+            session = _build_session(args)
+        except ValueError as error:
+            print(f"smash-repro: {error}", file=sys.stderr)
+            return 2
         kwargs = dict(experiment.quick_kwargs) if args.quick else {}
         if args.matrices:
             kwargs["keys"] = tuple(key.strip() for key in args.matrices.split(",") if key.strip())
         if args.schemes:
             kwargs["schemes"] = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
-        kwargs["runner"] = runner
+        kwargs["session"] = session
         try:
             result = experiment.driver(**_driver_kwargs(experiment, kwargs))
         except (KeyError, ValueError) as error:
@@ -176,24 +202,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             message = error.args[0] if error.args else error
             print(f"{experiment.identifier}: {message}", file=sys.stderr)
             return 2
-        _report_stats(experiment, runner)
+        finally:
+            session.close()
+        _report_stats(experiment.identifier, session)
         _write_output(result, args.output)
         print(json.dumps(result, indent=2, default=str) if args.json else render_result(result))
         return 0
 
     if args.command == "all":
-        runner = _build_runner(args)
+        try:
+            session = _build_session(args)
+        except ValueError as error:
+            print(f"smash-repro: {error}", file=sys.stderr)
+            return 2
         results = {}
-        for experiment in list_experiments():
-            kwargs = dict(experiment.quick_kwargs) if args.quick else {}
-            kwargs["runner"] = runner
-            result = experiment.driver(**_driver_kwargs(experiment, kwargs))
-            results[experiment.identifier] = result
-            if not args.json:
-                print(render_result(result))
-                print()
-        if runner.stats.submitted:
-            print(f"[all] jobs: {runner.stats.describe()}", file=sys.stderr)
+        try:
+            for experiment in list_experiments():
+                kwargs = dict(experiment.quick_kwargs) if args.quick else {}
+                kwargs["session"] = session
+                result = experiment.driver(**_driver_kwargs(experiment, kwargs))
+                results[experiment.identifier] = result
+                if not args.json:
+                    print(render_result(result))
+                    print()
+        finally:
+            session.close()
+        _report_stats("all", session)
         _write_output(results, args.output)
         if args.json:
             print(json.dumps(results, indent=2, default=str))

@@ -6,37 +6,36 @@ corresponding table or figure. All drivers accept sizing knobs (matrix ids,
 scaled dimension, iteration counts) so the same code can run as a quick test
 or as the full benchmark sweep; the defaults are the benchmark settings.
 
-Since the sweep-engine refactor the drivers are *pure post-processing*: each
-one enumerates its (kernel, scheme, workload, configuration) job matrix,
-submits it to a :class:`~repro.eval.runner.SweepRunner` (serial by default;
-pass ``runner=SweepRunner(processes=N, cache_dir=...)`` for parallel and/or
-incremental execution) and assembles the figure from the returned reports.
-Identical jobs — e.g. the ``taco_csr`` baselines shared between figures —
-are deduplicated by the runner and memoized on disk when a cache is enabled.
+Since the ``repro.api`` facade the drivers are *declarative spec lists plus
+post-processing*: each one describes its (kernel, scheme, workload,
+configuration) matrix as :class:`~repro.api.specs.JobSpec` /
+:class:`~repro.api.specs.SweepSpec` values, submits it through a
+:class:`~repro.api.session.Session` (serial and uncached by default; pass
+``session=Session(runtime=RuntimeConfig(processes=N, cache_dir=...))`` for
+parallel and/or incremental execution) and assembles the figure from the
+returned :class:`~repro.api.specs.SweepResult`. Identical jobs — e.g. the
+``taco_csr`` baselines shared between figures — are deduplicated by the
+session's sweep engine and memoized on disk when a cache is enabled. Spec
+lowering reuses the historical job constructors, so cache keys (and
+therefore existing caches) are unchanged.
 """
 
 from __future__ import annotations
 
-import functools
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.config import RuntimeConfig
+from repro.api.session import Session
+from repro.api.specs import JobSpec, SweepSpec, Workload, suite_nnz
 from repro.core.config import SMASHConfig
 from repro.core.conversion import csr_to_smash, estimate_conversion_cost, smash_to_csr
 from repro.core.smash_matrix import SMASHMatrix
 from repro.eval.comparison import arithmetic_mean, geometric_mean
-from repro.eval.runner import (
-    SweepRunner,
-    app_job,
-    graph_source,
-    kernel_job,
-    locality_source,
-    suite_source,
-)
+from repro.eval.runner import SweepRunner
 from repro.formats.convert import coo_to_csr
 from repro.graphs.generators import GRAPH_SPECS, generate_graph, get_graph_spec
-from repro.graphs.pagerank import pagerank
 from repro.hardware.area import AreaModel
 from repro.hardware.bmu import BitmapManagementUnit
 from repro.sim.config import RealSystemConfig, SimConfig
@@ -67,6 +66,9 @@ DEFAULT_GRAPH_VERTICES = 192
 #: workloads (see ``SimConfig.scaled``).
 DEFAULT_CACHE_SCALE = 16
 
+#: Backwards-compatible alias of :func:`repro.api.specs.suite_nnz`.
+_suite_nnz = suite_nnz
+
 
 def _sim_config(cache_scale: Optional[int] = DEFAULT_CACHE_SCALE) -> SimConfig:
     return SimConfig.default() if not cache_scale or cache_scale <= 1 else SimConfig.scaled(cache_scale)
@@ -76,20 +78,19 @@ def _suite(keys: Optional[Iterable[str]]) -> List:
     return [get_spec(key) for key in (keys or ALL_MATRICES)]
 
 
-def _runner(runner: Optional[SweepRunner]) -> SweepRunner:
-    """The runner to submit jobs through (default: serial, uncached)."""
-    return runner if runner is not None else SweepRunner()
+def _session(session: Optional[Session] = None, runner: Optional[SweepRunner] = None) -> Session:
+    """The Session to submit specs through.
 
-
-@functools.lru_cache(maxsize=None)
-def _suite_nnz(key: str, dim: Optional[int]) -> int:
-    """Non-zero count of one suite analogue, memoized per (matrix, dim).
-
-    The drivers need it only for the skip-empty-workloads guard; memoizing
-    avoids regenerating the same (deterministic) matrix once per kernel and
-    per driver in the enumeration loops.
+    ``session`` wins; a bare ``runner`` (the pre-facade calling convention,
+    still used by tests and embedders holding a :class:`SweepRunner`) is
+    wrapped. The default is serial and uncached, honouring the environment
+    knobs for worker count and trace chunking.
     """
-    return generate_matrix(key, dim=dim).nnz
+    if session is not None:
+        return session
+    if runner is not None:
+        return Session(runner=runner)
+    return Session(runtime=RuntimeConfig.from_env(cache_dir=None))
 
 
 # --------------------------------------------------------------------------- #
@@ -101,36 +102,31 @@ def experiment_fig3(
     spmm_dim: int = DEFAULT_SPMM_DIM,
     cache_scale: int = DEFAULT_CACHE_SCALE,
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> Dict:
     """Speedup and normalized instructions of Ideal CSR over CSR (Figure 3)."""
-    engine = _runner(runner)
-    sim = _sim_config(cache_scale)
+    engine = _session(session, runner)
     kernels = {"spadd": spmv_dim, "spmv": spmv_dim, "spmm": spmm_dim}
-    jobs, slots = [], []
-    for kernel, dim in kernels.items():
-        for spec in _suite(keys):
-            if _suite_nnz(spec.key, dim) == 0:
-                continue
-            source = suite_source(spec.key, dim)
-            jobs.append(kernel_job(kernel, "taco_csr", source, sim))
-            jobs.append(kernel_job(kernel, "ideal_csr", source, sim))
-            slots.append(kernel)
-    reports = engine.run(jobs)
-    per_kernel: Dict[str, Dict[str, List[float]]] = {
-        kernel: {"speedups": [], "instruction_ratios": []} for kernel in kernels
-    }
-    for index, kernel in enumerate(slots):
-        baseline = reports[2 * index]
-        ideal = reports[2 * index + 1]
-        per_kernel[kernel]["speedups"].append(ideal.speedup_over(baseline))
-        per_kernel[kernel]["instruction_ratios"].append(ideal.instruction_ratio_over(baseline))
-    results = {
-        kernel: {
-            "ideal_speedup": arithmetic_mean(series["speedups"]),
-            "ideal_normalized_instructions": arithmetic_mean(series["instruction_ratios"]),
+    specs = [
+        JobSpec(kernel, scheme, Workload.suite(spec.key, dim))
+        for kernel, dim in kernels.items()
+        for spec in _suite(keys)
+        if suite_nnz(spec.key, dim)
+        for scheme in ("taco_csr", "ideal_csr")
+    ]
+    result = engine.sweep(specs, sim=_sim_config(cache_scale))
+    results = {}
+    for kernel in kernels:
+        baselines = result.select(kernel=kernel, scheme="taco_csr").reports
+        ideals = result.select(kernel=kernel, scheme="ideal_csr").reports
+        results[kernel] = {
+            "ideal_speedup": arithmetic_mean(
+                [ideal.speedup_over(base) for base, ideal in zip(baselines, ideals)]
+            ),
+            "ideal_normalized_instructions": arithmetic_mean(
+                [ideal.instruction_ratio_over(base) for base, ideal in zip(baselines, ideals)]
+            ),
         }
-        for kernel, series in per_kernel.items()
-    }
     return {
         "figure": "3",
         "description": "Ideal indexing vs CSR (speedup and normalized instructions)",
@@ -213,6 +209,7 @@ def experiment_fig9(
     spmv_dim: Optional[int] = DEFAULT_SPMV_DIM,
     spmm_dim: int = DEFAULT_SPMM_DIM,
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> Dict:
     """Software-only schemes normalized to TACO-CSR (Figure 9).
 
@@ -221,31 +218,29 @@ def experiment_fig9(
     counts, exactly as on the paper's Xeon where the working sets are
     cache-resident relative to its large caches.
     """
-    engine = _runner(runner)
-    sim = _sim_config(cache_scale=None)
-    jobs, slots = [], []
-    for kernel, dim in (("spmv", spmv_dim), ("spmm", spmm_dim)):
-        for spec in _suite(keys):
-            if _suite_nnz(spec.key, dim) == 0:
-                continue
-            source = suite_source(spec.key, dim)
-            config = spec.smash_config()
-            for scheme in SOFTWARE_SCHEMES:
-                jobs.append(kernel_job(kernel, scheme, source, sim, smash_config=config))
-            slots.append(kernel)
-    reports = engine.run(jobs)
+    engine = _session(session, runner)
+    specs = [
+        JobSpec(kernel, scheme, Workload.suite(spec.key, dim), smash=spec.smash_config())
+        for kernel, dim in (("spmv", spmv_dim), ("spmm", spmm_dim))
+        for spec in _suite(keys)
+        if suite_nnz(spec.key, dim)
+        for scheme in SOFTWARE_SCHEMES
+    ]
+    result = engine.sweep(specs, sim=_sim_config(cache_scale=None))
+    baselines = {
+        (spec.kernel, spec.workload_key): report
+        for spec, report in result
+        if spec.scheme == "taco_csr"
+    }
     per_kernel: Dict[str, Dict[str, List[float]]] = {
         kernel: {scheme: [] for scheme in SOFTWARE_SCHEMES} for kernel in ("spmv", "spmm")
     }
-    stride = len(SOFTWARE_SCHEMES)
-    for index, kernel in enumerate(slots):
-        group = reports[stride * index : stride * (index + 1)]
-        baseline = group[SOFTWARE_SCHEMES.index("taco_csr")]
-        for scheme, report in zip(SOFTWARE_SCHEMES, group):
-            if scheme == "taco_csr":
-                per_kernel[kernel][scheme].append(1.0)
-            else:
-                per_kernel[kernel][scheme].append(report.speedup_over(baseline))
+    for spec, report in result:
+        if spec.scheme == "taco_csr":
+            per_kernel[spec.kernel][spec.scheme].append(1.0)
+        else:
+            baseline = baselines[(spec.kernel, spec.workload_key)]
+            per_kernel[spec.kernel][spec.scheme].append(report.speedup_over(baseline))
     results = {
         kernel: {scheme: geometric_mean(vals) for scheme, vals in per_scheme.items() if vals}
         for kernel, per_scheme in per_kernel.items()
@@ -271,28 +266,21 @@ def _kernel_sweep(
     cache_scale: int,
     schemes: Sequence[str] = MAIN_SCHEMES,
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> Dict:
     """Per-matrix scheme sweep for one kernel, normalized to ``taco_csr``."""
     if "taco_csr" not in schemes:
         raise ValueError("the scheme sweep needs the 'taco_csr' baseline")
-    engine = _runner(runner)
-    sim = _sim_config(cache_scale)
-    jobs, specs = [], []
-    for spec in _suite(keys):
-        if _suite_nnz(spec.key, dim) == 0:
-            continue
-        source = suite_source(spec.key, dim)
-        config = spec.smash_config()
-        for scheme in schemes:
-            jobs.append(kernel_job(kernel, scheme, source, sim, smash_config=config))
-        specs.append(spec)
-    reports_list = engine.run(jobs)
+    engine = _session(session, runner)
+    sweep = SweepSpec.product(
+        kernels=kernel, schemes=schemes, matrices=keys or ALL_MATRICES, dim=dim
+    )
+    result = engine.sweep(sweep, sim=_sim_config(cache_scale))
     per_matrix: Dict[str, Dict[str, Dict[str, float]]] = {}
-    stride = len(schemes)
-    for index, spec in enumerate(specs):
-        reports = dict(zip(schemes, reports_list[stride * index : stride * (index + 1)]))
+    for key in sweep.workload_keys:
+        reports = result.select(key=key).by_scheme()
         baseline = reports["taco_csr"]
-        per_matrix[spec.label()] = {
+        per_matrix[get_spec(key).label()] = {
             "speedup": {s: reports[s].speedup_over(baseline) for s in schemes},
             "normalized_instructions": {
                 s: reports[s].instruction_ratio_over(baseline) for s in schemes
@@ -317,9 +305,12 @@ def experiment_fig10_11(
     cache_scale: int = DEFAULT_CACHE_SCALE,
     schemes: Sequence[str] = MAIN_SCHEMES,
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> Dict:
     """SpMV speedup (Fig. 10) and instruction count (Fig. 11) per matrix."""
-    data = _kernel_sweep("spmv", keys, dim, cache_scale, schemes=schemes, runner=runner)
+    data = _kernel_sweep(
+        "spmv", keys, dim, cache_scale, schemes=schemes, runner=runner, session=session
+    )
     data.update(
         {
             "figure": "10/11",
@@ -339,9 +330,12 @@ def experiment_fig12_13(
     cache_scale: int = DEFAULT_CACHE_SCALE,
     schemes: Sequence[str] = MAIN_SCHEMES,
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> Dict:
     """SpMM speedup (Fig. 12) and instruction count (Fig. 13) per matrix."""
-    data = _kernel_sweep("spmm", keys, dim, cache_scale, schemes=schemes, runner=runner)
+    data = _kernel_sweep(
+        "spmm", keys, dim, cache_scale, schemes=schemes, runner=runner, session=session
+    )
     data.update(
         {
             "figure": "12/13",
@@ -361,6 +355,7 @@ def experiment_spadd(
     cache_scale: int = DEFAULT_CACHE_SCALE,
     schemes: Sequence[str] = SPADD_SCHEMES,
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> Dict:
     """SpAdd scheme sweep in the style of the main figures.
 
@@ -369,7 +364,9 @@ def experiment_spadd(
     per-matrix scheme sweep for sparse addition over every scheme that
     implements it, for scenario coverage beyond the paper.
     """
-    data = _kernel_sweep("spadd", keys, dim, cache_scale, schemes=schemes, runner=runner)
+    data = _kernel_sweep(
+        "spadd", keys, dim, cache_scale, schemes=schemes, runner=runner, session=session
+    )
     data.update(
         {
             "experiment": "spadd",
@@ -393,34 +390,29 @@ def experiment_fig14_15(
     ratios: Sequence[int] = (2, 4, 8),
     cache_scale: int = DEFAULT_CACHE_SCALE,
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> Dict:
     """SMASH speedup sensitivity to the Bitmap-0 compression ratio."""
     if kernel not in ("spmv", "spmm"):
         raise ValueError("kernel must be 'spmv' or 'spmm'")
-    engine = _runner(runner)
+    engine = _session(session, runner)
     dim = dim or (DEFAULT_SPMV_DIM if kernel == "spmv" else DEFAULT_SPMM_DIM)
-    sim = _sim_config(cache_scale)
-    jobs, specs = [], []
-    for spec in _suite(keys):
-        if _suite_nnz(spec.key, dim) == 0:
-            continue
-        source = suite_source(spec.key, dim)
-        base_config = spec.smash_config()
-        for ratio in ratios:
-            jobs.append(
-                kernel_job(
-                    kernel, "smash_hw", source, sim,
-                    smash_config=base_config.with_block_size(ratio),
-                )
-            )
-        specs.append(spec)
-    reports_list = engine.run(jobs)
+    specs = [
+        JobSpec(
+            kernel, "smash_hw", Workload.suite(spec.key, dim),
+            smash=spec.smash_config().with_block_size(ratio),
+        )
+        for spec in _suite(keys)
+        if suite_nnz(spec.key, dim)
+        for ratio in ratios
+    ]
+    result = engine.sweep(specs, sim=_sim_config(cache_scale))
     per_matrix: Dict[str, Dict[str, float]] = {}
-    stride = len(ratios)
-    for index, spec in enumerate(specs):
-        reports = dict(zip(ratios, reports_list[stride * index : stride * (index + 1)]))
+    keys_in_order = dict.fromkeys(spec.workload_key for spec in result.specs)
+    for key in keys_in_order:
+        reports = dict(zip(ratios, result.select(key=key).reports))
         baseline = reports[ratios[0]]
-        per_matrix[spec.key] = {
+        per_matrix[key] = {
             f"B0-{ratio}:1": reports[ratio].speedup_over(baseline) for ratio in ratios
         }
     averages = {
@@ -450,6 +442,7 @@ def experiment_fig16_17(
     block_size: int = 8,
     cache_scale: int = DEFAULT_CACHE_SCALE,
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> Dict:
     """SMASH speedup vs locality of sparsity for selected matrices.
 
@@ -459,10 +452,9 @@ def experiment_fig16_17(
     """
     if kernel not in ("spmv", "spmm"):
         raise ValueError("kernel must be 'spmv' or 'spmm'")
-    engine = _runner(runner)
+    engine = _session(session, runner)
     dim = dim or (256 if kernel == "spmv" else DEFAULT_SPMM_DIM)
-    sim = _sim_config(cache_scale)
-    jobs, slots = [], []
+    specs, points = [], []
     for key in keys:
         spec = get_spec(key)
         nnz = max(block_size, int(round(spec.density * dim * dim)))
@@ -470,15 +462,20 @@ def experiment_fig16_17(
         for locality in localities:
             # nnz >= block_size >= 1 above, so the generated matrix always
             # holds at least one non-zero — no empty-workload guard needed.
-            source = locality_source(
-                dim, dim, nnz, block_size, locality, seed=stable_seed(key, locality)
+            specs.append(
+                JobSpec(
+                    kernel, "smash_hw",
+                    Workload.locality(
+                        dim, dim, nnz, block_size, locality, seed=stable_seed(key, locality)
+                    ),
+                    smash=config,
+                )
             )
-            jobs.append(kernel_job(kernel, "smash_hw", source, sim, smash_config=config))
-            slots.append((key, config, locality))
-    reports_list = engine.run(jobs)
+            points.append((key, config, locality))
+    result = engine.sweep(specs, sim=_sim_config(cache_scale))
     series: Dict[str, Dict[float, object]] = {}
     labels: Dict[str, str] = {}
-    for (key, config, locality), report in zip(slots, reports_list):
+    for (key, config, locality), report in zip(points, result.reports):
         series.setdefault(key, {})[locality] = report
         labels[key] = f"{key}.{config.label()}"
     per_matrix: Dict[str, Dict[str, float]] = {}
@@ -509,27 +506,26 @@ def experiment_fig18(
     cache_scale: int = DEFAULT_CACHE_SCALE,
     smash_config: Optional[SMASHConfig] = None,
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> Dict:
     """PageRank and Betweenness Centrality, SMASH vs CSR (Figure 18)."""
-    engine = _runner(runner)
-    sim = _sim_config(cache_scale)
+    engine = _session(session, runner)
     config = smash_config or SMASHConfig((2, 4, 16))
     apps = (("pagerank", {"iterations": pagerank_iterations}), ("bc", {"max_sources": bc_sources}))
     graph_keys = list(keys or ALL_GRAPHS)
-    jobs = []
-    for key in graph_keys:
-        source = graph_source(key, n_vertices)
-        for app, params in apps:
-            for scheme in ("taco_csr", "smash_hw"):
-                jobs.append(app_job(app, scheme, source, sim, smash_config=config, **params))
-    reports_list = engine.run(jobs)
+    specs = [
+        JobSpec(app, scheme, Workload.graph(key, n_vertices), smash=config, params=params)
+        for key in graph_keys
+        for app, params in apps
+        for scheme in ("taco_csr", "smash_hw")
+    ]
+    result = engine.sweep(specs, sim=_sim_config(cache_scale))
     per_graph: Dict[str, Dict[str, Dict[str, float]]] = {}
-    cursor = 0
     for key in graph_keys:
         entry: Dict[str, Dict[str, float]] = {}
         for app, _ in apps:
-            csr_report, smash_report = reports_list[cursor], reports_list[cursor + 1]
-            cursor += 2
+            csr_report = result.one(kernel=app, key=key, scheme="taco_csr")
+            smash_report = result.one(kernel=app, key=key, scheme="smash_hw")
             entry[app] = {
                 "speedup": smash_report.speedup_over(csr_report),
                 "normalized_instructions": smash_report.instruction_ratio_over(csr_report),
@@ -655,6 +651,7 @@ def experiment_fig20(
     pagerank_iterations: int = 40,
     cache_scale: int = DEFAULT_CACHE_SCALE,
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> Dict:
     """End-to-end execution breakdown with CSR<->SMASH conversion (Figure 20).
 
@@ -664,7 +661,7 @@ def experiment_fig20(
     same way. The kernel runs go through the sweep engine; the (cheap,
     structural) conversion-cost estimates are computed in-driver.
     """
-    engine = _runner(runner)
+    engine = _session(session, runner)
     sim = _sim_config(cache_scale)
     breakdown: Dict[str, Dict[str, float]] = {}
 
@@ -679,21 +676,21 @@ def experiment_fig20(
     spmv_spec = get_spec(spmv_key)
     spmm_spec = get_spec(spmm_key)
     pagerank_config = SMASHConfig((2, 4, 16))
-    jobs = [
-        kernel_job(
-            "spmv", "smash_hw", suite_source(spmv_spec.key, spmv_dim), sim,
-            smash_config=spmv_spec.smash_config(),
+    specs = [
+        JobSpec(
+            "spmv", "smash_hw", Workload.suite(spmv_spec.key, spmv_dim),
+            smash=spmv_spec.smash_config(),
         ),
-        kernel_job(
-            "spmm", "smash_hw", suite_source(spmm_spec.key, spmm_dim), sim,
-            smash_config=spmm_spec.smash_config(),
+        JobSpec(
+            "spmm", "smash_hw", Workload.suite(spmm_spec.key, spmm_dim),
+            smash=spmm_spec.smash_config(),
         ),
-        app_job(
-            "pagerank", "smash_hw", graph_source(graph_key, n_vertices), sim,
-            smash_config=pagerank_config, iterations=pagerank_iterations,
+        JobSpec(
+            "pagerank", "smash_hw", Workload.graph(graph_key, n_vertices),
+            smash=pagerank_config, params={"iterations": pagerank_iterations},
         ),
     ]
-    spmv_report, spmm_report, pr_report = engine.run(jobs)
+    spmv_report, spmm_report, pr_report = engine.sweep(specs, sim=sim).reports
 
     # SpMV: single short-running kernel invocation.
     csr = coo_to_csr(generate_matrix(spmv_spec, dim=spmv_dim))
@@ -748,6 +745,7 @@ def experiment_scale(
     schemes: Sequence[str] = ("taco_csr", "smash_hw"),
     cache_scale: int = DEFAULT_CACHE_SCALE,
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> Dict:
     """SpMV dimension sweep at sizes beyond the monolithic trace engine.
 
@@ -762,28 +760,31 @@ def experiment_scale(
     (the clustered M13 analogue, whose non-zero count grows quadratically
     with the dimension) crosses the budget at its largest dimension.
     """
-    from repro.sim.trace import DEFAULT_CHUNK_ACCESSES, trace_chunk_accesses
+    from repro.sim.trace import DEFAULT_CHUNK_ACCESSES
 
     if "taco_csr" not in schemes:
         raise ValueError("the scale sweep needs the 'taco_csr' baseline")
-    engine = _runner(runner)
-    sim = _sim_config(cache_scale)
-    jobs, slots = [], []
+    engine = _session(session, runner)
+    specs, points = [], []
     for key in keys:
         spec = get_spec(key)
         for dim in dims:
-            nnz = _suite_nnz(spec.key, dim)
+            nnz = suite_nnz(spec.key, dim)
             if nnz == 0:
                 continue
-            source = suite_source(spec.key, dim)
             for scheme in schemes:
-                jobs.append(
-                    kernel_job("spmv", scheme, source, sim, smash_config=spec.smash_config())
+                specs.append(
+                    JobSpec(
+                        "spmv", scheme, Workload.suite(spec.key, dim),
+                        smash=spec.smash_config(),
+                    )
                 )
-            slots.append((key, dim, nnz))
-    reports_list = engine.run(jobs)
+            points.append((key, dim, nnz))
+    result = engine.sweep(specs, sim=_sim_config(cache_scale))
 
-    chunk = trace_chunk_accesses()
+    # The budget the sweep actually ran under: the session's runtime pins it
+    # (the runner wraps a chunk override around every execution path).
+    chunk = engine.runtime.trace_chunk
     chunked_peak_mb = (
         (chunk or 0) * TRACE_BYTES_PER_ACCESS * MONOLITHIC_PEAK_FACTOR / 2**20
         if chunk
@@ -791,8 +792,8 @@ def experiment_scale(
     )
     per_point: Dict[str, Dict] = {}
     stride = len(schemes)
-    for index, (key, dim, nnz) in enumerate(slots):
-        reports = dict(zip(schemes, reports_list[stride * index : stride * (index + 1)]))
+    for index, (key, dim, nnz) in enumerate(points):
+        reports = dict(zip(schemes, result.reports[stride * index : stride * (index + 1)]))
         baseline = reports["taco_csr"]
         # Trace volume of the CSR baseline traversal: one row_ptr load and
         # one y store per row, three accesses (col_ind, value, x) per nnz.

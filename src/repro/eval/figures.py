@@ -1,11 +1,21 @@
-"""Registry mapping figure/table identifiers to experiment drivers."""
+"""Registry mapping figure/table identifiers to experiment drivers.
+
+Experiments register through the unified :class:`repro.api.registry.Registry`
+mechanism (the same one backing kernels, schemes and workload ids), so the
+CLI and embedders get ordered enumeration plus validated, did-you-mean
+lookup. Registering a new experiment is a one-site change::
+
+    register_experiment(Experiment("figure21", "figure", "...", driver, {}),
+                        aliases=("21",))
+"""
 
 from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence
 
+from repro.api.registry import Registry
 from repro.eval import experiments
 
 
@@ -20,121 +30,147 @@ class Experiment:
     quick_kwargs: dict
 
 
+#: The unified registry of experiments, in paper order.
+EXPERIMENT_REGISTRY = Registry("experiment")
+
+
+def register_experiment(experiment: Experiment, aliases: Sequence[str] = ()) -> Experiment:
+    """Register an experiment under its identifier (and ``aliases``)."""
+    return EXPERIMENT_REGISTRY.register(experiment.identifier, experiment, aliases=aliases)
+
+
 #: Keyword arguments that shrink each experiment for fast test runs.
 _QUICK_MATRICES = ("M2", "M8", "M13")
 
-EXPERIMENTS: Dict[str, Experiment] = {
-    "figure3": Experiment(
+register_experiment(
+    Experiment(
         "figure3", "figure", "Ideal indexing vs CSR (motivation)", experiments.experiment_fig3,
         {"keys": _QUICK_MATRICES, "spmv_dim": 96, "spmm_dim": 48},
     ),
-    "table2": Experiment(
-        "table2", "table", "Simulated system configuration", experiments.experiment_table2, {},
-    ),
-    "table3": Experiment(
-        "table3", "table", "Evaluated sparse matrices", experiments.experiment_table3,
-        {"dim": 96},
-    ),
-    "table4": Experiment(
-        "table4", "table", "Input graphs", experiments.experiment_table4, {"n_vertices": 64},
-    ),
-    "table5": Experiment(
-        "table5", "table", "Real system configuration", experiments.experiment_table5, {},
-    ),
-    "figure9": Experiment(
+    aliases=("3",),
+)
+register_experiment(
+    Experiment("table2", "table", "Simulated system configuration", experiments.experiment_table2, {}),
+    aliases=("2",),
+)
+register_experiment(
+    Experiment("table3", "table", "Evaluated sparse matrices", experiments.experiment_table3, {"dim": 96}),
+)
+register_experiment(
+    Experiment("table4", "table", "Input graphs", experiments.experiment_table4, {"n_vertices": 64}),
+    aliases=("4",),
+)
+register_experiment(
+    Experiment("table5", "table", "Real system configuration", experiments.experiment_table5, {}),
+    aliases=("5",),
+)
+register_experiment(
+    Experiment(
         "figure9", "figure", "Software-only schemes on the real system", experiments.experiment_fig9,
         {"keys": _QUICK_MATRICES, "spmv_dim": 96, "spmm_dim": 48},
     ),
-    "figure10": Experiment(
+    aliases=("9",),
+)
+register_experiment(
+    Experiment(
         "figure10", "figure", "SpMV speedup and instructions", experiments.experiment_fig10_11,
         {"keys": _QUICK_MATRICES, "dim": 96},
     ),
-    "figure12": Experiment(
+    aliases=("figure11", "10", "11"),
+)
+register_experiment(
+    Experiment(
         "figure12", "figure", "SpMM speedup and instructions", experiments.experiment_fig12_13,
         {"keys": _QUICK_MATRICES, "dim": 48},
     ),
-    "spadd": Experiment(
+    aliases=("figure13", "12", "13"),
+)
+register_experiment(
+    Experiment(
         "spadd", "extra", "SpAdd scheme sweep (main-figure style)",
         experiments.experiment_spadd,
         {"keys": _QUICK_MATRICES, "dim": 96},
     ),
-    "figure14": Experiment(
+)
+register_experiment(
+    Experiment(
         "figure14", "figure", "Compression-ratio sensitivity (SpMV)",
         functools.partial(experiments.experiment_fig14_15, kernel="spmv"),
         {"keys": _QUICK_MATRICES, "dim": 96},
     ),
-    "figure15": Experiment(
+    aliases=("14",),
+)
+register_experiment(
+    Experiment(
         "figure15", "figure", "Compression-ratio sensitivity (SpMM)",
         functools.partial(experiments.experiment_fig14_15, kernel="spmm"),
         {"keys": _QUICK_MATRICES, "dim": 48},
     ),
-    "figure16": Experiment(
+    aliases=("15",),
+)
+register_experiment(
+    Experiment(
         "figure16", "figure", "Locality-of-sparsity sensitivity (SpMV)",
         functools.partial(experiments.experiment_fig16_17, kernel="spmv"),
         {"keys": ("M8",), "dim": 96, "localities": (12.5, 50, 100)},
     ),
-    "figure17": Experiment(
+    aliases=("16",),
+)
+register_experiment(
+    Experiment(
         "figure17", "figure", "Locality-of-sparsity sensitivity (SpMM)",
         functools.partial(experiments.experiment_fig16_17, kernel="spmm"),
         {"keys": ("M8",), "dim": 48, "localities": (12.5, 50, 100)},
     ),
-    "figure18": Experiment(
+    aliases=("17",),
+)
+register_experiment(
+    Experiment(
         "figure18", "figure", "PageRank and Betweenness Centrality", experiments.experiment_fig18,
         {"keys": ("G2",), "n_vertices": 64, "pagerank_iterations": 2, "bc_sources": 2},
     ),
-    "figure19": Experiment(
+    aliases=("18",),
+)
+register_experiment(
+    Experiment(
         "figure19", "figure", "Storage efficiency (compression ratios)", experiments.experiment_fig19,
         {"keys": _QUICK_MATRICES, "dim": 96},
     ),
-    "figure20": Experiment(
+    aliases=("19",),
+)
+register_experiment(
+    Experiment(
         "figure20", "figure", "Format conversion overhead", experiments.experiment_fig20,
         {"spmv_dim": 96, "spmm_dim": 48, "n_vertices": 64, "pagerank_iterations": 3},
     ),
-    "scale": Experiment(
+    aliases=("20",),
+)
+register_experiment(
+    Experiment(
         "scale", "extra", "SpMV dimension sweep (bounded-memory chunked replay)",
         experiments.experiment_scale,
         {"keys": ("M8",), "dims": (128, 256)},
     ),
-    "area": Experiment(
-        "area", "section", "BMU area overhead (Section 7.6)", experiments.experiment_area, {},
-    ),
-}
+)
+register_experiment(
+    Experiment("area", "section", "BMU area overhead (Section 7.6)", experiments.experiment_area, {}),
+)
 
-#: Aliases accepted by the CLI (e.g. ``figure 11`` shares a driver with 10).
-ALIASES = {
-    "figure11": "figure10",
-    "figure13": "figure12",
-    "3": "figure3",
-    "9": "figure9",
-    "10": "figure10",
-    "11": "figure10",
-    "12": "figure12",
-    "13": "figure12",
-    "14": "figure14",
-    "15": "figure15",
-    "16": "figure16",
-    "17": "figure17",
-    "18": "figure18",
-    "19": "figure19",
-    "20": "figure20",
-    "2": "table2",
-    "4": "table4",
-    "5": "table5",
-}
+#: Backwards-compatible views of the registry.
+EXPERIMENTS: Dict[str, Experiment] = dict(EXPERIMENT_REGISTRY.items())
+ALIASES: Dict[str, str] = EXPERIMENT_REGISTRY.aliases()
 
 
 def get_experiment(identifier: str) -> Experiment:
-    """Resolve an experiment by id or alias (case-insensitive)."""
+    """Resolve an experiment by id or alias (case-insensitive).
+
+    Unknown identifiers raise a did-you-mean error that is both a
+    ``KeyError`` (the historical contract) and a ``ValueError``.
+    """
     key = identifier.lower().replace(" ", "")
-    key = ALIASES.get(key, key)
-    if key not in EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment {identifier!r}; known: {sorted(EXPERIMENTS)} "
-            f"(aliases: {sorted(ALIASES)})"
-        )
-    return EXPERIMENTS[key]
+    return EXPERIMENT_REGISTRY.get(key)
 
 
 def list_experiments() -> List[Experiment]:
     """All registered experiments, in registry order."""
-    return list(EXPERIMENTS.values())
+    return [experiment for _, experiment in EXPERIMENT_REGISTRY.items()]

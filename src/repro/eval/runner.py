@@ -33,11 +33,14 @@ import hashlib
 import json
 import os
 import pathlib
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.api.config import DEFAULT_CACHE_DIR, PROCESSES_ENV_VAR, RuntimeConfig
 from repro.core.config import SMASHConfig
+from repro.sim import trace as _trace
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport
 
@@ -45,11 +48,9 @@ from repro.sim.instrumentation import CostReport
 #: entries written under another schema are treated as cache misses.
 CACHE_SCHEMA_VERSION = 1
 
-#: Default location of the on-disk report cache (relative to the CWD).
-DEFAULT_CACHE_DIR = ".smash-cache"
-
-#: Environment variable consulted for the default worker count.
-PROCESSES_ENV_VAR = "SMASH_REPRO_PROCESSES"
+#: Sentinel for "no explicit trace-chunk override": kernels fall back to the
+#: ``SMASH_REPRO_TRACE_CHUNK`` environment default.
+USE_ENV_CHUNK = object()
 
 #: Kernel job kinds (dispatched through the scheme runners) and application
 #: job kinds (dispatched through the graph drivers).
@@ -182,12 +183,11 @@ def execute_job(job: Job) -> CostReport:
     """Run one job to completion and return its cost report."""
     params = dict(job.params)
     if job.kind in KERNEL_KINDS:
-        from repro.kernels.schemes import run_spadd, run_spmm, run_spmv
+        from repro.kernels.schemes import KERNEL_RUNNERS
 
-        runners = {"spmv": run_spmv, "spmm": run_spmm, "spadd": run_spadd}
         coo = materialize_source(job.source)
         kwargs = {"seed": int(params["seed"])} if "seed" in params else {}
-        result = runners[job.kind](
+        result = KERNEL_RUNNERS[job.kind](
             job.scheme, coo, smash_config=job.smash, sim_config=job.sim, **kwargs
         )
         return result.report
@@ -295,13 +295,19 @@ class SweepStats:
 
 
 def resolve_processes(processes: Optional[int] = None) -> int:
-    """The effective worker count: explicit value, else env var, else 1."""
-    if processes is None:
-        env = os.environ.get(PROCESSES_ENV_VAR, "").strip()
-        processes = int(env) if env else 1
-    if processes < 1:
-        raise ValueError("process count must be at least 1")
-    return processes
+    """The effective worker count: explicit value, else env var, else 1.
+
+    Delegates to :meth:`RuntimeConfig.from_env` — the library's single
+    environment-reading site — so explicit values take precedence over
+    ``SMASH_REPRO_PROCESSES`` and non-positive or non-integer values fail
+    with a clear ``ValueError`` naming the offending knob.
+    """
+    return RuntimeConfig.from_env(processes=processes).processes
+
+
+def _init_worker_chunk(value: Optional[int]) -> None:
+    """Worker-pool initializer pinning an explicit trace-chunk budget."""
+    _trace.set_chunk_override(value)
 
 
 class SweepRunner:
@@ -309,19 +315,62 @@ class SweepRunner:
 
     ``processes=1`` (the default) runs everything in-process — no pool, no
     pickling — so debugging with pdb or print stays trivial; ``processes>1``
-    fans cache misses out over a ``ProcessPoolExecutor``. ``cache_dir=None``
-    disables the on-disk cache (in-batch deduplication still applies).
-    Results are independent of both knobs.
+    fans cache misses out over a ``ProcessPoolExecutor`` that persists
+    across :meth:`run` calls (one pool for a whole multi-experiment sweep)
+    until :meth:`close`. ``cache_dir=None`` disables the on-disk cache
+    (in-batch deduplication still applies). ``trace_chunk`` pins the
+    bounded-memory replay budget for this runner's jobs — serial execution
+    wraps a process-local override, pool workers are initialized with it —
+    while the :data:`USE_ENV_CHUNK` default defers to the environment knob.
+    Results are independent of all three knobs.
     """
 
     def __init__(
         self,
         processes: Optional[int] = None,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        trace_chunk: object = USE_ENV_CHUNK,
     ) -> None:
         self.processes = resolve_processes(processes)
         self.cache = ReportCache(cache_dir) if cache_dir is not None else None
         self.stats = SweepStats()
+        self.trace_chunk = trace_chunk
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    # ------------------------------------------------------------------ #
+    # Executor lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            if self.trace_chunk is USE_ENV_CHUNK:
+                pool = ProcessPoolExecutor(max_workers=self.processes)
+            else:
+                pool = ProcessPoolExecutor(
+                    max_workers=self.processes,
+                    initializer=_init_worker_chunk,
+                    initargs=(self.trace_chunk,),
+                )
+            self._pool = pool
+            # Shut the workers down when the runner is garbage collected,
+            # not only on explicit close().
+            self._finalizer = weakref.finalize(self, pool.shutdown, wait=False)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; serial runners are no-ops)."""
+        if self._pool is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(self, jobs: Sequence[Job]) -> List[CostReport]:
         """Execute ``jobs`` and return their reports in submission order.
@@ -353,11 +402,12 @@ class SweepRunner:
             self.stats.executed += len(misses)
             miss_jobs = [job for _, job in misses]
             if self.processes > 1 and len(miss_jobs) > 1:
-                workers = min(self.processes, len(miss_jobs))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    fresh = list(pool.map(_execute_job_payload, miss_jobs))
-            else:
+                fresh = list(self._ensure_pool().map(_execute_job_payload, miss_jobs))
+            elif self.trace_chunk is USE_ENV_CHUNK:
                 fresh = [_execute_job_payload(job) for job in miss_jobs]
+            else:
+                with _trace.chunk_override(self.trace_chunk):
+                    fresh = [_execute_job_payload(job) for job in miss_jobs]
             for (key, job), payload in zip(misses, fresh):
                 if self.cache is not None:
                     self.cache.store(key, job, payload)

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.registry import Registry
 from repro.graphs.graph import Graph
 
 
@@ -121,14 +122,21 @@ GRAPH_SPECS: List[GraphSpec] = [
     GraphSpec("G4", "amazon0601", 403_000, 3_300_000, "power_law", 256),
 ]
 
-_GRAPH_INDEX: Dict[str, GraphSpec] = {spec.key: spec for spec in GRAPH_SPECS}
+#: Table 4 graph ids registered through the unified plugin mechanism (the
+#: same :class:`~repro.api.registry.Registry` that backs kernels, schemes,
+#: matrices and experiments).
+GRAPH_REGISTRY = Registry("graph id")
+for _spec in GRAPH_SPECS:
+    GRAPH_REGISTRY.register(_spec.key, _spec)
 
 
 def get_graph_spec(key: str) -> GraphSpec:
-    """Look up a graph spec by id (``"G1"`` .. ``"G4"``)."""
-    if key not in _GRAPH_INDEX:
-        raise KeyError(f"unknown graph id {key!r}; known ids: {sorted(_GRAPH_INDEX)}")
-    return _GRAPH_INDEX[key]
+    """Look up a graph spec by id (``"G1"`` .. ``"G4"``).
+
+    Unknown ids raise a did-you-mean error that is both a ``KeyError`` (the
+    historical contract) and a ``ValueError``.
+    """
+    return GRAPH_REGISTRY.get(key)
 
 
 def generate_graph(

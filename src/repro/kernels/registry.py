@@ -1,4 +1,4 @@
-"""Decorator-based registry mapping ``(kernel, scheme)`` to implementations.
+"""Kernel implementations registered through the unified plugin registry.
 
 Before this registry every consumer of the instrumented kernels (the scheme
 runners, PageRank, BFS, Betweenness Centrality) kept its own copy of the same
@@ -11,13 +11,26 @@ site::
 
 and every consumer resolves implementations through :func:`get_kernel` /
 :func:`kernels_for`, so adding a scheme or a kernel is a one-site change.
+
+Entries live in a :class:`repro.api.registry.Registry` under
+``"<kernel>/<scheme>"`` keys — the same mechanism that backs schemes,
+workload ids and experiments — whose loader imports the kernel modules
+lazily so their decorators have run before the first lookup.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Tuple
 
-_REGISTRY: Dict[Tuple[str, str], Callable] = {}
+from repro.api.registry import Registry, UnknownNameError, suggestion
+
+
+def _load_kernel_modules(registry: Registry) -> None:
+    """Import the kernel modules so their decorators have run."""
+    from repro.kernels import spadd, spmm, spmv  # noqa: F401  (side-effect import)
+
+
+KERNEL_REGISTRY = Registry("kernel implementation", loader=_load_kernel_modules)
 
 
 def register_kernel(kernel: str, *schemes: str) -> Callable[[Callable], Callable]:
@@ -31,41 +44,44 @@ def register_kernel(kernel: str, *schemes: str) -> Callable[[Callable], Callable
 
     def decorator(func: Callable) -> Callable:
         for scheme in schemes:
-            key = (kernel, scheme)
-            if key in _REGISTRY and _REGISTRY[key] is not func:
-                raise ValueError(f"{key} is already registered to {_REGISTRY[key].__name__}")
-            _REGISTRY[key] = func
+            KERNEL_REGISTRY.register(f"{kernel}/{scheme}", func)
         return func
 
     return decorator
 
 
 def get_kernel(kernel: str, scheme: str) -> Callable:
-    """Resolve the implementation of ``kernel`` for ``scheme``."""
-    _ensure_loaded()
-    try:
-        return _REGISTRY[(kernel, scheme)]
-    except KeyError:
-        available = sorted(s for k, s in _REGISTRY if k == kernel)
-        if not available:
-            raise ValueError(f"unknown kernel {kernel!r}") from None
-        raise ValueError(
-            f"{kernel} is not implemented for scheme {scheme!r}; "
-            f"available schemes: {available}"
-        ) from None
+    """Resolve the implementation of ``kernel`` for ``scheme``.
+
+    Unknown names fail with a did-you-mean ``ValueError`` at this boundary
+    instead of a bare ``KeyError`` somewhere inside the consumer.
+    """
+    key = f"{kernel}/{scheme}"
+    if key in KERNEL_REGISTRY:
+        return KERNEL_REGISTRY.get(key)
+    available = registered_schemes(kernel)
+    if not available:
+        kernels = sorted({name.split("/", 1)[0] for name in KERNEL_REGISTRY.names()})
+        raise UnknownNameError(
+            f"unknown kernel {kernel!r};{suggestion(kernel, kernels)} "
+            f"known kernels: {kernels}"
+        )
+    raise UnknownNameError(
+        f"{kernel} is not implemented for scheme {scheme!r};"
+        f"{suggestion(scheme, available)} available schemes: {list(available)}"
+    )
 
 
 def kernels_for(kernel: str) -> Dict[str, Callable]:
     """All registered implementations of ``kernel``, keyed by scheme."""
-    _ensure_loaded()
-    return {s: func for (k, s), func in _REGISTRY.items() if k == kernel}
+    prefix = f"{kernel}/"
+    return {
+        name[len(prefix):]: func
+        for name, func in KERNEL_REGISTRY.items()
+        if name.startswith(prefix)
+    }
 
 
 def registered_schemes(kernel: str) -> Tuple[str, ...]:
     """Scheme names with an implementation of ``kernel``, sorted."""
     return tuple(sorted(kernels_for(kernel)))
-
-
-def _ensure_loaded() -> None:
-    """Import the kernel modules so their decorators have run."""
-    from repro.kernels import spadd, spmm, spmv  # noqa: F401  (side-effect import)

@@ -8,14 +8,20 @@ format + indexing mechanism). This module centralizes two things:
   the sparse-native constructors (:meth:`BCSRMatrix.from_coo`,
   :meth:`SMASHMatrix.from_coo`) so no dense intermediate is ever
   materialized;
-* :func:`run_spmv` / :func:`run_spmm` / :func:`run_spadd` — running one
-  scheme's instrumented kernel and packaging the result with its cost
-  report. Implementations are resolved through
-  :mod:`repro.kernels.registry`, where each kernel registered itself with
-  ``@register_kernel(kernel, scheme)``.
+* the internal kernel runners behind :meth:`repro.api.Session.run_kernel`
+  and the sweep engine — running one scheme's instrumented kernel and
+  packaging the result with its cost report. Implementations are resolved
+  through :mod:`repro.kernels.registry`, where each kernel registered
+  itself with ``@register_kernel(kernel, scheme)``.
 
-Scheme names follow the paper's figures: ``taco_csr``, ``taco_bcsr``,
-``mkl_csr``, ``ideal_csr``, ``smash_sw`` and ``smash_hw``.
+Scheme names follow the paper's figures and are registered in
+:data:`SCHEME_REGISTRY` (an instance of the unified
+:class:`repro.api.registry.Registry`), so an unknown or misspelled scheme
+fails at the boundary with a did-you-mean error.
+
+The historical module-level entry points :func:`run_spmv` / :func:`run_spmm`
+/ :func:`run_spadd` are retained as deprecation shims that delegate to a
+default :class:`repro.api.Session`; new code should construct a Session.
 
 Randomized inputs (currently only SpMV's ``x`` vector) are derived from a
 single seed handled uniformly by all three entry points: pass ``seed`` to
@@ -24,11 +30,13 @@ change it, or pass explicit operands to bypass generation entirely.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import Registry
 from repro.core.config import SMASHConfig
 from repro.core.smash_matrix import SMASHMatrix
 from repro.formats.bcsr import BCSRMatrix
@@ -38,8 +46,18 @@ from repro.kernels.registry import get_kernel
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport
 
-#: All scheme identifiers used across the evaluation.
-SCHEMES = ("taco_csr", "taco_bcsr", "mkl_csr", "ideal_csr", "smash_sw", "smash_hw")
+#: Registry of scheme identifiers; the registered object is the scheme's
+#: human-readable display name used in reports and benchmark output.
+SCHEME_REGISTRY = Registry("scheme")
+SCHEME_REGISTRY.register("taco_csr", "TACO-CSR")
+SCHEME_REGISTRY.register("taco_bcsr", "TACO-BCSR")
+SCHEME_REGISTRY.register("mkl_csr", "MKL-CSR")
+SCHEME_REGISTRY.register("ideal_csr", "Ideal CSR")
+SCHEME_REGISTRY.register("smash_sw", "Software-only SMASH")
+SCHEME_REGISTRY.register("smash_hw", "SMASH")
+
+#: All scheme identifiers used across the evaluation, in figure order.
+SCHEMES = SCHEME_REGISTRY.names()
 
 #: Block shape used for every BCSR operand (the paper does not state TACO's
 #: block size; 4x4 is the common OSKI/TACO default).
@@ -61,8 +79,7 @@ class KernelResult:
 
 
 def _require_scheme(scheme: str) -> None:
-    if scheme not in SCHEMES:
-        raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+    SCHEME_REGISTRY.resolve(scheme)
 
 
 def default_input_vector(length: int, seed: Optional[int] = None) -> np.ndarray:
@@ -103,7 +120,11 @@ def prepare_operand(
     return SMASHMatrix.from_coo(source, config)
 
 
-def run_spmv(
+# --------------------------------------------------------------------------- #
+# Internal runners (the execution path of Session.run_kernel and the sweep
+# engine; free of deprecation warnings)
+# --------------------------------------------------------------------------- #
+def _run_spmv(
     scheme: str,
     coo: COOMatrix,
     x: Optional[np.ndarray] = None,
@@ -124,7 +145,7 @@ def run_spmv(
     return KernelResult(scheme=scheme, kernel="spmv", output=output, report=report)
 
 
-def run_spmm(
+def _run_spmm(
     scheme: str,
     a_coo: COOMatrix,
     b_coo: Optional[COOMatrix] = None,
@@ -134,7 +155,7 @@ def run_spmm(
 ) -> KernelResult:
     """Run one scheme's instrumented SpMM (``B`` defaults to ``A``).
 
-    ``seed`` is accepted for signature uniformity with :func:`run_spmv`;
+    ``seed`` is accepted for signature uniformity with :func:`_run_spmv`;
     SpMM generates no random operands today, so it is currently unused.
     """
     _require_scheme(scheme)
@@ -146,7 +167,7 @@ def run_spmm(
     return KernelResult(scheme=scheme, kernel="spmm", output=output, report=report)
 
 
-def run_spadd(
+def _run_spadd(
     scheme: str,
     a_coo: COOMatrix,
     b_coo: Optional[COOMatrix] = None,
@@ -158,7 +179,7 @@ def run_spadd(
 
     Only the schemes used in the motivation experiment (Figure 3) and the
     SMASH hardware variant are available for sparse addition. ``seed`` is
-    accepted for signature uniformity with :func:`run_spmv`; sparse addition
+    accepted for signature uniformity with :func:`_run_spmv`; sparse addition
     generates no random operands today, so it is currently unused.
     """
     _require_scheme(scheme)
@@ -170,14 +191,77 @@ def run_spadd(
     return KernelResult(scheme=scheme, kernel="spadd", output=output, report=report)
 
 
+#: Internal dispatch used by :meth:`repro.api.Session.run_kernel`.
+KERNEL_RUNNERS = {"spmv": _run_spmv, "spmm": _run_spmm, "spadd": _run_spadd}
+
+
+# --------------------------------------------------------------------------- #
+# Deprecation shims
+# --------------------------------------------------------------------------- #
+def _deprecated_run(kernel: str, scheme: str, *operands, **kwargs) -> KernelResult:
+    warnings.warn(
+        f"run_{kernel} is deprecated; use repro.api.Session "
+        f"(session.run(JobSpec(...)) or session.run_kernel({kernel!r}, ...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    from repro.api.session import default_session
+
+    return default_session().run_kernel(
+        kernel,
+        scheme,
+        *operands,
+        smash=kwargs.get("smash_config"),
+        sim=kwargs.get("sim_config"),
+        seed=kwargs.get("seed", DEFAULT_SEED),
+        **({"x": kwargs["x"]} if kwargs.get("x") is not None else {}),
+    )
+
+
+def run_spmv(
+    scheme: str,
+    coo: COOMatrix,
+    x: Optional[np.ndarray] = None,
+    smash_config: Optional[SMASHConfig] = None,
+    sim_config: Optional[SimConfig] = None,
+    seed: int = DEFAULT_SEED,
+) -> KernelResult:
+    """Deprecated: use :meth:`repro.api.Session.run_kernel` (``"spmv"``)."""
+    return _deprecated_run(
+        "spmv", scheme, coo, x=x, smash_config=smash_config, sim_config=sim_config, seed=seed
+    )
+
+
+def run_spmm(
+    scheme: str,
+    a_coo: COOMatrix,
+    b_coo: Optional[COOMatrix] = None,
+    smash_config: Optional[SMASHConfig] = None,
+    sim_config: Optional[SimConfig] = None,
+    seed: int = DEFAULT_SEED,
+) -> KernelResult:
+    """Deprecated: use :meth:`repro.api.Session.run_kernel` (``"spmm"``)."""
+    operands = (a_coo,) if b_coo is None else (a_coo, b_coo)
+    return _deprecated_run(
+        "spmm", scheme, *operands, smash_config=smash_config, sim_config=sim_config, seed=seed
+    )
+
+
+def run_spadd(
+    scheme: str,
+    a_coo: COOMatrix,
+    b_coo: Optional[COOMatrix] = None,
+    smash_config: Optional[SMASHConfig] = None,
+    sim_config: Optional[SimConfig] = None,
+    seed: int = DEFAULT_SEED,
+) -> KernelResult:
+    """Deprecated: use :meth:`repro.api.Session.run_kernel` (``"spadd"``)."""
+    operands = (a_coo,) if b_coo is None else (a_coo, b_coo)
+    return _deprecated_run(
+        "spadd", scheme, *operands, smash_config=smash_config, sim_config=sim_config, seed=seed
+    )
+
+
 def scheme_display_name(scheme: str) -> str:
     """Human-readable name used in reports and benchmark output."""
-    names: Dict[str, str] = {
-        "taco_csr": "TACO-CSR",
-        "taco_bcsr": "TACO-BCSR",
-        "mkl_csr": "MKL-CSR",
-        "ideal_csr": "Ideal CSR",
-        "smash_sw": "Software-only SMASH",
-        "smash_hw": "SMASH",
-    }
-    return names.get(scheme, scheme)
+    return SCHEME_REGISTRY.get(scheme) if scheme in SCHEME_REGISTRY else scheme

@@ -45,8 +45,8 @@ monolithic build-then-replay behaviour).
 
 from __future__ import annotations
 
-import os
-from typing import Callable, List, Optional, Sequence, Tuple
+import contextlib
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,22 +61,55 @@ KIND_WRITE = 2
 DEFAULT_CHUNK_ACCESSES = 1 << 20
 
 #: Environment variable overriding the chunk budget (``0`` = monolithic).
+#: Parsed by :meth:`repro.api.config.RuntimeConfig.from_env`, the library's
+#: single environment-reading site.
 CHUNK_ENV_VAR = "SMASH_REPRO_TRACE_CHUNK"
+
+#: Process-wide chunk override installed by a Session/SweepRunner carrying an
+#: explicit :class:`~repro.api.config.RuntimeConfig`; the sentinel means "no
+#: override, fall back to the environment default".
+_NO_OVERRIDE = object()
+_chunk_override: object = _NO_OVERRIDE
+
+
+def set_chunk_override(value: Optional[int]) -> None:
+    """Pin the chunk budget for this process (worker-pool initializer hook).
+
+    ``value`` follows :func:`trace_chunk_accesses` semantics: a positive
+    budget, or ``None`` for monolithic replay. The override only changes
+    peak replay memory, never any report.
+    """
+    global _chunk_override
+    _chunk_override = value
+
+
+@contextlib.contextmanager
+def chunk_override(value: Optional[int]) -> Iterator[None]:
+    """Temporarily pin the chunk budget (serial in-process execution)."""
+    global _chunk_override
+    previous = _chunk_override
+    _chunk_override = value
+    try:
+        yield
+    finally:
+        _chunk_override = previous
 
 
 def trace_chunk_accesses() -> Optional[int]:
-    """The configured chunk budget: env override, else the default.
+    """The active chunk budget: explicit override, else the environment knob.
 
-    Returns ``None`` when chunking is disabled (``SMASH_REPRO_TRACE_CHUNK=0``),
-    i.e. the builder should accumulate the whole trace and build it once.
+    Returns ``None`` when chunking is disabled (``SMASH_REPRO_TRACE_CHUNK=0``
+    or an explicit ``None`` override), i.e. the builder should accumulate the
+    whole trace and build it once.
     """
-    raw = os.environ.get(CHUNK_ENV_VAR, "").strip()
-    if not raw:
-        return DEFAULT_CHUNK_ACCESSES
-    value = int(raw)
-    if value < 0:
-        raise ValueError(f"{CHUNK_ENV_VAR} must be non-negative, got {value}")
-    return value if value else None
+    if _chunk_override is not _NO_OVERRIDE:
+        return _chunk_override  # type: ignore[return-value]
+    from repro.api.config import RuntimeConfig
+
+    # Explicit arguments suppress the other knobs' environment reads, so a
+    # malformed SMASH_REPRO_PROCESSES cannot break a serial kernel run that
+    # only needs the chunk budget.
+    return RuntimeConfig.from_env(processes=1, cache_dir=None).trace_chunk
 
 
 class AccessTrace:

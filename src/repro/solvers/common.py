@@ -9,20 +9,10 @@ import numpy as np
 
 from repro.core.config import SMASHConfig
 from repro.formats.coo import COOMatrix
+from repro.kernels.registry import get_kernel
 from repro.kernels.schemes import prepare_operand
-from repro.kernels import spmv as _spmv
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport, InstructionClass, merge_reports
-
-#: Instrumented SpMV kernels usable inside a solver iteration.
-SPMV_DISPATCH = {
-    "taco_csr": _spmv.spmv_csr_instrumented,
-    "ideal_csr": _spmv.spmv_ideal_csr_instrumented,
-    "mkl_csr": _spmv.spmv_mkl_csr_instrumented,
-    "taco_bcsr": _spmv.spmv_bcsr_instrumented,
-    "smash_sw": _spmv.spmv_smash_software_instrumented,
-    "smash_hw": _spmv.spmv_smash_hardware_instrumented,
-}
 
 
 @dataclass(frozen=True)
@@ -59,13 +49,14 @@ class SpMVEngine:
         smash_config: Optional[SMASHConfig] = None,
         sim_config: Optional[SimConfig] = None,
     ) -> None:
-        if scheme not in SPMV_DISPATCH:
-            raise ValueError(f"unknown scheme {scheme!r}; expected one of {sorted(SPMV_DISPATCH)}")
+        # Resolved through the unified kernel registry: an unknown or
+        # misspelled scheme fails here with a did-you-mean ValueError.
+        kernel = get_kernel("spmv", scheme)
         if matrix.rows != matrix.cols:
             raise ValueError("iterative solvers require a square matrix")
         self.scheme = scheme
         self.sim_config = sim_config
-        self._kernel = SPMV_DISPATCH[scheme]
+        self._kernel = kernel
         self._operand = prepare_operand(matrix, scheme, smash_config, orientation="row")
         self._reports: List[CostReport] = []
 

@@ -14,6 +14,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.registry import Registry
 from repro.core.config import SMASHConfig
 from repro.formats.coo import COOMatrix
 from repro.workloads.synthetic import (
@@ -79,14 +80,22 @@ SUITE_SPECS: List[MatrixSpec] = [
     MatrixSpec("M15", "human_gene2", 14_340, 18_068_388, 8.79, "clustered", (8, 4, 2), 192),
 ]
 
-_SPEC_INDEX: Dict[str, MatrixSpec] = {spec.key: spec for spec in SUITE_SPECS}
+#: Table 3 matrix ids registered through the unified plugin mechanism (the
+#: same :class:`~repro.api.registry.Registry` that backs kernels, schemes
+#: and experiments), so workload lookups share its enumeration and
+#: did-you-mean validation. Custom suites can register additional specs.
+MATRIX_REGISTRY = Registry("matrix id")
+for _spec in SUITE_SPECS:
+    MATRIX_REGISTRY.register(_spec.key, _spec)
 
 
 def get_spec(key: str) -> MatrixSpec:
-    """Look up the spec for a matrix id such as ``"M7"``."""
-    if key not in _SPEC_INDEX:
-        raise KeyError(f"unknown matrix id {key!r}; known ids: {sorted(_SPEC_INDEX)}")
-    return _SPEC_INDEX[key]
+    """Look up the spec for a matrix id such as ``"M7"``.
+
+    Unknown ids raise a did-you-mean error that is both a ``KeyError`` (the
+    historical contract) and a ``ValueError``.
+    """
+    return MATRIX_REGISTRY.get(key)
 
 
 def generate_matrix(

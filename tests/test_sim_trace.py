@@ -169,9 +169,9 @@ class TestRegistry:
         with pytest.raises(ValueError):
             register_kernel("spmv", "test_only_scheme")(lambda: None)
         # Cleanup so the throwaway scheme does not leak into other tests.
-        from repro.kernels import registry
+        from repro.kernels.registry import KERNEL_REGISTRY
 
-        del registry._REGISTRY[("spmv", "test_only_scheme")]
+        KERNEL_REGISTRY.unregister("spmv/test_only_scheme")
 
 
 class TestSparseNativePreparation:
