@@ -157,6 +157,74 @@ def run_facade_overhead(cache_scale: int, dim: int = 512) -> dict:
     }
 
 
+def run_replay_core(dims: tuple, density: float, seed: int, cache_scale: int) -> dict:
+    """Replay-core seconds: reference loop vs vectorized engine, per dim.
+
+    Captures the access-trace segments every SpMV scheme emits (by shimming
+    ``MemoryHierarchy.replay`` during one instrumented run per scheme), then
+    replays the captured segments through fresh hierarchies with each
+    backend, best of three timings.  This isolates exactly the component the
+    replay backends implement; both backends are bit-identical, so only the
+    wall clock differs.
+    """
+    from repro.sim.memory import MemoryHierarchy
+
+    results = {}
+    for dim in dims:
+        coo = uniform_random_matrix(dim, dim, density=density, seed=seed)
+        sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
+        captured = []
+        original = MemoryHierarchy.replay
+
+        def capture(self, structures, struct_ids, addresses, kinds):
+            captured.append(
+                (list(structures), struct_ids.copy(), addresses.copy(), kinds.copy())
+            )
+            return original(self, structures, struct_ids, addresses, kinds)
+
+        segments_per_scheme = {}
+        MemoryHierarchy.replay = capture
+        try:
+            session = Session(sim=sim, runtime=RuntimeConfig(cache_dir=None))
+            for scheme in SCHEMES:
+                captured = []
+                session.run_kernel("spmv", scheme, coo)
+                segments_per_scheme[scheme] = captured
+        finally:
+            MemoryHierarchy.replay = original
+
+        def replay_sweep(backend: str) -> float:
+            total = 0.0
+            for segments in segments_per_scheme.values():
+                hierarchy = MemoryHierarchy(sim, replay_backend=backend)
+                start = time.perf_counter()
+                for segment in segments:
+                    hierarchy.replay(*segment)
+                total += time.perf_counter() - start
+            return total
+
+        timings = {}
+        for backend in ("reference", "vectorized"):
+            replay_sweep(backend)  # warm caches/allocator
+            timings[backend] = min(replay_sweep(backend) for _ in range(3))
+        accesses = sum(
+            seg[1].size for segs in segments_per_scheme.values() for seg in segs
+        )
+        speedup = timings["reference"] / timings["vectorized"]
+        results[f"dim{dim}"] = {
+            "accesses": int(accesses),
+            "reference_seconds": round(timings["reference"], 4),
+            "vectorized_seconds": round(timings["vectorized"], 4),
+            "speedup": round(speedup, 2),
+        }
+        print(
+            f"  replay_core[{dim}] reference {timings['reference']:.3f}s  "
+            f"vectorized {timings['vectorized']:.3f}s  ({speedup:.2f}x)",
+            flush=True,
+        )
+    return results
+
+
 def _rss_probe_child(dim: int, density: float, seed: int, cache_scale: int) -> dict:
     """Run one taco_csr SpMV and report this process's peak RSS.
 
@@ -255,9 +323,15 @@ def main(argv=None) -> int:
     payload["sweep_engine"] = run_sweep_engine(args.processes, args.cache_scale, args.sweep_dim)
     print(f"Facade-overhead pass: {args.sweep_dim} dim (Session vs direct runner)")
     payload["facade_overhead"] = run_facade_overhead(args.cache_scale, args.sweep_dim)
+    # The RSS probe forks children whose peak-RSS baseline includes the
+    # parent's resident set, so it runs before the trace-hungry passes.
     print(f"Replay-memory probe: {args.rss_dim} dim, density {args.rss_density}")
     payload["replay_memory"] = run_rss_probe(
         args.rss_dim, args.rss_density, args.seed, args.cache_scale
+    )
+    print(f"Replay-core pass: reference vs vectorized at dims {args.dim} and {2 * args.dim}")
+    payload["replay_core"] = run_replay_core(
+        (args.dim, 2 * args.dim), args.density, args.seed, args.cache_scale
     )
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"total {payload['total_kernel_seconds']}s -> {args.output}")

@@ -2,16 +2,18 @@
 
 Every runtime knob that used to live in a scattered ``os.environ`` read —
 the worker-process count (``SMASH_REPRO_PROCESSES``), the trace chunk budget
-(``SMASH_REPRO_TRACE_CHUNK``), and the report-cache location/enablement
-(``SMASH_REPRO_CACHE_DIR`` / ``SMASH_REPRO_CACHE``) — is a field of the
-frozen :class:`RuntimeConfig`. :meth:`RuntimeConfig.from_env` is the *only*
-code in the library that reads ``os.environ``; everything else (the sweep
-runner, the trace engine, the CLI) receives an explicit, validated value.
+(``SMASH_REPRO_TRACE_CHUNK``), the report-cache location/enablement
+(``SMASH_REPRO_CACHE_DIR`` / ``SMASH_REPRO_CACHE``), and the replay backend
+(``SMASH_REPRO_REPLAY_BACKEND``) — is a field of the frozen
+:class:`RuntimeConfig`. :meth:`RuntimeConfig.from_env` is the *only* code in
+the library that reads ``os.environ``; everything else (the sweep runner,
+the trace engine, the CLI) receives an explicit, validated value.
 
 None of these knobs can change a result: processes and cache only affect
-where/whether a job executes, and the chunk budget only bounds peak replay
-memory (DESIGN.md section 10). That is why none of them participate in the
-report-cache job key.
+where/whether a job executes, the chunk budget only bounds peak replay
+memory (DESIGN.md section 10), and the replay backend only selects which of
+two bit-identical engines replays the trace (DESIGN.md section 12). That is
+why none of them participate in the report-cache job key.
 """
 
 from __future__ import annotations
@@ -22,6 +24,11 @@ import pathlib
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.sim._replay_core import (
+    DEFAULT_REPLAY_BACKEND,
+    REPLAY_BACKEND_ENV_VAR,
+    REPLAY_BACKENDS,
+)
 from repro.sim.trace import CHUNK_ENV_VAR, DEFAULT_CHUNK_ACCESSES
 
 #: Default location of the on-disk report cache (relative to the CWD).
@@ -38,6 +45,9 @@ CACHE_ENV_VAR = "SMASH_REPRO_CACHE"
 
 #: Re-exported so runtime-config users need only this module.
 TRACE_CHUNK_ENV_VAR = CHUNK_ENV_VAR
+
+#: Environment variable selecting the replay backend (re-exported).
+BACKEND_ENV_VAR = REPLAY_BACKEND_ENV_VAR
 
 _UNSET = object()
 _FALSY = ("0", "false", "no", "off")
@@ -58,12 +68,16 @@ class RuntimeConfig:
     ``cache_dir`` locates the on-disk report cache; ``None`` disables it.
     ``trace_chunk`` is the per-segment access budget of the bounded-memory
     trace replay; ``None`` (or 0, normalized to ``None``) restores the
-    monolithic build-then-replay path.
+    monolithic build-then-replay path. ``replay_backend`` names the engine
+    behind ``MemoryHierarchy.replay`` (an entry of
+    :data:`repro.sim._replay_core.REPLAY_BACKENDS`; normalized to its
+    canonical name).
     """
 
     processes: int = 1
     cache_dir: Optional[Union[str, pathlib.Path]] = DEFAULT_CACHE_DIR
     trace_chunk: Optional[int] = DEFAULT_CHUNK_ACCESSES
+    replay_backend: str = DEFAULT_REPLAY_BACKEND
 
     def __post_init__(self) -> None:
         if isinstance(self.processes, bool) or not isinstance(self.processes, int):
@@ -84,6 +98,14 @@ class RuntimeConfig:
                 # 0 is the documented spelling of "monolithic" in the
                 # environment knob; normalize so there is one falsy value.
                 object.__setattr__(self, "trace_chunk", None)
+        try:
+            canonical = REPLAY_BACKENDS.resolve(self.replay_backend)
+        except KeyError:
+            raise ValueError(
+                f"replay backend must be one of {sorted(REPLAY_BACKENDS.names())}, "
+                f"got {self.replay_backend!r}"
+            ) from None
+        object.__setattr__(self, "replay_backend", canonical)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -94,6 +116,7 @@ class RuntimeConfig:
         processes: Optional[int] = None,
         cache_dir: object = _UNSET,
         trace_chunk: object = _UNSET,
+        replay_backend: Optional[str] = None,
     ) -> "RuntimeConfig":
         """Build a config from the environment, explicit arguments winning.
 
@@ -114,7 +137,22 @@ class RuntimeConfig:
         if trace_chunk is _UNSET:
             raw = os.environ.get(CHUNK_ENV_VAR, "").strip()
             trace_chunk = _parse_int(raw, CHUNK_ENV_VAR) if raw else DEFAULT_CHUNK_ACCESSES
-        return cls(processes=processes, cache_dir=cache_dir, trace_chunk=trace_chunk)
+        backend_from_env = replay_backend is None
+        if backend_from_env:
+            replay_backend = (
+                os.environ.get(REPLAY_BACKEND_ENV_VAR, "").strip() or DEFAULT_REPLAY_BACKEND
+            )
+        try:
+            return cls(
+                processes=processes,
+                cache_dir=cache_dir,
+                trace_chunk=trace_chunk,
+                replay_backend=replay_backend,
+            )
+        except ValueError as error:
+            if backend_from_env and "replay backend" in str(error):
+                raise ValueError(f"{REPLAY_BACKEND_ENV_VAR}: {error}") from None
+            raise
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -132,4 +170,7 @@ class RuntimeConfig:
         """One-line human-readable summary."""
         cache = str(self.cache_dir) if self.cache_enabled else "disabled"
         chunk = self.trace_chunk if self.trace_chunk is not None else "monolithic"
-        return f"processes={self.processes}, cache={cache}, trace_chunk={chunk}"
+        return (
+            f"processes={self.processes}, cache={cache}, trace_chunk={chunk}, "
+            f"replay={self.replay_backend}"
+        )

@@ -5,7 +5,7 @@ A :class:`Session` binds the three configuration axes together —
 * ``sim``: the simulated machine (:class:`~repro.sim.config.SimConfig`),
 * ``smash``: a default bitmap configuration for SMASH schemes,
 * ``runtime``: *how* to execute (:class:`~repro.api.config.RuntimeConfig`:
-  worker processes, report cache, trace chunk budget)
+  worker processes, report cache, trace chunk budget, replay backend)
 
 — and owns the resulting sweep engine: its persistent worker pool, its
 on-disk report cache and its job statistics. Work is described
@@ -39,7 +39,8 @@ from repro.api.config import RuntimeConfig
 from repro.api.registry import UnknownNameError, suggestion
 from repro.api.specs import JobSpec, SweepResult, SweepSpec
 from repro.core.config import SMASHConfig
-from repro.eval.runner import USE_ENV_CHUNK, SweepRunner, SweepStats
+from repro.eval.runner import USE_ENV_BACKEND, USE_ENV_CHUNK, SweepRunner, SweepStats
+from repro.sim import _replay_core
 from repro.sim import trace as _trace
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport
@@ -69,13 +70,19 @@ class Session:
         if runner is not None:
             if runtime is not None:
                 raise ValueError("pass either runtime or runner, not both")
+            env_defaults = RuntimeConfig.from_env(processes=1, cache_dir=None)
             self.runtime = RuntimeConfig(
                 processes=runner.processes,
                 cache_dir=runner.cache.root if runner.cache is not None else None,
                 trace_chunk=(
                     runner.trace_chunk
                     if runner.trace_chunk is not USE_ENV_CHUNK
-                    else RuntimeConfig.from_env(processes=1, cache_dir=None).trace_chunk
+                    else env_defaults.trace_chunk
+                ),
+                replay_backend=(
+                    runner.replay_backend
+                    if runner.replay_backend is not USE_ENV_BACKEND
+                    else env_defaults.replay_backend
                 ),
             )
             self._runner = runner
@@ -85,6 +92,7 @@ class Session:
                 processes=self.runtime.processes,
                 cache_dir=self.runtime.cache_dir,
                 trace_chunk=self.runtime.trace_chunk,
+                replay_backend=self.runtime.replay_backend,
             )
 
     # ------------------------------------------------------------------ #
@@ -137,7 +145,9 @@ class Session:
         smash = kwargs.pop("smash", None)
         sim = kwargs.pop("sim", None)
         seed = kwargs.pop("seed", None)
-        with _trace.chunk_override(self.runtime.trace_chunk):
+        with _trace.chunk_override(self.runtime.trace_chunk), _replay_core.backend_override(
+            self.runtime.replay_backend
+        ):
             return KERNEL_RUNNERS[kernel](
                 scheme,
                 *operands,

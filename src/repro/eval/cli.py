@@ -23,7 +23,8 @@ Run every experiment at reduced size (a quick smoke test)::
 The CLI is a thin shell over :class:`repro.api.Session`: flags and the
 documented environment knobs (``SMASH_REPRO_PROCESSES``,
 ``SMASH_REPRO_TRACE_CHUNK``, ``SMASH_REPRO_CACHE_DIR``,
-``SMASH_REPRO_CACHE``) are folded into one validated
+``SMASH_REPRO_CACHE``, ``SMASH_REPRO_REPLAY_BACKEND``) are folded into one
+validated
 :class:`~repro.api.config.RuntimeConfig` — explicit flags win — and every
 experiment driver receives the resulting Session. Kernel results are
 memoized in a content-keyed on-disk cache (``.smash-cache/`` by default),
@@ -76,6 +77,17 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the on-disk report cache for this invocation",
     )
+    parser.add_argument(
+        "--replay-backend",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help=(
+            "replay engine for the memory hierarchy: 'vectorized' (default) "
+            "or 'reference' (also via $SMASH_REPRO_REPLAY_BACKEND); results "
+            "are bit-identical either way"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,7 +135,7 @@ def _build_session(args: argparse.Namespace) -> Session:
     :meth:`RuntimeConfig.from_env`, reported by :func:`main` as a clean CLI
     error instead of a traceback.
     """
-    kwargs = {"processes": args.processes}
+    kwargs = {"processes": args.processes, "replay_backend": args.replay_backend}
     if args.no_cache:
         kwargs["cache_dir"] = None
     elif args.cache_dir is not None:

@@ -28,6 +28,7 @@ Design invariants (see DESIGN.md section 9):
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -40,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.config import DEFAULT_CACHE_DIR, PROCESSES_ENV_VAR, RuntimeConfig
 from repro.core.config import SMASHConfig
+from repro.sim import _replay_core
 from repro.sim import trace as _trace
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport
@@ -51,6 +53,10 @@ CACHE_SCHEMA_VERSION = 1
 #: Sentinel for "no explicit trace-chunk override": kernels fall back to the
 #: ``SMASH_REPRO_TRACE_CHUNK`` environment default.
 USE_ENV_CHUNK = object()
+
+#: Sentinel for "no explicit replay-backend override": hierarchies fall back
+#: to the ``SMASH_REPRO_REPLAY_BACKEND`` environment default.
+USE_ENV_BACKEND = object()
 
 #: Kernel job kinds (dispatched through the scheme runners) and application
 #: job kinds (dispatched through the graph drivers).
@@ -305,9 +311,22 @@ def resolve_processes(processes: Optional[int] = None) -> int:
     return RuntimeConfig.from_env(processes=processes).processes
 
 
-def _init_worker_chunk(value: Optional[int]) -> None:
-    """Worker-pool initializer pinning an explicit trace-chunk budget."""
-    _trace.set_chunk_override(value)
+def _init_worker_overrides(
+    has_chunk: bool,
+    chunk: Optional[int],
+    has_backend: bool,
+    backend: Optional[str],
+) -> None:
+    """Worker-pool initializer pinning explicit runtime overrides.
+
+    The "no override" sentinels cannot cross the process boundary (pickling
+    creates fresh objects that no longer compare identical), so presence is
+    carried as explicit booleans.
+    """
+    if has_chunk:
+        _trace.set_chunk_override(chunk)
+    if has_backend:
+        _replay_core.set_backend_override(backend)
 
 
 class SweepRunner:
@@ -319,10 +338,11 @@ class SweepRunner:
     across :meth:`run` calls (one pool for a whole multi-experiment sweep)
     until :meth:`close`. ``cache_dir=None`` disables the on-disk cache
     (in-batch deduplication still applies). ``trace_chunk`` pins the
-    bounded-memory replay budget for this runner's jobs — serial execution
-    wraps a process-local override, pool workers are initialized with it —
-    while the :data:`USE_ENV_CHUNK` default defers to the environment knob.
-    Results are independent of all three knobs.
+    bounded-memory replay budget and ``replay_backend`` the replay engine
+    for this runner's jobs — serial execution wraps process-local
+    overrides, pool workers are initialized with them — while the
+    :data:`USE_ENV_CHUNK` / :data:`USE_ENV_BACKEND` defaults defer to the
+    environment knobs. Results are independent of all four knobs.
     """
 
     def __init__(
@@ -330,11 +350,13 @@ class SweepRunner:
         processes: Optional[int] = None,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         trace_chunk: object = USE_ENV_CHUNK,
+        replay_backend: object = USE_ENV_BACKEND,
     ) -> None:
         self.processes = resolve_processes(processes)
         self.cache = ReportCache(cache_dir) if cache_dir is not None else None
         self.stats = SweepStats()
         self.trace_chunk = trace_chunk
+        self.replay_backend = replay_backend
         self._pool: Optional[ProcessPoolExecutor] = None
         self._finalizer: Optional[weakref.finalize] = None
 
@@ -343,13 +365,20 @@ class SweepRunner:
     # ------------------------------------------------------------------ #
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            if self.trace_chunk is USE_ENV_CHUNK:
+            has_chunk = self.trace_chunk is not USE_ENV_CHUNK
+            has_backend = self.replay_backend is not USE_ENV_BACKEND
+            if not has_chunk and not has_backend:
                 pool = ProcessPoolExecutor(max_workers=self.processes)
             else:
                 pool = ProcessPoolExecutor(
                     max_workers=self.processes,
-                    initializer=_init_worker_chunk,
-                    initargs=(self.trace_chunk,),
+                    initializer=_init_worker_overrides,
+                    initargs=(
+                        has_chunk,
+                        self.trace_chunk if has_chunk else None,
+                        has_backend,
+                        self.replay_backend if has_backend else None,
+                    ),
                 )
             self._pool = pool
             # Shut the workers down when the runner is garbage collected,
@@ -403,10 +432,14 @@ class SweepRunner:
             miss_jobs = [job for _, job in misses]
             if self.processes > 1 and len(miss_jobs) > 1:
                 fresh = list(self._ensure_pool().map(_execute_job_payload, miss_jobs))
-            elif self.trace_chunk is USE_ENV_CHUNK:
-                fresh = [_execute_job_payload(job) for job in miss_jobs]
             else:
-                with _trace.chunk_override(self.trace_chunk):
+                with contextlib.ExitStack() as overrides:
+                    if self.trace_chunk is not USE_ENV_CHUNK:
+                        overrides.enter_context(_trace.chunk_override(self.trace_chunk))
+                    if self.replay_backend is not USE_ENV_BACKEND:
+                        overrides.enter_context(
+                            _replay_core.backend_override(self.replay_backend)
+                        )
                     fresh = [_execute_job_payload(job) for job in miss_jobs]
             for (key, job), payload in zip(misses, fresh):
                 if self.cache is not None:

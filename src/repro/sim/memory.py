@@ -12,9 +12,13 @@ Two entry points share one engine:
 
 * :meth:`MemoryHierarchy.replay` — the batched path: whole trace segments
   (columnar numpy arrays, see :mod:`repro.sim.trace`) are replayed with
-  block addresses, per-level set indices and streaming-run coalescing
-  computed array-at-a-time; only the per-*cache-line* state transitions run
-  in Python.
+  block addresses and streaming-run coalescing computed array-at-a-time,
+  then handed to a pluggable *replay backend* (:mod:`repro.sim._replay_core`):
+  the default ``"vectorized"`` engine classifies LRU hits per level through
+  reuse (stack) distances entirely in numpy, while the ``"reference"``
+  engine walks the heads in a Python loop. Both are bit-identical; the
+  backend is selected through :class:`repro.api.config.RuntimeConfig` /
+  ``SMASH_REPRO_REPLAY_BACKEND``.
 * :meth:`MemoryHierarchy.access` — the legacy per-element API, kept as a
   thin shim that replays a one-access trace. Results are bit-identical to
   the batched path by construction.
@@ -36,14 +40,16 @@ kernel x scheme at multiple chunk sizes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.sim import _replay_core
+from repro.sim._replay_core import REPLAY_BACKENDS, stall_cycles_for
 from repro.sim.cache import Cache, CacheStats
 from repro.sim.config import SimConfig
-from repro.sim.prefetcher import StridePrefetcher, _StreamState
+from repro.sim.prefetcher import StridePrefetcher
 from repro.sim.trace import KIND_DEPENDENT, KIND_STREAM, KIND_WRITE
 
 
@@ -103,15 +109,30 @@ class MemoryStats:
 
 
 class MemoryHierarchy:
-    """Three-level inclusive cache hierarchy backed by DRAM."""
+    """Three-level inclusive cache hierarchy backed by DRAM.
 
-    def __init__(self, config: Optional[SimConfig] = None) -> None:
+    ``replay_backend`` selects the engine behind :meth:`replay` (an entry of
+    :data:`repro.sim._replay_core.REPLAY_BACKENDS`); ``None`` resolves the
+    process override / ``SMASH_REPRO_REPLAY_BACKEND`` environment knob at
+    construction time. The backend cannot change any result — the
+    equivalence suite asserts bit-identical statistics — only how fast the
+    trace replays.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimConfig] = None,
+        replay_backend: Optional[str] = None,
+    ) -> None:
         self.config = config or SimConfig.default()
         self.l1 = Cache(self.config.l1)
         self.l2 = Cache(self.config.l2)
         self.l3 = Cache(self.config.l3)
         self.prefetcher = StridePrefetcher(line_bytes=self.config.l1.line_bytes)
         self.stats = MemoryStats()
+        name = replay_backend if replay_backend is not None else _replay_core.replay_backend_name()
+        self.replay_backend = REPLAY_BACKENDS.resolve(name)
+        self._replay_impl = REPLAY_BACKENDS.get(name)
 
     # ------------------------------------------------------------------ #
     # Access handling
@@ -140,16 +161,18 @@ class MemoryHierarchy:
 
         ``structures`` maps the ids in ``struct_ids`` to structure names;
         ``addresses`` are absolute byte addresses and ``kinds`` the uint8
-        codes from :mod:`repro.sim.trace`. Block addresses and per-level set
-        indices are computed array-at-a-time, and runs of consecutive
-        accesses to the same (structure, line, kind) are coalesced: the run
-        head walks the hierarchy, the repeats are credited as guaranteed L1
-        hits in bulk (the head just made the line MRU, and a stride-0 repeat
-        leaves the prefetcher untouched). The per-access statistics are
-        bit-identical to replaying each access through :meth:`access`, and —
-        because all replay state persists on ``self`` between calls — to
-        replaying the same accesses split across any number of consecutive
-        :meth:`replay` calls (the chunk-boundary contract above).
+        codes from :mod:`repro.sim.trace`. Block addresses are computed
+        array-at-a-time, and runs of consecutive accesses to the same
+        (structure, line, kind) are coalesced: the run head walks the
+        hierarchy through the configured replay backend
+        (:mod:`repro.sim._replay_core`), the repeats are credited as
+        guaranteed L1 hits in bulk (the head just made the line MRU, and a
+        stride-0 repeat leaves the prefetcher untouched). The per-access
+        statistics are bit-identical to replaying each access through
+        :meth:`access`, identical across backends, and — because all replay
+        state persists on ``self`` between calls — identical when the same
+        accesses are split across any number of consecutive :meth:`replay`
+        calls (the chunk-boundary contract above).
         """
         n = int(addresses.size)
         if n == 0:
@@ -173,160 +196,36 @@ class MemoryHierarchy:
             # fall back to the uncoalesced sequential walk.
             return self._replay_sequential(structures, struct_ids, addresses, kinds)
 
-        lines = addresses // line_bytes
-        if n == 1:
-            head_positions = np.zeros(1, dtype=np.int64)
+        if line_bytes & (line_bytes - 1) == 0:
+            # Power-of-two line size: shift instead of the (much slower)
+            # vectorized integer division. Identical results — addresses are
+            # non-negative, and an arithmetic shift floors like // anyway.
+            lines = addresses >> (line_bytes.bit_length() - 1)
         else:
+            lines = addresses // line_bytes
+        repeats = 0
+        if n > 1:
             same = (
                 (struct_ids[1:] == struct_ids[:-1])
                 & (lines[1:] == lines[:-1])
                 & (kinds[1:] == kinds[:-1])
             )
-            head_positions = np.flatnonzero(np.concatenate(([True], ~same)))
-        repeats = n - head_positions.size
+            repeats = int(same.sum())
         if repeats:
+            # The run repeats are guaranteed L1 hits; only the heads walk
+            # the hierarchy.
             self.l1.stats.accesses += repeats
             self.l1.stats.hits += repeats
-
-        head_lines = lines[head_positions]
-        set1 = (head_lines % l1c.n_sets).tolist()
-        set2 = (head_lines % l2c.n_sets).tolist()
-        set3 = (head_lines % l3c.n_sets).tolist()
-        head_ids = struct_ids[head_positions].tolist()
-        head_kinds = kinds[head_positions].tolist()
-        head_lines = head_lines.tolist()
-
-        # Hot loop: everything below is plain-int work on hoisted locals.
-        names = list(structures)
-        l1_sets, l2_sets, l3_sets = self.l1._sets, self.l2._sets, self.l3._sets
-        l1_assoc, l2_assoc, l3_assoc = l1c.associativity, l2c.associativity, l3c.associativity
-        l2_lat, l3_lat = l2c.latency_cycles, l3c.latency_cycles
-        dram_lat = self.config.dram.latency_cycles
-        mlp = self.config.cpu.memory_level_parallelism
-        exposure = self.config.cpu.dependent_miss_exposure
-        streams = self.prefetcher._streams
-        max_streams = self.prefetcher.max_streams
-        threshold = self.prefetcher.threshold
-        new_stream = _StreamState
-        l1_acc = l1_hit = l1_miss = l1_evi = 0
-        l2_acc = l2_hit = l2_miss = l2_evi = 0
-        l3_acc = l3_hit = l3_miss = l3_evi = 0
-        prefetch_hits = 0
-        covered_count = 0
-        dram = 0
-        running = stats.stall_cycles
-        dep_running = stats.dependent_stall_cycles
-        added = 0.0
-
-        for i in range(len(head_lines)):
-            line = head_lines[i]
-            kind = head_kinds[i]
-            covered = False
-            if kind == 0:  # streaming: consult/train the stride prefetcher
-                state = streams.get(names[head_ids[i]])
-                if state is None:
-                    if len(streams) >= max_streams:
-                        streams.pop(next(iter(streams)))
-                    streams[names[head_ids[i]]] = new_stream(last_line=line)
-                else:
-                    stride = line - state.last_line
-                    if stride == 0:
-                        pass
-                    elif state.stride == stride and state.confirmations >= threshold:
-                        covered = True
-                        prefetch_hits += 1
-                    elif state.stride == stride:
-                        state.confirmations += 1
-                    else:
-                        state.stride = stride
-                        state.confirmations = 1
-                    state.last_line = line
-            l1_acc += 1
-            ways = l1_sets[set1[i]]
-            if line in ways:
-                ways.remove(line)
-                ways.append(line)
-                l1_hit += 1
-                continue  # zero latency: the 0.0 stall is an exact no-op
-            l1_miss += 1
-            if len(ways) >= l1_assoc:
-                ways.pop(0)
-                l1_evi += 1
-            ways.append(line)
-            if covered:
-                covered_count += 1
-                ways = l2_sets[set2[i]]
-                if line not in ways:
-                    if len(ways) >= l2_assoc:
-                        ways.pop(0)
-                        l2_evi += 1
-                    ways.append(line)
-                ways = l3_sets[set3[i]]
-                if line not in ways:
-                    if len(ways) >= l3_assoc:
-                        ways.pop(0)
-                        l3_evi += 1
-                    ways.append(line)
-                latency = l2_lat
-            else:
-                l2_acc += 1
-                ways = l2_sets[set2[i]]
-                if line in ways:
-                    ways.remove(line)
-                    ways.append(line)
-                    l2_hit += 1
-                    latency = l2_lat
-                else:
-                    l2_miss += 1
-                    if len(ways) >= l2_assoc:
-                        ways.pop(0)
-                        l2_evi += 1
-                    ways.append(line)
-                    l3_acc += 1
-                    ways = l3_sets[set3[i]]
-                    if line in ways:
-                        ways.remove(line)
-                        ways.append(line)
-                        l3_hit += 1
-                        latency = l3_lat
-                    else:
-                        l3_miss += 1
-                        if len(ways) >= l3_assoc:
-                            ways.pop(0)
-                            l3_evi += 1
-                        ways.append(line)
-                        dram += 1
-                        latency = dram_lat
-            if kind == 2:
-                continue  # stores retire through the store buffer
-            if kind == 1:
-                stall = float(latency) * exposure
-                dep_running += stall
-            else:
-                stall = float(latency) / mlp
-            running += stall
-            added += stall
-
-        l1s, l2s, l3s = self.l1.stats, self.l2.stats, self.l3.stats
-        l1s.accesses += l1_acc
-        l1s.hits += l1_hit
-        l1s.misses += l1_miss
-        l1s.evictions += l1_evi
-        l2s.accesses += l2_acc
-        l2s.hits += l2_hit
-        l2s.misses += l2_miss
-        l2s.evictions += l2_evi
-        l3s.accesses += l3_acc
-        l3s.hits += l3_hit
-        l3s.misses += l3_miss
-        l3s.evictions += l3_evi
-        self.prefetcher.covered_accesses += prefetch_hits
-        self.prefetcher.issued_prefetches += prefetch_hits
-        stats.prefetch_covered += covered_count
-        stats.dram_accesses += dram
-        stats.stall_cycles = running
-        stats.dependent_stall_cycles = dep_running
-        return added
+            head_positions = np.flatnonzero(np.concatenate(([True], ~same)))
+            return self._replay_impl(
+                self,
+                structures,
+                struct_ids[head_positions],
+                lines[head_positions],
+                kinds[head_positions],
+            )
+        # Nothing coalesced: every access is its own head.
+        return self._replay_impl(self, structures, struct_ids, lines, kinds)
 
     def _replay_sequential(
         self,
@@ -335,8 +234,20 @@ class MemoryHierarchy:
         addresses: np.ndarray,
         kinds: np.ndarray,
     ) -> float:
-        """Uncoalesced walk for hierarchies with mixed cache-line sizes."""
+        """Uncoalesced walk for hierarchies with mixed cache-line sizes.
+
+        Stall accounting goes through the same
+        :func:`repro.sim._replay_core.stall_cycles_for` rule as the batched
+        backends, so the two paths cannot drift apart. Prefetcher training
+        also agrees with the batched path by construction: only streaming
+        loads (kind 0) consult or train a stream — dependent loads and
+        stores bypass the prefetcher in both engines, because a store's
+        address is produced by the same induction variable as the preceding
+        load and would double-train the stream.
+        """
         added = 0.0
+        mlp = self.config.cpu.memory_level_parallelism
+        exposure = self.config.cpu.dependent_miss_exposure
         ids = struct_ids.tolist()
         addrs = addresses.tolist()
         kind_list = kinds.tolist()
@@ -361,13 +272,9 @@ class MemoryHierarchy:
             else:
                 self.stats.dram_accesses += 1
                 latency = self.config.dram.latency_cycles
-            if kind == 2:
-                stall = 0.0
-            elif kind == 1:
-                stall = float(latency) * self.config.cpu.dependent_miss_exposure
+            stall = stall_cycles_for(kind, latency, mlp, exposure)
+            if kind == 1:
                 self.stats.dependent_stall_cycles += stall
-            else:
-                stall = float(latency) / self.config.cpu.memory_level_parallelism
             self.stats.stall_cycles += stall
             added += stall
         return added
@@ -383,11 +290,21 @@ class MemoryHierarchy:
     # Bookkeeping
     # ------------------------------------------------------------------ #
     def snapshot_stats(self) -> MemoryStats:
-        """Return the stats collected so far, including per-level counters."""
-        self.stats.l1 = self.l1.stats
-        self.stats.l2 = self.l2.stats
-        self.stats.l3 = self.l3.stats
-        return self.stats
+        """Return a copy of the stats collected so far, per-level included.
+
+        Every field is copied (the per-level ``CacheStats`` and the
+        per-structure dict included), so the snapshot is immutable history:
+        replaying more accesses afterwards must not change a snapshot
+        already taken. The live counters stay on ``self.stats`` and the
+        cache objects.
+        """
+        return replace(
+            self.stats,
+            l1=replace(self.l1.stats),
+            l2=replace(self.l2.stats),
+            l3=replace(self.l3.stats),
+            per_structure_accesses=dict(self.stats.per_structure_accesses),
+        )
 
     def reset(self) -> None:
         """Flush caches, prefetcher state, and statistics."""
