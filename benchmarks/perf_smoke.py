@@ -74,34 +74,61 @@ def run_sweep(dim: int, density: float, seed: int, cache_scale: int) -> dict:
     }
 
 
-def run_sweep_engine(processes: int, cache_scale: int, dim: int = 512) -> dict:
+def run_sweep_engine(processes: int, cache_scale: int, dim: int = 1024) -> dict:
     """Time one fig10-style job matrix serially and on a worker pool.
 
-    Uses the sweep engine with the cache disabled so both passes execute
-    every job; records wall-clock for each mode so the serial/parallel
-    trajectory is tracked alongside the kernel-seconds record. With few,
-    coarse jobs the pool can lose to fork overhead on small dims — the
-    record is a measurement, not an assertion.
+    Uses the sweep engine with the cache disabled so every pass executes
+    every job. The batch is sized (six matrices x all schemes at dim 1024)
+    so pool startup is amortized: the *cold* parallel timing includes
+    worker-pool creation, the *warm* timing reuses the same pool for a
+    second run — the difference is the startup cost the old single-timing
+    record conflated with throughput. ``serial_batched_seconds`` runs the
+    same jobs serially with ``replay_batch`` merging trace replays.
+    ``cpu_count`` is recorded because on a single-core host the parallel
+    path cannot beat serial no matter the sizing — the record is a
+    measurement, not an assertion.
     """
     sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
-    keys = ("M2", "M8", "M13")
+    keys = ("M2", "M5", "M8", "M11", "M13", "M15")
     jobs = [
         kernel_job("spmv", scheme, suite_source(key, dim), sim)
         for key in keys
         for scheme in SCHEMES
     ]
     timings = {}
-    for label, workers in (("serial", 1), ("parallel", processes)):
-        runner = SweepRunner(processes=workers)
+
+    with SweepRunner(processes=1) as serial:
         start = time.perf_counter()
-        runner.run(jobs)
-        timings[f"{label}_seconds"] = round(time.perf_counter() - start, 4)
-        print(f"  sweep[{label}:{workers}p] {timings[f'{label}_seconds']:8.3f}s", flush=True)
+        serial.run(jobs)
+        timings["serial_seconds"] = round(time.perf_counter() - start, 4)
+    print(f"  sweep[serial:1p]        {timings['serial_seconds']:8.3f}s", flush=True)
+
+    with SweepRunner(processes=1, replay_batch=len(keys)) as batched:
+        start = time.perf_counter()
+        batched.run(jobs)
+        timings["serial_batched_seconds"] = round(time.perf_counter() - start, 4)
+    print(
+        f"  sweep[serial batched]   {timings['serial_batched_seconds']:8.3f}s", flush=True
+    )
+
+    with SweepRunner(processes=processes) as pool:
+        start = time.perf_counter()
+        pool.run(jobs)
+        timings["parallel_cold_seconds"] = round(time.perf_counter() - start, 4)
+        start = time.perf_counter()
+        pool.run(jobs)
+        timings["parallel_warm_seconds"] = round(time.perf_counter() - start, 4)
+    print(
+        f"  sweep[parallel:{processes}p] cold {timings['parallel_cold_seconds']:8.3f}s  "
+        f"warm {timings['parallel_warm_seconds']:8.3f}s",
+        flush=True,
+    )
     return {
         "jobs": len(jobs),
         "dim": dim,
         "matrices": list(keys),
         "processes": processes,
+        "cpu_count": os.cpu_count(),
         **timings,
     }
 
@@ -158,15 +185,19 @@ def run_facade_overhead(cache_scale: int, dim: int = 512) -> dict:
 
 
 def run_replay_core(dims: tuple, density: float, seed: int, cache_scale: int) -> dict:
-    """Replay-core seconds: reference loop vs vectorized engine, per dim.
+    """Replay-core seconds per backend (reference/vectorized/compiled), per dim.
 
     Captures the access-trace segments every SpMV scheme emits (by shimming
     ``MemoryHierarchy.replay`` during one instrumented run per scheme), then
     replays the captured segments through fresh hierarchies with each
     backend, best of three timings.  This isolates exactly the component the
-    replay backends implement; both backends are bit-identical, so only the
-    wall clock differs.
+    replay backends implement; all backends are bit-identical, so only the
+    wall clock differs.  The compiled (numba) tier is timed twice: a *cold*
+    first call that pays JIT compilation, then warm best-of-three.  When
+    numba is absent the compiled timings are recorded as null — never
+    fabricated from the fallback path.
     """
+    from repro.sim._replay_compiled import NUMBA_AVAILABLE
     from repro.sim.memory import MemoryHierarchy
 
     results = {}
@@ -207,22 +238,84 @@ def run_replay_core(dims: tuple, density: float, seed: int, cache_scale: int) ->
         for backend in ("reference", "vectorized"):
             replay_sweep(backend)  # warm caches/allocator
             timings[backend] = min(replay_sweep(backend) for _ in range(3))
+        compiled_cold = compiled_warm = None
+        if NUMBA_AVAILABLE:
+            compiled_cold = replay_sweep("compiled")  # first call pays JIT
+            compiled_warm = min(replay_sweep("compiled") for _ in range(3))
         accesses = sum(
             seg[1].size for segs in segments_per_scheme.values() for seg in segs
         )
         speedup = timings["reference"] / timings["vectorized"]
-        results[f"dim{dim}"] = {
+        record = {
             "accesses": int(accesses),
             "reference_seconds": round(timings["reference"], 4),
             "vectorized_seconds": round(timings["vectorized"], 4),
             "speedup": round(speedup, 2),
+            "numba_available": NUMBA_AVAILABLE,
+            "compiled_cold_seconds": (
+                round(compiled_cold, 4) if compiled_cold is not None else None
+            ),
+            "compiled_seconds": (
+                round(compiled_warm, 4) if compiled_warm is not None else None
+            ),
+            "speedup_compiled": (
+                round(timings["reference"] / compiled_warm, 2)
+                if compiled_warm
+                else None
+            ),
         }
+        results[f"dim{dim}"] = record
+        compiled_note = (
+            f"  compiled {compiled_warm:.3f}s (cold {compiled_cold:.3f}s, "
+            f"{record['speedup_compiled']:.2f}x)"
+            if compiled_warm is not None
+            else "  compiled n/a (no numba)"
+        )
         print(
             f"  replay_core[{dim}] reference {timings['reference']:.3f}s  "
-            f"vectorized {timings['vectorized']:.3f}s  ({speedup:.2f}x)",
+            f"vectorized {timings['vectorized']:.3f}s  ({speedup:.2f}x)"
+            + compiled_note,
             flush=True,
         )
     return results
+
+
+def run_replay_phases(cache_scale: int, dim: int = 512) -> dict:
+    """Per-phase replay wall-clock (prefetch/LRU/stalls) per backend.
+
+    Runs one small serial sweep per backend with ``replay_profile`` enabled
+    and records the phase breakdown the profiling hooks collected.  The
+    reference loop is fused — it reports a single ``walk`` phase — while the
+    array engines break out prefetcher, LRU-classification and
+    stall-accumulation time.  The compiled backend appears only when numba
+    is importable (the fallback's numbers would just duplicate
+    ``vectorized``).
+    """
+    from repro.sim._replay_compiled import NUMBA_AVAILABLE
+
+    sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
+    jobs = [
+        kernel_job("spmv", scheme, suite_source(key, dim), sim)
+        for key in ("M2", "M8", "M13")
+        for scheme in SCHEMES
+    ]
+    backends = ["reference", "vectorized"] + (["compiled"] if NUMBA_AVAILABLE else [])
+    phases = {}
+    for backend in backends:
+        with SweepRunner(
+            processes=1, replay_backend=backend, replay_profile=True
+        ) as runner:
+            runner.run(jobs)
+            profile = dict(runner.last_profile or {})
+        phases[backend] = {name: round(seconds, 4) for name, seconds in profile.items()}
+        breakdown = "  ".join(f"{k} {v:.3f}s" for k, v in phases[backend].items())
+        print(f"  replay_phases[{backend}] {breakdown}", flush=True)
+    return {
+        "jobs": len(jobs),
+        "dim": dim,
+        "numba_available": NUMBA_AVAILABLE,
+        "backends": phases,
+    }
 
 
 def _rss_probe_child(dim: int, density: float, seed: int, cache_scale: int) -> dict:
@@ -292,7 +385,7 @@ def main(argv=None) -> int:
         "--processes", type=int, default=2, help="worker count for the sweep-engine pass"
     )
     parser.add_argument(
-        "--sweep-dim", type=int, default=512, help="matrix dimension of the sweep-engine pass"
+        "--sweep-dim", type=int, default=1024, help="matrix dimension of the sweep-engine pass"
     )
     parser.add_argument(
         "--rss-dim", type=int, default=4096, help="matrix dimension of the peak-RSS probe"
@@ -321,18 +414,20 @@ def main(argv=None) -> int:
     payload = run_sweep(args.dim, args.density, args.seed, args.cache_scale)
     print(f"Sweep-engine pass: {args.sweep_dim} dim, {args.processes} processes")
     payload["sweep_engine"] = run_sweep_engine(args.processes, args.cache_scale, args.sweep_dim)
-    print(f"Facade-overhead pass: {args.sweep_dim} dim (Session vs direct runner)")
-    payload["facade_overhead"] = run_facade_overhead(args.cache_scale, args.sweep_dim)
+    print("Facade-overhead pass: 512 dim (Session vs direct runner)")
+    payload["facade_overhead"] = run_facade_overhead(args.cache_scale)
     # The RSS probe forks children whose peak-RSS baseline includes the
     # parent's resident set, so it runs before the trace-hungry passes.
     print(f"Replay-memory probe: {args.rss_dim} dim, density {args.rss_density}")
     payload["replay_memory"] = run_rss_probe(
         args.rss_dim, args.rss_density, args.seed, args.cache_scale
     )
-    print(f"Replay-core pass: reference vs vectorized at dims {args.dim} and {2 * args.dim}")
+    print(f"Replay-core pass: per-backend replay at dims {args.dim} and {2 * args.dim}")
     payload["replay_core"] = run_replay_core(
         (args.dim, 2 * args.dim), args.density, args.seed, args.cache_scale
     )
+    print("Replay-phases pass: per-phase wall-clock per backend")
+    payload["replay_phases"] = run_replay_phases(args.cache_scale)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"total {payload['total_kernel_seconds']}s -> {args.output}")
     return 0

@@ -11,9 +11,10 @@ the trace engine, the CLI) receives an explicit, validated value.
 
 None of these knobs can change a result: processes and cache only affect
 where/whether a job executes, the chunk budget only bounds peak replay
-memory (DESIGN.md section 10), and the replay backend only selects which of
-two bit-identical engines replays the trace (DESIGN.md section 12). That is
-why none of them participate in the report-cache job key.
+memory (DESIGN.md section 10), the replay backend only selects which of
+three bit-identical engines replays the trace (DESIGN.md sections 12–13),
+and the batching/profiling knobs only regroup or time those engines' calls.
+That is why none of them participate in the report-cache job key.
 """
 
 from __future__ import annotations
@@ -49,6 +50,12 @@ TRACE_CHUNK_ENV_VAR = CHUNK_ENV_VAR
 #: Environment variable selecting the replay backend (re-exported).
 BACKEND_ENV_VAR = REPLAY_BACKEND_ENV_VAR
 
+#: Environment variable setting the replay batch size (jobs per flush).
+REPLAY_BATCH_ENV_VAR = "SMASH_REPRO_REPLAY_BATCH"
+
+#: Environment variable enabling per-phase replay profiling.
+REPLAY_PROFILE_ENV_VAR = "SMASH_REPRO_REPLAY_PROFILE"
+
 _UNSET = object()
 _FALSY = ("0", "false", "no", "off")
 
@@ -71,13 +78,18 @@ class RuntimeConfig:
     monolithic build-then-replay path. ``replay_backend`` names the engine
     behind ``MemoryHierarchy.replay`` (an entry of
     :data:`repro.sim._replay_core.REPLAY_BACKENDS`; normalized to its
-    canonical name).
+    canonical name). ``replay_batch`` groups up to that many kernel jobs'
+    trace segments into one backend invocation during serial sweeps (1 =
+    unbatched). ``replay_profile`` collects per-phase replay wall-clock
+    into ``SweepResult.stats``.
     """
 
     processes: int = 1
     cache_dir: Optional[Union[str, pathlib.Path]] = DEFAULT_CACHE_DIR
     trace_chunk: Optional[int] = DEFAULT_CHUNK_ACCESSES
     replay_backend: str = DEFAULT_REPLAY_BACKEND
+    replay_batch: int = 1
+    replay_profile: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.processes, bool) or not isinstance(self.processes, int):
@@ -106,6 +118,18 @@ class RuntimeConfig:
                 f"got {self.replay_backend!r}"
             ) from None
         object.__setattr__(self, "replay_backend", canonical)
+        if isinstance(self.replay_batch, bool) or not isinstance(self.replay_batch, int):
+            raise ValueError(
+                f"replay batch size must be a positive integer, got {self.replay_batch!r}"
+            )
+        if self.replay_batch < 1:
+            raise ValueError(
+                f"replay batch size must be at least 1, got {self.replay_batch}"
+            )
+        if not isinstance(self.replay_profile, bool):
+            raise ValueError(
+                f"replay profile flag must be a bool, got {self.replay_profile!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -117,6 +141,8 @@ class RuntimeConfig:
         cache_dir: object = _UNSET,
         trace_chunk: object = _UNSET,
         replay_backend: Optional[str] = None,
+        replay_batch: Optional[int] = None,
+        replay_profile: Optional[bool] = None,
     ) -> "RuntimeConfig":
         """Build a config from the environment, explicit arguments winning.
 
@@ -142,12 +168,20 @@ class RuntimeConfig:
             replay_backend = (
                 os.environ.get(REPLAY_BACKEND_ENV_VAR, "").strip() or DEFAULT_REPLAY_BACKEND
             )
+        if replay_batch is None:
+            raw = os.environ.get(REPLAY_BATCH_ENV_VAR, "").strip()
+            replay_batch = _parse_int(raw, REPLAY_BATCH_ENV_VAR) if raw else 1
+        if replay_profile is None:
+            raw = os.environ.get(REPLAY_PROFILE_ENV_VAR, "").strip().lower()
+            replay_profile = bool(raw) and raw not in _FALSY
         try:
             return cls(
                 processes=processes,
                 cache_dir=cache_dir,
                 trace_chunk=trace_chunk,
                 replay_backend=replay_backend,
+                replay_batch=replay_batch,
+                replay_profile=replay_profile,
             )
         except ValueError as error:
             if backend_from_env and "replay backend" in str(error):
@@ -170,7 +204,12 @@ class RuntimeConfig:
         """One-line human-readable summary."""
         cache = str(self.cache_dir) if self.cache_enabled else "disabled"
         chunk = self.trace_chunk if self.trace_chunk is not None else "monolithic"
-        return (
+        summary = (
             f"processes={self.processes}, cache={cache}, trace_chunk={chunk}, "
             f"replay={self.replay_backend}"
         )
+        if self.replay_batch != 1:
+            summary += f", replay_batch={self.replay_batch}"
+        if self.replay_profile:
+            summary += ", replay_profile=on"
+        return summary

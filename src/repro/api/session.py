@@ -84,6 +84,8 @@ class Session:
                     if runner.replay_backend is not USE_ENV_BACKEND
                     else env_defaults.replay_backend
                 ),
+                replay_batch=runner.replay_batch,
+                replay_profile=runner.replay_profile,
             )
             self._runner = runner
         else:
@@ -93,6 +95,8 @@ class Session:
                 cache_dir=self.runtime.cache_dir,
                 trace_chunk=self.runtime.trace_chunk,
                 replay_backend=self.runtime.replay_backend,
+                replay_batch=self.runtime.replay_batch,
+                replay_profile=self.runtime.replay_profile,
             )
 
     # ------------------------------------------------------------------ #
@@ -119,7 +123,10 @@ class Session:
         sim = sim if sim is not None else self.sim
         jobs = [spec.to_job(sim=sim, smash=self.smash) for spec in specs]
         reports = self._runner.run(jobs)
-        return SweepResult(specs, tuple(reports))
+        stats = None
+        if self._runner.replay_profile and self._runner.last_profile:
+            stats = {"replay_phases": dict(self._runner.last_profile)}
+        return SweepResult(specs, tuple(reports), stats)
 
     # ------------------------------------------------------------------ #
     # Imperative escape hatch

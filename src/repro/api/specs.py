@@ -270,10 +270,17 @@ class SweepSpec:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Specs paired with their reports, in submission order."""
+    """Specs paired with their reports, in submission order.
+
+    ``stats`` carries optional observational metadata about how the sweep
+    *executed* (e.g. ``"replay_phases"`` per-phase replay wall-clock when
+    ``RuntimeConfig.replay_profile`` is on); it never affects the reports
+    and is excluded from result comparisons.
+    """
 
     specs: Tuple[JobSpec, ...]
     reports: Tuple[CostReport, ...]
+    stats: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.specs) != len(self.reports):

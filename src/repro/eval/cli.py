@@ -23,8 +23,9 @@ Run every experiment at reduced size (a quick smoke test)::
 The CLI is a thin shell over :class:`repro.api.Session`: flags and the
 documented environment knobs (``SMASH_REPRO_PROCESSES``,
 ``SMASH_REPRO_TRACE_CHUNK``, ``SMASH_REPRO_CACHE_DIR``,
-``SMASH_REPRO_CACHE``, ``SMASH_REPRO_REPLAY_BACKEND``) are folded into one
-validated
+``SMASH_REPRO_CACHE``, ``SMASH_REPRO_REPLAY_BACKEND``,
+``SMASH_REPRO_REPLAY_BATCH``, ``SMASH_REPRO_REPLAY_PROFILE``) are folded
+into one validated
 :class:`~repro.api.config.RuntimeConfig` — explicit flags win — and every
 experiment driver receives the resulting Session. Kernel results are
 memoized in a content-keyed on-disk cache (``.smash-cache/`` by default),
@@ -83,9 +84,30 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="NAME",
         help=(
-            "replay engine for the memory hierarchy: 'vectorized' (default) "
-            "or 'reference' (also via $SMASH_REPRO_REPLAY_BACKEND); results "
-            "are bit-identical either way"
+            "replay engine for the memory hierarchy: 'vectorized' (default), "
+            "'reference', or 'compiled' (numba JIT; falls back to "
+            "'vectorized' with a warning when numba is missing; also via "
+            "$SMASH_REPRO_REPLAY_BACKEND); results are bit-identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--replay-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "merge up to N kernel jobs' trace replays per backend call in "
+            "serial sweeps (default: $SMASH_REPRO_REPLAY_BATCH or 1 = "
+            "unbatched); results are bit-identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--replay-profile",
+        action="store_true",
+        default=None,
+        help=(
+            "collect per-phase replay wall-clock during serial sweeps "
+            "(also via $SMASH_REPRO_REPLAY_PROFILE)"
         ),
     )
 
@@ -135,7 +157,12 @@ def _build_session(args: argparse.Namespace) -> Session:
     :meth:`RuntimeConfig.from_env`, reported by :func:`main` as a clean CLI
     error instead of a traceback.
     """
-    kwargs = {"processes": args.processes, "replay_backend": args.replay_backend}
+    kwargs = {
+        "processes": args.processes,
+        "replay_backend": args.replay_backend,
+        "replay_batch": args.replay_batch,
+        "replay_profile": args.replay_profile,
+    }
     if args.no_cache:
         kwargs["cache_dir"] = None
     elif args.cache_dir is not None:

@@ -39,7 +39,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.api.config import DEFAULT_CACHE_DIR, PROCESSES_ENV_VAR, RuntimeConfig
+from repro.api.config import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_REPLAY_BACKEND,
+    PROCESSES_ENV_VAR,
+    RuntimeConfig,
+)
 from repro.core.config import SMASHConfig
 from repro.sim import _replay_core
 from repro.sim import trace as _trace
@@ -342,7 +347,13 @@ class SweepRunner:
     for this runner's jobs — serial execution wraps process-local
     overrides, pool workers are initialized with them — while the
     :data:`USE_ENV_CHUNK` / :data:`USE_ENV_BACKEND` defaults defer to the
-    environment knobs. Results are independent of all four knobs.
+    environment knobs. ``replay_batch`` groups up to that many consecutive
+    kernel-job cache misses per serial batch, deferring their trace replays
+    into one merged backend invocation each (see
+    :class:`repro.sim.memory.ReplayBatcher`); ``replay_profile`` collects
+    per-phase replay wall-clock of serial execution into
+    :attr:`last_profile`. Results are independent of all six knobs —
+    ``None`` defers the last two to their environment variables.
     """
 
     def __init__(
@@ -351,12 +362,29 @@ class SweepRunner:
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         trace_chunk: object = USE_ENV_CHUNK,
         replay_backend: object = USE_ENV_BACKEND,
+        replay_batch: Optional[int] = None,
+        replay_profile: Optional[bool] = None,
     ) -> None:
         self.processes = resolve_processes(processes)
         self.cache = ReportCache(cache_dir) if cache_dir is not None else None
         self.stats = SweepStats()
         self.trace_chunk = trace_chunk
         self.replay_backend = replay_backend
+        # Validate through RuntimeConfig (also the env fallback for None);
+        # the explicit backend suppresses that knob's unrelated env read.
+        resolved = RuntimeConfig.from_env(
+            processes=1,
+            cache_dir=None,
+            trace_chunk=None,
+            replay_backend=DEFAULT_REPLAY_BACKEND,
+            replay_batch=replay_batch,
+            replay_profile=replay_profile,
+        )
+        self.replay_batch = resolved.replay_batch
+        self.replay_profile = resolved.replay_profile
+        #: Per-phase replay seconds of the last :meth:`run` call's serial
+        #: execution (``None`` until a profiled run happens).
+        self.last_profile: Optional[Dict[str, float]] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._finalizer: Optional[weakref.finalize] = None
 
@@ -440,7 +468,17 @@ class SweepRunner:
                         overrides.enter_context(
                             _replay_core.backend_override(self.replay_backend)
                         )
-                    fresh = [_execute_job_payload(job) for job in miss_jobs]
+                    profile = None
+                    if self.replay_profile:
+                        profile = overrides.enter_context(
+                            _replay_core.profile_collection()
+                        )
+                    if self.replay_batch > 1:
+                        fresh = self._execute_serial_batched(miss_jobs)
+                    else:
+                        fresh = [_execute_job_payload(job) for job in miss_jobs]
+                    if profile is not None:
+                        self.last_profile = dict(profile)
             for (key, job), payload in zip(misses, fresh):
                 if self.cache is not None:
                     self.cache.store(key, job, payload)
@@ -448,6 +486,79 @@ class SweepRunner:
 
         return [CostReport.from_dict(payloads[key]) for key in keys]
 
+    def _execute_serial_batched(self, jobs: Sequence[Job]) -> List[Dict]:
+        """Serial miss execution with kernel jobs' replays batched.
+
+        Runs of consecutive kernel-kind jobs are grouped up to
+        ``replay_batch``; each group's trace segments defer through one
+        :class:`~repro.sim.memory.ReplayBatcher` and replay in a single
+        merged backend invocation per hierarchy at the end of the group,
+        after which the memory-derived report fields are rebuilt from the
+        hierarchy's final statistics (everything else in a kernel report is
+        trace-independent). Application jobs merge several phase reports
+        mid-run, so they execute unbatched, in order. Payloads are
+        bit-identical to unbatched execution: per-job hierarchies are
+        independent, and merging one hierarchy's segments is exact by the
+        chunk-boundary contract.
+        """
+        from repro.sim.memory import ReplayBatcher, replay_batching
+
+        payloads: List[Optional[Dict]] = [None] * len(jobs)
+        group: List[int] = []
+
+        def flush_group() -> None:
+            if not group:
+                return
+            batcher = ReplayBatcher()
+            pending: List[Tuple[int, CostReport, List]] = []
+            for idx in group:
+                with replay_batching(batcher):
+                    report = execute_job(jobs[idx])
+                pending.append((idx, report, batcher.take_new_hierarchies()))
+            batcher.flush()
+            for idx, report, hierarchies in pending:
+                if len(hierarchies) > 1:
+                    raise RuntimeError(
+                        "replay batching expects one memory hierarchy per "
+                        f"kernel job, found {len(hierarchies)}"
+                    )
+                if hierarchies:
+                    report = _patch_memory_fields(
+                        report, hierarchies[0].snapshot_stats()
+                    )
+                payloads[idx] = report.to_dict()
+            group.clear()
+
+        for i, job in enumerate(jobs):
+            if job.kind in KERNEL_KINDS:
+                group.append(i)
+                if len(group) >= self.replay_batch:
+                    flush_group()
+            else:
+                flush_group()
+                payloads[i] = _execute_job_payload(job)
+        flush_group()
+        return payloads  # type: ignore[return-value]
+
     def run_one(self, job: Job) -> CostReport:
         """Convenience wrapper for a single job."""
         return self.run([job])[0]
+
+
+def _patch_memory_fields(report: CostReport, stats) -> CostReport:
+    """Rebuild the memory-derived report fields from final hierarchy stats.
+
+    A batched kernel job computes its report before its deferred trace has
+    replayed; these five fields are exactly the ones a kernel report takes
+    from ``MemoryHierarchy.snapshot_stats()`` (``cycles`` is a property over
+    ``memory_stall_cycles``, so it follows along).
+    """
+    return dataclasses.replace(
+        report,
+        memory_stall_cycles=stats.stall_cycles,
+        dram_accesses=stats.dram_accesses,
+        l1_miss_rate=stats.l1.miss_rate,
+        l2_miss_rate=stats.l2.miss_rate,
+        l3_miss_rate=stats.l3.miss_rate,
+        per_structure_accesses=dict(stats.per_structure_accesses),
+    )

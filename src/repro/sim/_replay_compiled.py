@@ -1,0 +1,455 @@
+"""The ``"compiled"`` replay backend: numba-JIT kernels over the head arrays.
+
+The third replay engine (after ``"reference"`` and ``"vectorized"``, see
+:mod:`repro.sim._replay_core`) compiles the three replay phases — the
+stride-prefetcher pass, the per-level LRU walk, and the stall accumulation —
+to machine code with numba ``@njit(cache=True)`` kernels.  Unlike the
+vectorized engine, which re-derives LRU behaviour from reuse distances, the
+compiled kernels are *direct transcriptions of the reference loop*: the same
+branches in the same order on the same integers and floats, just without the
+interpreter.  Bit-identity with ``"reference"`` is therefore structural, and
+the equivalence/fuzz suites in ``tests/test_replay_backends.py`` assert it
+on every observable.
+
+Compilation boundaries:
+
+1. *Prefetcher phase.*  A Python prologue maps each streaming head to a
+   dense stream *slot* (streams are keyed by structure name; duplicate ids
+   sharing a name share a slot) and marshals the entry states into flat
+   arrays; the kernel runs the stride state machine per head and the
+   epilogue writes the exit states back, preserving the reference loop's
+   dict insertion order.  Segments that would overflow the stream table
+   delegate to the reference loop, exactly like the vectorized engine.
+2. *LRU phase.*  Cache contents travel as ``(ways[n_sets, assoc],
+   occupancy[n_sets])`` int64 arrays packed from the per-set Python lists
+   and unpacked afterwards (set counts are small — at most ~1600 for the
+   Table 2 machine — so marshalling is microseconds per call).  The kernel
+   walks every head through L1/L2/L3 with explicit shift-based LRU updates
+   and emits a per-head latency code plus the hit/miss/eviction counters.
+3. *Stall phase.*  A strictly sequential scan accumulates
+   ``latency * exposure`` / ``latency / mlp`` stalls in the reference
+   loop's exact IEEE order, seeded with the hierarchy's running totals.
+
+When numba is not importable the kernels degrade to their pure-Python
+bodies (the ``njit`` shim below), which keeps them *testable* everywhere;
+user-facing backend resolution additionally falls back to ``"vectorized"``
+with a one-time warning (:func:`repro.sim._replay_core.effective_backend`),
+so an environment without numba never errors and never runs the slow
+uncompiled loops by accident.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim import _replay_core
+from repro.sim._replay_core import REPLAY_BACKENDS, replay_reference
+from repro.sim.prefetcher import _StreamState
+
+try:  # pragma: no cover - exercised by the numba CI leg
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default environment here
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):
+        """Decorator shim: without numba the kernels run as plain Python."""
+
+        def wrap(fn):
+            return fn
+
+        if args and callable(args[0]):
+            return args[0]
+        return wrap
+
+
+#: Test hook: treat the (pure-Python) kernels as available even without
+#: numba, so the bit-identity suites can exercise the compiled engine's
+#: exact control flow on any machine.  Never set outside tests.
+FORCE_PYTHON_KERNELS = False
+
+#: Below this many heads the compiled engine hands the segment to the
+#: reference loop: per-call marshalling and kernel dispatch would dominate
+#: (mirrors :data:`repro.sim._replay_core.MIN_VECTORIZED_HEADS`).  A pure
+#: performance knob — results are bit-identical — pinned to 0 in tests.
+MIN_COMPILED_HEADS = 512
+
+
+def kernels_available() -> bool:
+    """Whether the compiled backend may be selected (numba, or forced)."""
+    return NUMBA_AVAILABLE or FORCE_PYTHON_KERNELS
+
+
+# --------------------------------------------------------------------------- #
+# Phase kernels
+# --------------------------------------------------------------------------- #
+@njit(cache=True)
+def _prefetch_phase(slot_of_head, lines, exists, last, stride, has_stride, conf,
+                    threshold, covered):
+    """Stride state machine per streaming head; returns the prefetch hits.
+
+    ``slot_of_head[i] < 0`` marks a non-streaming head.  State arrays are
+    indexed by slot; a slot with ``exists == 0`` is a stream this segment
+    creates (its first access consumes the creation, covering nothing).
+    Zero strides are transparent; a covered access updates no confirmation
+    count — branch for branch the reference loop's prefetcher block.
+    """
+    hits = 0
+    for i in range(lines.shape[0]):
+        s = slot_of_head[i]
+        if s < 0:
+            continue
+        if exists[s] == 0:
+            exists[s] = 1
+            last[s] = lines[i]
+            continue
+        d = lines[i] - last[s]
+        if d == 0:
+            continue
+        if has_stride[s] == 1 and stride[s] == d:
+            if conf[s] >= threshold:
+                covered[i] = 1
+                hits += 1
+            else:
+                conf[s] += 1
+        else:
+            stride[s] = d
+            has_stride[s] = 1
+            conf[s] = 1
+        last[s] = lines[i]
+    return hits
+
+
+@njit(cache=True)
+def _lru_phase(lines, kinds, covered,
+               ways1, occ1, assoc1,
+               ways2, occ2, assoc2,
+               ways3, occ3, assoc3,
+               counters, lat_code):
+    """Walk every head through L1/L2/L3 with explicit LRU lists.
+
+    ``ways``/``occ`` hold each level's sets (LRU at column 0, MRU at
+    ``occ - 1``); hits shift the line to the MRU column, full-set misses
+    evict column 0.  Covered heads install into L2/L3 "touch only if
+    absent".  ``lat_code[i]`` encodes the serving level (0 = L1 hit,
+    1 = L2/covered, 2 = L3, 3 = DRAM); ``counters`` collects, in order:
+    L1 hits/misses/evictions, L2 accesses/hits/misses/evictions, L3
+    accesses/hits/misses/evictions, covered installs, DRAM accesses.
+    """
+    n_sets1 = ways1.shape[0]
+    n_sets2 = ways2.shape[0]
+    n_sets3 = ways3.shape[0]
+    for i in range(lines.shape[0]):
+        line = lines[i]
+        s = line % n_sets1
+        occ = occ1[s]
+        hit = -1
+        for j in range(occ):
+            if ways1[s, j] == line:
+                hit = j
+                break
+        if hit >= 0:
+            for j in range(hit, occ - 1):
+                ways1[s, j] = ways1[s, j + 1]
+            ways1[s, occ - 1] = line
+            counters[0] += 1
+            continue  # lat_code stays 0: an L1 hit is an exact no-op
+        counters[1] += 1
+        if occ >= assoc1:
+            for j in range(occ - 1):
+                ways1[s, j] = ways1[s, j + 1]
+            ways1[s, occ - 1] = line
+            counters[2] += 1
+        else:
+            ways1[s, occ] = line
+            occ1[s] = occ + 1
+        if covered[i] == 1:
+            counters[11] += 1
+            s = line % n_sets2
+            occ = occ2[s]
+            hit = -1
+            for j in range(occ):
+                if ways2[s, j] == line:
+                    hit = j
+                    break
+            if hit < 0:
+                if occ >= assoc2:
+                    for j in range(occ - 1):
+                        ways2[s, j] = ways2[s, j + 1]
+                    ways2[s, occ - 1] = line
+                    counters[6] += 1
+                else:
+                    ways2[s, occ] = line
+                    occ2[s] = occ + 1
+            s = line % n_sets3
+            occ = occ3[s]
+            hit = -1
+            for j in range(occ):
+                if ways3[s, j] == line:
+                    hit = j
+                    break
+            if hit < 0:
+                if occ >= assoc3:
+                    for j in range(occ - 1):
+                        ways3[s, j] = ways3[s, j + 1]
+                    ways3[s, occ - 1] = line
+                    counters[10] += 1
+                else:
+                    ways3[s, occ] = line
+                    occ3[s] = occ + 1
+            lat_code[i] = 1
+        else:
+            counters[3] += 1
+            s = line % n_sets2
+            occ = occ2[s]
+            hit = -1
+            for j in range(occ):
+                if ways2[s, j] == line:
+                    hit = j
+                    break
+            if hit >= 0:
+                for j in range(hit, occ - 1):
+                    ways2[s, j] = ways2[s, j + 1]
+                ways2[s, occ - 1] = line
+                counters[4] += 1
+                lat_code[i] = 1
+            else:
+                counters[5] += 1
+                if occ >= assoc2:
+                    for j in range(occ - 1):
+                        ways2[s, j] = ways2[s, j + 1]
+                    ways2[s, occ - 1] = line
+                    counters[6] += 1
+                else:
+                    ways2[s, occ] = line
+                    occ2[s] = occ + 1
+                counters[7] += 1
+                s = line % n_sets3
+                occ = occ3[s]
+                hit = -1
+                for j in range(occ):
+                    if ways3[s, j] == line:
+                        hit = j
+                        break
+                if hit >= 0:
+                    for j in range(hit, occ - 1):
+                        ways3[s, j] = ways3[s, j + 1]
+                    ways3[s, occ - 1] = line
+                    counters[8] += 1
+                    lat_code[i] = 2
+                else:
+                    counters[9] += 1
+                    if occ >= assoc3:
+                        for j in range(occ - 1):
+                            ways3[s, j] = ways3[s, j + 1]
+                        ways3[s, occ - 1] = line
+                        counters[10] += 1
+                    else:
+                        ways3[s, occ] = line
+                        occ3[s] = occ + 1
+                    counters[12] += 1
+                    lat_code[i] = 3
+
+
+@njit(cache=True)
+def _stall_phase(lat_code, kinds, l2_lat, l3_lat, dram_lat, mlp, exposure,
+                 running, dep_running):
+    """Strictly sequential stall accumulation (the reference IEEE order)."""
+    added = 0.0
+    for i in range(lat_code.shape[0]):
+        code = lat_code[i]
+        if code == 0:
+            continue
+        kind = kinds[i]
+        if kind == 2:
+            continue
+        if code == 1:
+            latency = l2_lat
+        elif code == 2:
+            latency = l3_lat
+        else:
+            latency = dram_lat
+        if kind == 1:
+            stall = latency * exposure
+            dep_running += stall
+        else:
+            stall = latency / mlp
+        running += stall
+        added += stall
+    return added, running, dep_running
+
+
+# --------------------------------------------------------------------------- #
+# State marshalling
+# --------------------------------------------------------------------------- #
+def _pack_cache(cache):
+    """One level's sets as ``(ways, occupancy)`` arrays (LRU at column 0)."""
+    cfg = cache.config
+    ways = np.zeros((cfg.n_sets, cfg.associativity), dtype=np.int64)
+    occ = np.zeros(cfg.n_sets, dtype=np.int64)
+    for s, contents in enumerate(cache._sets):
+        k = len(contents)
+        if k:
+            occ[s] = k
+            ways[s, :k] = contents
+    return ways, occ
+
+def _unpack_cache(cache, ways, occ):
+    """Write the packed arrays back into the per-set Python lists.
+
+    Occupancy never shrinks (the model only inserts and replaces), so every
+    set that holds lines is rewritten and empty sets are untouched.
+    """
+    sets = cache._sets
+    for s in np.flatnonzero(occ).tolist():
+        sets[s] = ways[s, : occ[s]].tolist()
+
+
+# --------------------------------------------------------------------------- #
+# The backend
+# --------------------------------------------------------------------------- #
+@REPLAY_BACKENDS.register("compiled", aliases=("numba", "jit"))
+def replay_compiled(
+    h,
+    structures: Sequence[str],
+    head_ids: np.ndarray,
+    head_lines: np.ndarray,
+    head_kinds: np.ndarray,
+) -> float:
+    """JIT-compiled replay; bit-identical to :func:`replay_reference`."""
+    n = int(head_lines.size)
+    if n < MIN_COMPILED_HEADS:
+        return replay_reference(h, structures, head_ids, head_lines, head_kinds)
+
+    profiling = _replay_core._profile_sink is not None
+    t0 = time.perf_counter() if profiling else 0.0
+
+    # ---- Phase 1: prefetcher (prologue / kernel / deferred epilogue) ----
+    prefetcher = h.prefetcher
+    streams = prefetcher._streams
+    covered = np.zeros(n, dtype=np.uint8)
+    prefetch_hits = 0
+    slot_names: list = []
+    stream_positions = np.flatnonzero(head_kinds == 0)
+    if stream_positions.size:
+        stream_sids = head_ids[stream_positions]
+        # First streaming position per structure id (reversed scatter), then
+        # slots per *name* in first-appearance order so the epilogue's fresh
+        # inserts reproduce the loop's dict insertion order.
+        first_seen = np.full(len(structures), -1, dtype=np.int64)
+        first_seen[stream_sids[::-1]] = np.arange(
+            stream_sids.size - 1, -1, -1, dtype=np.int64
+        )
+        present = np.flatnonzero(first_seen >= 0)
+        slot_of_name: dict = {}
+        sid_slot = np.full(len(structures), -1, dtype=np.int64)
+        for sid in present[np.argsort(first_seen[present])].tolist():
+            name = structures[sid]
+            slot = slot_of_name.get(name)
+            if slot is None:
+                slot = len(slot_names)
+                slot_of_name[name] = slot
+                slot_names.append(name)
+            sid_slot[sid] = slot
+        fresh = sum(1 for name in slot_names if name not in streams)
+        if len(streams) + fresh > prefetcher.max_streams:
+            # Stream eviction: replay the loop's exact arbitrary order.
+            return replay_reference(h, structures, head_ids, head_lines, head_kinds)
+        n_slots = len(slot_names)
+        slot_of_head = np.full(n, -1, dtype=np.int64)
+        slot_of_head[stream_positions] = sid_slot[stream_sids]
+        exists = np.zeros(n_slots, dtype=np.uint8)
+        last = np.zeros(n_slots, dtype=np.int64)
+        stride = np.zeros(n_slots, dtype=np.int64)
+        has_stride = np.zeros(n_slots, dtype=np.uint8)
+        conf = np.zeros(n_slots, dtype=np.int64)
+        for k, name in enumerate(slot_names):
+            state = streams.get(name)
+            if state is not None:
+                exists[k] = 1
+                last[k] = state.last_line
+                if state.stride is not None:
+                    has_stride[k] = 1
+                    stride[k] = state.stride
+                conf[k] = state.confirmations
+        prefetch_hits = int(
+            _prefetch_phase(
+                slot_of_head, head_lines, exists, last, stride, has_stride,
+                conf, prefetcher.threshold, covered,
+            )
+        )
+    if profiling:
+        now = time.perf_counter()
+        _replay_core._record_phase("prefetch", now - t0)
+        t0 = now
+
+    # ---- Phase 2: per-level LRU walk on packed cache state ----
+    l1, l2, l3 = h.l1, h.l2, h.l3
+    ways1, occ1 = _pack_cache(l1)
+    ways2, occ2 = _pack_cache(l2)
+    ways3, occ3 = _pack_cache(l3)
+    counters = np.zeros(13, dtype=np.int64)
+    lat_code = np.zeros(n, dtype=np.uint8)
+    _lru_phase(
+        head_lines, head_kinds, covered,
+        ways1, occ1, l1.config.associativity,
+        ways2, occ2, l2.config.associativity,
+        ways3, occ3, l3.config.associativity,
+        counters, lat_code,
+    )
+    if profiling:
+        now = time.perf_counter()
+        _replay_core._record_phase("lru", now - t0)
+        t0 = now
+
+    # ---- Phase 3: stall accumulation, seeded with the running totals ----
+    stats = h.stats
+    added, running, dep_running = _stall_phase(
+        lat_code, head_kinds,
+        float(l2.config.latency_cycles), float(l3.config.latency_cycles),
+        float(h.config.dram.latency_cycles),
+        float(h.config.cpu.memory_level_parallelism),
+        float(h.config.cpu.dependent_miss_exposure),
+        stats.stall_cycles, stats.dependent_stall_cycles,
+    )
+
+    # ---- Commit ----
+    c = counters
+    l1s, l2s, l3s = l1.stats, l2.stats, l3.stats
+    l1s.accesses += n
+    l1s.hits += int(c[0])
+    l1s.misses += int(c[1])
+    l1s.evictions += int(c[2])
+    l2s.accesses += int(c[3])
+    l2s.hits += int(c[4])
+    l2s.misses += int(c[5])
+    l2s.evictions += int(c[6])
+    l3s.accesses += int(c[7])
+    l3s.hits += int(c[8])
+    l3s.misses += int(c[9])
+    l3s.evictions += int(c[10])
+    prefetcher.covered_accesses += prefetch_hits
+    prefetcher.issued_prefetches += prefetch_hits
+    stats.prefetch_covered += int(c[11])
+    stats.dram_accesses += int(c[12])
+    stats.stall_cycles = float(running)
+    stats.dependent_stall_cycles = float(dep_running)
+    _unpack_cache(l1, ways1, occ1)
+    _unpack_cache(l2, ways2, occ2)
+    _unpack_cache(l3, ways3, occ3)
+    for k, name in enumerate(slot_names):
+        exit_stride = int(stride[k]) if has_stride[k] else None
+        state = streams.get(name)
+        if state is None:
+            streams[name] = _StreamState(int(last[k]), exit_stride, int(conf[k]))
+        else:
+            state.last_line = int(last[k])
+            state.stride = exit_stride
+            state.confirmations = int(conf[k])
+    if profiling:
+        _replay_core._record_phase("stalls", time.perf_counter() - t0)
+    return float(added)

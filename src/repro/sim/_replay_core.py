@@ -1,6 +1,6 @@
 """Pluggable replay backends for :meth:`repro.sim.memory.MemoryHierarchy.replay`.
 
-The memory hierarchy's batched replay has two interchangeable engines, both
+The memory hierarchy's batched replay has three interchangeable engines, all
 operating on the *head* arrays the dispatcher in :mod:`repro.sim.memory`
 prepares (coalesced accesses: one entry per run of consecutive same
 structure/line/kind accesses):
@@ -37,12 +37,18 @@ structure/line/kind accesses):
      state (both reconstructed exactly at the end of each segment, keeping
      the chunk-boundary contract of :mod:`repro.sim.trace` intact).
 
-The vectorized engine *delegates to the reference loop* whenever exactness
-would be at risk or vectorization cannot pay for itself: tiny segments
-(below :data:`MIN_VECTORIZED_HEADS`, e.g. the per-element ``access`` shim)
-and segments that would overflow the prefetcher's stream table (the loop's
-arbitrary-eviction order is not worth replicating in array form).  Results
-are identical either way; only the wall clock changes.
+* ``"compiled"`` — numba-JIT transcriptions of the reference loop's three
+  phases (see :mod:`repro.sim._replay_compiled`); registered only for
+  selection here, falling back to ``"vectorized"`` with a one-time warning
+  when numba is not importable (:func:`effective_backend`).
+
+The array engines *delegate to the reference loop* whenever exactness
+would be at risk or the array form cannot pay for itself: tiny segments
+(below :data:`MIN_VECTORIZED_HEADS` / ``MIN_COMPILED_HEADS``, e.g. the
+per-element ``access`` shim) and segments that would overflow the
+prefetcher's stream table (the loop's arbitrary-eviction order is not worth
+replicating in array form).  Results are identical either way; only the
+wall clock changes.
 
 Backends are registered in :data:`REPLAY_BACKENDS` (a
 :class:`repro.api.registry.Registry`) and selected through
@@ -55,7 +61,9 @@ in the sweep-cache job key.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, List, Optional, Sequence, Tuple
+import time
+import warnings
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -154,6 +162,76 @@ def resolve_backend(name: Optional[str] = None):
     return REPLAY_BACKENDS.get(name if name is not None else replay_backend_name())
 
 
+#: Backend the ``"compiled"`` tier degrades to when numba is unavailable.
+_COMPILED_FALLBACK = "vectorized"
+
+_fallback_warned = False
+
+
+def effective_backend(name: Optional[str] = None) -> str:
+    """The canonical backend name that will actually run for ``name``.
+
+    Resolves aliases through the registry (unknown names raise the
+    registry's did-you-mean error), then degrades ``"compiled"`` to the
+    vectorized engine when its JIT dependency (numba) is unavailable — with
+    a one-time warning rather than an error, so selecting the compiled tier
+    in an environment without numba still produces bit-identical results,
+    just without the speedup.
+    """
+    canonical = REPLAY_BACKENDS.resolve(
+        name if name is not None else replay_backend_name()
+    )
+    if canonical == "compiled":
+        from repro.sim import _replay_compiled
+
+        if not _replay_compiled.kernels_available():
+            global _fallback_warned
+            if not _fallback_warned:
+                _fallback_warned = True
+                warnings.warn(
+                    "replay backend 'compiled' requires numba, which is not "
+                    f"installed; falling back to {_COMPILED_FALLBACK!r} "
+                    "(results are bit-identical, only slower)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return _COMPILED_FALLBACK
+    return canonical
+
+
+# --------------------------------------------------------------------------- #
+# Per-phase wall-clock profiling (RuntimeConfig.replay_profile)
+# --------------------------------------------------------------------------- #
+#: Active profile sink: phase name -> accumulated seconds.  ``None`` (the
+#: default) keeps the timing hooks completely out of the replay hot paths.
+_profile_sink: Optional[Dict[str, float]] = None
+
+
+def _record_phase(phase: str, seconds: float) -> None:
+    """Accumulate one phase timing into the active sink (if any)."""
+    sink = _profile_sink
+    if sink is not None:
+        sink[phase] = sink.get(phase, 0.0) + seconds
+
+
+@contextlib.contextmanager
+def profile_collection() -> Iterator[Dict[str, float]]:
+    """Collect per-phase replay wall-clock into the yielded dict.
+
+    Phases are ``"prefetch"`` / ``"lru"`` / ``"stalls"`` for the array
+    engines and ``"walk"`` for the reference loop (which fuses all three);
+    values accumulate across every replay call inside the context.  Purely
+    observational — results are unaffected.
+    """
+    global _profile_sink
+    previous = _profile_sink
+    _profile_sink = sink = {} if previous is None else previous
+    try:
+        yield sink
+    finally:
+        _profile_sink = previous
+
+
 def stall_cycles_for(kind: int, latency: float, mlp: float, exposure: float) -> float:
     """Stall cycles one access contributes, given its kind and hit latency.
 
@@ -183,6 +261,8 @@ def replay_reference(
     head_kinds: np.ndarray,
 ) -> float:
     """Sequentially walk the hierarchy head by head (the original engine)."""
+    profiling = _profile_sink is not None
+    t0 = time.perf_counter() if profiling else 0.0
     l1c, l2c, l3c = h.l1.config, h.l2.config, h.l3.config
     set1 = (head_lines % l1c.n_sets).tolist()
     set2 = (head_lines % l2c.n_sets).tolist()
@@ -321,6 +401,8 @@ def replay_reference(
     stats.dram_accesses += dram
     stats.stall_cycles = running
     stats.dependent_stall_cycles = dep_running
+    if profiling:
+        _record_phase("walk", time.perf_counter() - t0)
     return added
 
 
@@ -1166,12 +1248,18 @@ def replay_vectorized(
     """Phased array-native replay; bit-identical to :func:`replay_reference`."""
     if head_lines.size < MIN_VECTORIZED_HEADS:
         return replay_reference(h, structures, head_ids, head_lines, head_kinds)
+    profiling = _profile_sink is not None
+    t0 = time.perf_counter() if profiling else 0.0
     try:
         # Phases 1-3 are pure: nothing on `h` mutates until the commit
         # block, so delegation can always restart from pristine state.
         covered, prefetch_hits, stream_updates = _prefetch_pass(
             h, structures, head_ids, head_lines, head_kinds
         )
+        if profiling:
+            now = time.perf_counter()
+            _record_phase("prefetch", now - t0)
+            t0 = now
 
         # One (line, time) sort serves every level: the set index is a pure
         # function of the line, and filtering a sorted order keeps it sorted.
@@ -1203,6 +1291,10 @@ def replay_vectorized(
         )
         l3_present = np.zeros(head_lines.size, dtype=bool)
         l3_present[l3_positions] = level3.present
+        if profiling:
+            now = time.perf_counter()
+            _record_phase("lru", now - t0)
+            t0 = now
     except _Delegate:
         return replay_reference(h, structures, head_ids, head_lines, head_kinds)
 
@@ -1266,4 +1358,11 @@ def replay_vectorized(
             state.last_line = last_line
             state.stride = stride
             state.confirmations = confirmations
+    if profiling:
+        _record_phase("stalls", time.perf_counter() - t0)
     return added
+
+
+# The compiled tier registers itself on import; importing it last keeps its
+# dependencies (the registry and the reference loop above) fully defined.
+from repro.sim import _replay_compiled as _replay_compiled  # noqa: E402,F401

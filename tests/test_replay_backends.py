@@ -1,31 +1,47 @@
-"""Replay-backend equivalence: vectorized vs reference, bit for bit.
+"""Replay-backend equivalence: vectorized/compiled vs reference, bit for bit.
 
-The vectorized replay core (``repro.sim._replay_core``) must be
-indistinguishable from the reference loop on *every* observable: the added
-stall cycles returned by each ``replay`` call, every statistics counter
-(including the exact floating-point stall totals), the final cache contents
-*in LRU order*, and the prefetcher stream states — across random traces,
-random chunk cuts, and every configured cache geometry.  The suite fuzzes
-~50 random traces over several trace shapes (random addresses, strided
-streams, mixtures with repeats, tight alternation with deep reuse windows,
-periodic rescans that drive covered installs onto resident lines) plus
-directed edge cases, with the vectorized path forced even for tiny traces.
+The array replay engines (``repro.sim._replay_core`` /
+``repro.sim._replay_compiled``) must be indistinguishable from the
+reference loop on *every* observable: the added stall cycles returned by
+each ``replay`` call, every statistics counter (including the exact
+floating-point stall totals), the final cache contents *in LRU order*, and
+the prefetcher stream states — across random traces, random chunk cuts,
+and every configured cache geometry.  The suite fuzzes ~50 random traces
+over several trace shapes (random addresses, strided streams, mixtures
+with repeats, tight alternation with deep reuse windows, periodic rescans
+that drive covered installs onto resident lines) plus directed edge cases,
+with the array paths forced even for tiny traces.  The compiled engine's
+kernels run regardless of whether numba is installed (they degrade to
+their pure-Python bodies), so the same control flow is asserted on every
+machine; the numba CI leg re-runs the suite with real JIT compilation.
 """
+
+import warnings
 
 import numpy as np
 import pytest
 
+import repro.sim._replay_compiled as replay_compiled
 import repro.sim._replay_core as replay_core
 from repro.api.config import RuntimeConfig
 from repro.sim._replay_core import REPLAY_BACKENDS, backend_override, replay_backend_name
 from repro.sim.config import CacheConfig, SimConfig
 from repro.sim.memory import AccessType, MemoryHierarchy, MemoryRequest
 
+#: Every engine that must match the reference loop bit for bit.
+ARRAY_BACKENDS = ("vectorized", "compiled")
+
 
 @pytest.fixture(autouse=True)
-def force_vectorized_path(monkeypatch):
-    """Tiny fuzz traces must exercise the array engine, not the size cutoff."""
+def force_array_paths(monkeypatch):
+    """Tiny fuzz traces must exercise the array engines, not the size cutoffs.
+
+    ``FORCE_PYTHON_KERNELS`` makes the compiled backend selectable (and its
+    kernels runnable, as pure Python) even without numba.
+    """
     monkeypatch.setattr(replay_core, "MIN_VECTORIZED_HEADS", 0)
+    monkeypatch.setattr(replay_compiled, "MIN_COMPILED_HEADS", 0)
+    monkeypatch.setattr(replay_compiled, "FORCE_PYTHON_KERNELS", True)
 
 
 def tiny_sim(l1=(1024, 2, 2), l2=(4096, 4, 8), l3=(8192, 4, 20)):
@@ -116,11 +132,12 @@ def observable_state(hierarchy):
 
 def assert_backends_agree(sim, names, struct_ids, addresses, kinds, cuts, tag=""):
     ref, added_ref = replay_in_chunks("reference", sim, names, struct_ids, addresses, kinds, cuts)
-    vec, added_vec = replay_in_chunks("vectorized", sim, names, struct_ids, addresses, kinds, cuts)
-    assert added_ref == added_vec, f"{tag}: per-call stall cycles differ"
-    state_ref, state_vec = observable_state(ref), observable_state(vec)
-    for field_ref, field_vec in zip(state_ref, state_vec):
-        assert field_ref == field_vec, f"{tag}: {field_ref} != {field_vec}"
+    state_ref = observable_state(ref)
+    for backend in ARRAY_BACKENDS:
+        alt, added_alt = replay_in_chunks(backend, sim, names, struct_ids, addresses, kinds, cuts)
+        assert added_ref == added_alt, f"{tag} [{backend}]: per-call stall cycles differ"
+        for field_ref, field_alt in zip(state_ref, observable_state(alt)):
+            assert field_ref == field_alt, f"{tag} [{backend}]: {field_ref} != {field_alt}"
 
 
 class TestFuzzEquivalence:
@@ -146,7 +163,7 @@ class TestDirectedEquivalence:
 
     def test_single_access_per_call(self):
         """The per-element access() shim path, one head per replay call."""
-        for backend in ("reference", "vectorized"):
+        for backend in ("reference",) + ARRAY_BACKENDS:
             h = MemoryHierarchy(SimConfig.scaled(16), replay_backend=backend)
             stalls = [
                 h.access(MemoryRequest("a", i * 64, AccessType.STREAMING))
@@ -222,9 +239,11 @@ class TestBackendSelection:
     """The knob plumbing: registry, env var, overrides, validation."""
 
     def test_registry_names(self):
-        assert set(REPLAY_BACKENDS.names()) == {"reference", "vectorized"}
+        assert set(REPLAY_BACKENDS.names()) == {"reference", "vectorized", "compiled"}
         assert REPLAY_BACKENDS.resolve("loop") == "reference"
         assert REPLAY_BACKENDS.resolve("array") == "vectorized"
+        assert REPLAY_BACKENDS.resolve("numba") == "compiled"
+        assert REPLAY_BACKENDS.resolve("jit") == "compiled"
 
     def test_default_is_vectorized(self, monkeypatch):
         monkeypatch.delenv("SMASH_REPRO_REPLAY_BACKEND", raising=False)
@@ -261,6 +280,118 @@ class TestBackendSelection:
         job = Job("spmv", "taco_csr", suite_source("M2", 64), SimConfig.scaled(16))
         assert "backend" not in str(sorted(job.payload()))
         assert job_key(job) == job_key(job)
+
+    def test_unknown_backend_suggests_a_name(self):
+        """The registry's did-you-mean error reaches backend resolution."""
+        from repro.api.registry import UnknownNameError
+
+        with pytest.raises(UnknownNameError, match="did you mean 'compiled'"):
+            REPLAY_BACKENDS.resolve("complied")
+        with pytest.raises(ValueError, match="replay backend"):
+            RuntimeConfig(replay_backend="complied")
+
+    def test_compiled_selectable_when_available(self):
+        """With kernels available the compiled tier resolves to itself."""
+        h = MemoryHierarchy(SimConfig.scaled(16), replay_backend="compiled")
+        assert h.replay_backend == "compiled"
+        assert RuntimeConfig(replay_backend="numba").replay_backend == "compiled"
+
+
+class TestCompiledFallback:
+    """Without numba, "compiled" degrades to "vectorized" — warning once."""
+
+    @pytest.fixture(autouse=True)
+    def without_numba(self, monkeypatch):
+        monkeypatch.setattr(replay_compiled, "FORCE_PYTHON_KERNELS", False)
+        monkeypatch.setattr(replay_compiled, "NUMBA_AVAILABLE", False)
+        monkeypatch.setattr(replay_core, "_fallback_warned", False)
+
+    def test_falls_back_to_vectorized_with_one_warning(self):
+        with pytest.warns(RuntimeWarning, match="numba"):
+            h = MemoryHierarchy(SimConfig.scaled(16), replay_backend="compiled")
+        assert h.replay_backend == "vectorized"
+        # The warning fires once per process, not once per hierarchy.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            again = MemoryHierarchy(SimConfig.scaled(16), replay_backend="compiled")
+        assert again.replay_backend == "vectorized"
+        assert caught == []
+
+    def test_fallback_is_not_an_error_end_to_end(self):
+        """A kernel run under the unavailable tier completes normally."""
+        from repro.api import Session
+        from repro.workloads.suite import generate_matrix
+
+        coo = generate_matrix("M2", dim=48)
+        runtime = RuntimeConfig(processes=1, cache_dir=None, replay_backend="compiled")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with Session(sim=SimConfig.scaled(16), runtime=runtime) as session:
+                fallback = session.run_kernel("spmv", "taco_csr", coo)
+            with Session(
+                sim=SimConfig.scaled(16),
+                runtime=RuntimeConfig(processes=1, cache_dir=None, replay_backend="vectorized"),
+            ) as session:
+                direct = session.run_kernel("spmv", "taco_csr", coo)
+        assert fallback.report == direct.report
+
+    def test_config_still_accepts_the_name(self):
+        """Selection is valid config everywhere; only resolution degrades."""
+        assert RuntimeConfig(replay_backend="compiled").replay_backend == "compiled"
+        assert replay_core.effective_backend("compiled") == "vectorized"
+
+
+class TestWorkerPoolPinning:
+    """The resolved backend must reach pool workers, not just the parent."""
+
+    def test_explicit_backend_pins_workers(self):
+        from repro.eval.runner import SweepRunner, kernel_job, suite_source
+
+        sim = SimConfig.scaled(16)
+        jobs = [
+            kernel_job("spmv", scheme, suite_source("M2", 48), sim)
+            for scheme in ("taco_csr", "smash_hw")
+        ]
+        with SweepRunner(processes=1, cache_dir=None, replay_backend="reference") as serial:
+            expected = serial.run(jobs)
+        with SweepRunner(processes=2, cache_dir=None, replay_backend="reference") as pooled:
+            assert pooled.run(jobs) == expected
+
+    def test_initializer_applies_override(self):
+        """The initializer function itself pins the process-local override."""
+        from repro.eval.runner import _init_worker_overrides
+
+        _init_worker_overrides(False, None, True, "reference")
+        try:
+            assert replay_backend_name() == "reference"
+        finally:
+            replay_core.set_backend_override(None)
+
+
+class TestCompiledKernelEquivalence:
+    """Real kernel traces through the compiled engine, at several chunk cuts."""
+
+    @pytest.mark.parametrize("chunk", [0, 7, 4096])
+    def test_spmv_schemes_match_reference(self, chunk):
+        from repro.api import Session
+        from repro.sim import trace as _trace
+        from repro.workloads.suite import generate_matrix
+
+        coo = generate_matrix("M8", dim=48)
+        reports = {}
+        for backend in ("reference", "compiled"):
+            runtime = RuntimeConfig(
+                processes=1,
+                cache_dir=None,
+                trace_chunk=chunk,
+                replay_backend=backend,
+            )
+            with Session(sim=SimConfig.scaled(16), runtime=runtime) as session:
+                reports[backend] = {
+                    scheme: session.run_kernel("spmv", scheme, coo).report
+                    for scheme in ("taco_csr", "smash_sw", "smash_hw")
+                }
+        assert reports["compiled"] == reports["reference"]
 
 
 class TestSnapshotStatsRegression:
