@@ -23,7 +23,7 @@ import dataclasses
 import os
 import pathlib
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Union, cast
 
 from repro.sim._replay_core import (
     DEFAULT_REPLAY_BACKEND,
@@ -164,7 +164,7 @@ class RuntimeConfig:
             raw = os.environ.get(CHUNK_ENV_VAR, "").strip()
             trace_chunk = _parse_int(raw, CHUNK_ENV_VAR) if raw else DEFAULT_CHUNK_ACCESSES
         backend_from_env = replay_backend is None
-        if backend_from_env:
+        if replay_backend is None:
             replay_backend = (
                 os.environ.get(REPLAY_BACKEND_ENV_VAR, "").strip() or DEFAULT_REPLAY_BACKEND
             )
@@ -175,10 +175,12 @@ class RuntimeConfig:
             raw = os.environ.get(REPLAY_PROFILE_ENV_VAR, "").strip().lower()
             replay_profile = bool(raw) and raw not in _FALSY
         try:
+            # The _UNSET sentinels force ``object``-typed parameters; by
+            # here both have been resolved to real field values.
             return cls(
                 processes=processes,
-                cache_dir=cache_dir,
-                trace_chunk=trace_chunk,
+                cache_dir=cast(Optional[Union[str, pathlib.Path]], cache_dir),
+                trace_chunk=cast(Optional[int], trace_chunk),
                 replay_backend=replay_backend,
                 replay_batch=replay_batch,
                 replay_profile=replay_profile,

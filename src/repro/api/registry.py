@@ -148,6 +148,10 @@ class Registry:
     def _ensure_loaded(self) -> None:
         if self._loaded:
             return
+        loader = self._loader
+        if loader is None:  # unreachable: _loaded is True when loader is None
+            self._loaded = True
+            return
         # Mark first so a loader that triggers a lookup cannot recurse; on
         # failure, roll back both the flag and any partial registrations so
         # the next access re-raises the real error instead of reporting a
@@ -155,7 +159,7 @@ class Registry:
         self._loaded = True
         before = set(self._entries)
         try:
-            self._loader(self)
+            loader(self)
         except BaseException:
             for name in set(self._entries) - before:
                 self.unregister(name)

@@ -33,7 +33,7 @@ cache (DESIGN.md sections 9-11).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Union, cast
 
 from repro.api.config import RuntimeConfig
 from repro.api.registry import UnknownNameError, suggestion
@@ -74,13 +74,15 @@ class Session:
             self.runtime = RuntimeConfig(
                 processes=runner.processes,
                 cache_dir=runner.cache.root if runner.cache is not None else None,
+                # The runner's knobs are ``object``-typed sentinels-or-values;
+                # past the sentinel checks they are the real field types.
                 trace_chunk=(
-                    runner.trace_chunk
+                    cast(Optional[int], runner.trace_chunk)
                     if runner.trace_chunk is not USE_ENV_CHUNK
                     else env_defaults.trace_chunk
                 ),
                 replay_backend=(
-                    runner.replay_backend
+                    cast(str, runner.replay_backend)
                     if runner.replay_backend is not USE_ENV_BACKEND
                     else env_defaults.replay_backend
                 ),

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union, cast
 
 from repro.api.registry import UnknownNameError, suggestion
 from repro.core.config import SMASHConfig
@@ -226,18 +226,20 @@ class SweepSpec:
 
         kernels = (kernels,) if isinstance(kernels, str) else tuple(kernels)
         schemes = (schemes,) if isinstance(schemes, str) else tuple(schemes)
+        # Resolve the PER_MATRIX sentinel once: past this check ``smash``
+        # is the caller's explicit SMASHConfig (or None) to share.
+        per_matrix = smash is PER_MATRIX
+        shared = None if per_matrix else cast(Optional[SMASHConfig], smash)
         sources: List[Tuple[Tuple, Optional[SMASHConfig]]] = []
         for key in matrices:
             if skip_empty and suite_nnz(key, dim) == 0:
                 continue
-            config = get_spec(key).smash_config() if smash is PER_MATRIX else smash
+            config = get_spec(key).smash_config() if per_matrix else shared
             sources.append((Workload.suite(key, dim), config))
         for key in graphs:
-            config = None if smash is PER_MATRIX else smash
-            sources.append((Workload.graph(key, n_vertices), config))
+            sources.append((Workload.graph(key, n_vertices), shared))
         for workload in workloads:
-            config = None if smash is PER_MATRIX else smash
-            sources.append((_validate_workload(workload), config))
+            sources.append((_validate_workload(workload), shared))
         return cls(
             tuple(
                 JobSpec(

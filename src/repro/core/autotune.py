@@ -20,7 +20,6 @@ import numpy as np
 from repro.core.config import SMASHConfig
 from repro.core.smash_matrix import SMASHMatrix
 from repro.formats.coo import COOMatrix
-from repro.kernels.spmv import spmv_smash_hardware_instrumented
 from repro.sim.config import SimConfig
 
 #: Candidate Bitmap-0 block sizes explored by default.
@@ -103,6 +102,10 @@ class ConfigAutotuner:
         dense = target.to_dense()
         if x is None:
             x = np.random.default_rng(seed).uniform(0.1, 1.0, size=target.cols)
+
+        # Deferred: core sits below kernels in the layering DAG (RL006);
+        # importing the instrumented kernel at module load would be upward.
+        from repro.kernels.spmv import spmv_smash_hardware_instrumented
 
         evaluated = []
         for config in self.candidates():

@@ -146,6 +146,21 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--quick", action="store_true", help="use reduced problem sizes")
     all_parser.add_argument("--json", action="store_true", help="print raw results as JSON")
     _add_runner_arguments(all_parser)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="check the repo's machine-checked invariants (repro.lint)",
+        description=(
+            "Run the AST-based invariant linter (DESIGN.md section 14). "
+            "All arguments are forwarded to `python -m repro.lint`."
+        ),
+    )
+    lint_parser.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        metavar="...",
+        help="arguments forwarded to repro.lint (paths, --json, --select, --list-rules)",
+    )
     return parser
 
 
@@ -214,6 +229,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         for experiment in list_experiments():
             print(f"{experiment.identifier:10s} [{experiment.kind}] {experiment.description}")
         return 0
+
+    if args.command == "lint":
+        # Deferred so the heavy experiment imports above stay untouched by
+        # a lint-only invocation and the linter stays usable standalone.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(args.lint_args)
 
     if args.command == "run":
         try:

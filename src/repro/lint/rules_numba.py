@@ -1,0 +1,141 @@
+"""RL004: ``@njit`` bodies stay inside numba's compilable subset.
+
+The compiled replay tier (PR 6) runs with or without numba: a pass-through
+``njit`` shim executes the same bodies as pure Python when numba is absent,
+and the equivalence suites test that path everywhere.  That only works if
+every ``@njit`` function is *actually* nopython-compilable the day numba is
+present — a stray f-string, dict/set literal, ``**kwargs``, closure, or a
+call into uncompiled repro code would pass the whole no-numba test suite
+and then explode (or silently object-mode-degrade) on the numba CI leg.
+
+The rule checks every function decorated ``@njit`` (bare, called, or via
+``numba.njit``): no f-strings, no dict/set literals or comprehensions, no
+``**kwargs``/keyword-only signature magic, no nested functions or lambdas,
+no ``global``/``nonlocal``, and by-name calls may only target other
+``@njit`` functions in the same module or a small whitelist of builtins
+numba supports (attribute calls like ``np.empty`` are trusted).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.lint.core import Rule, SourceFile, Violation
+
+#: Builtins numba's nopython mode supports that the kernels may call.
+ALLOWED_BUILTIN_CALLS = frozenset(
+    {
+        "range",
+        "len",
+        "min",
+        "max",
+        "abs",
+        "int",
+        "float",
+        "bool",
+        "round",
+        "divmod",
+        "enumerate",
+        "zip",
+    }
+)
+
+
+def _is_njit_decorator(node: ast.AST) -> bool:
+    """``@njit``, ``@njit(...)``, ``@numba.njit`` or ``@numba.njit(...)``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id == "njit"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "njit"
+    return False
+
+
+def _njit_functions(source: SourceFile) -> List[ast.FunctionDef]:
+    return [
+        fn
+        for fn in source.nodes_of_type(ast.FunctionDef)
+        if any(_is_njit_decorator(d) for d in fn.decorator_list)
+    ]
+
+
+class NumbaBoundaryRule(Rule):
+    id = "RL004"
+    title = "@njit bodies restricted to the numba-compilable subset"
+    rationale = (
+        "PR 6's njit shim runs the kernels as plain Python without numba, so "
+        "non-compilable constructs pass every no-numba test and only fail on "
+        "the numba CI leg; the boundary must hold statically."
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        jit_functions = _njit_functions(source)
+        if not jit_functions:
+            return
+        jit_names: Set[str] = {fn.name for fn in jit_functions}
+        for fn in jit_functions:
+            if source.enclosing_function(fn) is not None:
+                yield source.violation(
+                    fn,
+                    self,
+                    f"@njit function {fn.name!r} is nested — it would close "
+                    "over non-module state, which numba cannot compile",
+                )
+            if fn.args.kwarg is not None:
+                yield source.violation(
+                    fn,
+                    self,
+                    f"@njit function {fn.name!r} takes **{fn.args.kwarg.arg} "
+                    "— numba's nopython mode does not support **kwargs",
+                )
+            # Walk only the body statements: the decorator list (``@njit``
+            # itself) and the signature are not compiled code.
+            for node in (n for stmt in fn.body for n in ast.walk(stmt)):
+                if isinstance(node, ast.JoinedStr):
+                    yield source.violation(
+                        node, self, "f-string inside an @njit body is not compilable"
+                    )
+                elif isinstance(node, (ast.Dict, ast.DictComp)):
+                    yield source.violation(
+                        node,
+                        self,
+                        "dict literal/comprehension inside an @njit body is "
+                        "not compilable — use typed arrays",
+                    )
+                elif isinstance(node, (ast.Set, ast.SetComp)):
+                    yield source.violation(
+                        node,
+                        self,
+                        "set literal/comprehension inside an @njit body is "
+                        "not compilable — use typed arrays",
+                    )
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    yield source.violation(
+                        node,
+                        self,
+                        "nested function/lambda inside an @njit body creates "
+                        "a closure numba cannot compile",
+                    )
+                elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                    yield source.violation(
+                        node,
+                        self,
+                        "global/nonlocal inside an @njit body mutates "
+                        "interpreter state invisible to compiled code",
+                    )
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                    name = node.func.id
+                    if name not in jit_names and name not in ALLOWED_BUILTIN_CALLS:
+                        yield source.violation(
+                            node,
+                            self,
+                            f"@njit body calls {name}(), which is neither an "
+                            "@njit function in this module nor a supported "
+                            "builtin — calls across the JIT boundary must "
+                            "target compiled code",
+                        )
+
+
+RULES = [NumbaBoundaryRule()]

@@ -1,0 +1,109 @@
+"""RL005 + RL007: dispatch goes through the Registry; empty reports through
+``CostReport.empty``.
+
+RL005 — PR 4 replaced the repo's private name→callable dict literals with
+one generic :class:`repro.api.registry.Registry` (did-you-mean errors,
+aliases, lazy loaders, introspection).  New module-level dict literals
+mapping name strings to callables recreate the pre-facade dispatch style:
+no typo suggestions, invisible to ``Session``/CLI listing, unpluggable.
+The two grandfathered dicts (``KERNEL_RUNNERS``, ``_FORMAT_BUILDERS``)
+carry justified suppressions.
+
+RL007 — PR 3's mislabeling bug: hand-rolled zeroed ``CostReport(...)``
+placeholders drifted from the real field list and reported the wrong
+kernel name on empty workloads.  ``CostReport.empty(kernel, scheme)`` is
+the one sanctioned zero-report constructor, so direct ``CostReport(...)``
+calls are allowed only inside ``repro/sim/instrumentation.py`` where the
+class and its factories live.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import Rule, SourceFile, Violation
+
+#: Modules allowed to define raw dispatch dicts: the Registry itself and
+#: the kernel registry built directly on it.
+REGISTRY_MODULES = ("repro.api.registry", "repro.kernels.registry")
+
+#: The module that owns CostReport and its factory methods.
+COSTREPORT_MODULE = "repro.sim.instrumentation"
+
+
+def _is_callable_value(node: ast.AST) -> bool:
+    return isinstance(node, (ast.Name, ast.Attribute, ast.Lambda))
+
+
+class RegistryDispatchRule(Rule):
+    id = "RL005"
+    title = "no module-level name→callable dict literals outside the Registry"
+    rationale = (
+        "PR 4 unified dispatch behind Registry (did-you-mean errors, "
+        "aliases, lazy loaders); raw dict dispatch is invisible to listing "
+        "and gives KeyError instead of suggestions."
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return source.module not in REGISTRY_MODULES
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        for stmt in source.tree.body:
+            value = None
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                value, target = stmt.value, stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign):
+                value, target = stmt.value, stmt.target
+            if not isinstance(value, ast.Dict) or not value.keys:
+                continue
+            keys = [k for k in value.keys if k is not None]
+            if not keys or not all(
+                isinstance(k, ast.Constant) and isinstance(k.value, str) for k in keys
+            ):
+                continue
+            if not any(_is_callable_value(v) for v in value.values):
+                continue
+            name = target.id if isinstance(target, ast.Name) else "<dict>"
+            yield source.violation(
+                stmt,
+                self,
+                f"module-level dict {name!r} maps name strings to callables "
+                "— register the entries in a repro.api.registry.Registry "
+                "instead (typo suggestions, aliases, listing)",
+            )
+
+
+class EmptyReportRule(Rule):
+    id = "RL007"
+    title = "CostReport constructed directly only inside sim/instrumentation"
+    rationale = (
+        "PR 3 fixed hand-rolled zeroed CostReport placeholders that "
+        "mislabeled their kernel; CostReport.empty(kernel, scheme) is the "
+        "only sanctioned zero-report constructor."
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return source.module != COSTREPORT_MODULE
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        for node in source.nodes_of_type(ast.Call):
+            func = node.func
+            direct = isinstance(func, ast.Name) and func.id == "CostReport"
+            qualified = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "CostReport"
+                and isinstance(func.value, ast.Name)
+            )
+            if direct or qualified:
+                yield source.violation(
+                    node,
+                    self,
+                    "constructs CostReport directly — build zero reports "
+                    "with CostReport.empty(kernel, scheme) (and deserialize "
+                    "with CostReport.from_dict) so labels cannot drift",
+                )
+
+
+RULES = [RegistryDispatchRule(), EmptyReportRule()]

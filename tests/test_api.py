@@ -79,15 +79,29 @@ class TestRuntimeConfig:
             RuntimeConfig.from_env()
 
     def test_environment_is_read_only_in_from_env(self):
-        """`os.environ` must not appear anywhere in src/repro outside api/config."""
+        """The environment is read nowhere in src/repro outside api/config.
+
+        Enforced by the RL001 AST rule (repro.lint), which unlike the old
+        string grep ignores docstrings/comments and also catches os.getenv.
+        """
+        from repro.lint import lint_paths, select_rules
+
         root = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
-        offenders = [
-            str(path.relative_to(root))
-            for path in root.rglob("*.py")
-            if "os.environ" in path.read_text(encoding="utf-8")
-            and path != root / "api" / "config.py"
-        ]
-        assert offenders == []
+        result = lint_paths([root], select_rules("RL001"))
+        assert result.parse_errors == []
+        assert [v.render() for v in result.violations] == []
+
+    def test_env_rule_catches_getenv_the_grep_missed(self):
+        """RL001 is not vacuous: a stray os.getenv in eval code is flagged."""
+        from repro.lint import SourceFile, lint_source, select_rules
+
+        source = SourceFile(
+            "src/repro/eval/sneaky.py",
+            "import os\nCHUNK = os.getenv('SMASH_REPRO_TRACE_CHUNK')\n",
+        )
+        violations = lint_source(source, select_rules("RL001"))
+        assert [v.rule for v in violations] == ["RL001"]
+        assert violations[0].line == 2
 
 
 class TestRegistry:
