@@ -133,6 +133,79 @@ def run_sweep_engine(processes: int, cache_scale: int, dim: int = 1024) -> dict:
     }
 
 
+def run_concurrent_sweep(cache_scale: int, dim: int = 1024, threads: int = 4) -> dict:
+    """Time the fig10-style job matrix submitted from several threads.
+
+    The same 36-job batch as :func:`run_sweep_engine` runs three ways: a
+    serial ``run()`` baseline (cache disabled, every job executes), a
+    *cold* pass where ``threads`` threads split the batch and push their
+    shares through ``Session.submit`` against a fresh cache, and a *warm*
+    pass repeating the threaded submission against the now-hot cache.
+    With a serial runtime the execution lock serializes the actual kernel
+    work — the cold threaded pass measures scheduler overhead, not
+    speedup — while the warm pass shows the submission path at
+    cache-hit speed. The record is a measurement, not an assertion.
+    """
+    import tempfile
+    import threading
+
+    from repro.api.specs import SweepSpec
+
+    sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
+    keys = ("M2", "M5", "M8", "M11", "M13", "M15")
+    spec = SweepSpec.product(kernels="spmv", schemes=tuple(SCHEMES), matrices=keys, dim=dim)
+
+    with Session(sim=sim, runtime=RuntimeConfig(cache_dir=None)) as baseline:
+        start = time.perf_counter()
+        baseline.sweep(spec)
+        serial_seconds = time.perf_counter() - start
+    print(f"  concurrent[serial run]  {serial_seconds:8.3f}s", flush=True)
+
+    def threaded_pass(session: Session) -> float:
+        shares = [list(spec.specs[index::threads]) for index in range(threads)]
+        errors: list = []
+
+        def worker(share) -> None:
+            try:
+                for future in [session.submit(job_spec) for job_spec in share]:
+                    future.result()
+            except BaseException as error:
+                errors.append(error)
+
+        workers = [threading.Thread(target=worker, args=(share,)) for share in shares]
+        start = time.perf_counter()
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        return elapsed
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with Session(sim=sim, runtime=RuntimeConfig(cache_dir=cache_dir)) as session:
+            cold_seconds = threaded_pass(session)
+            warm_seconds = threaded_pass(session)
+            stats = session.stats_snapshot()
+    print(
+        f"  concurrent[{threads}t] cold {cold_seconds:8.3f}s  "
+        f"warm {warm_seconds:8.3f}s  ({stats.describe()})",
+        flush=True,
+    )
+    return {
+        "jobs": len(spec.specs),
+        "dim": dim,
+        "matrices": list(keys),
+        "threads": threads,
+        "serial_seconds": round(serial_seconds, 4),
+        "threaded_cold_seconds": round(cold_seconds, 4),
+        "threaded_warm_seconds": round(warm_seconds, 4),
+        "executed": stats.executed,
+        "cache_hits": stats.cache_hits,
+    }
+
+
 def run_facade_overhead(cache_scale: int, dim: int = 512) -> dict:
     """Measure the Session facade's overhead over the raw sweep runner.
 
@@ -414,6 +487,8 @@ def main(argv=None) -> int:
     payload = run_sweep(args.dim, args.density, args.seed, args.cache_scale)
     print(f"Sweep-engine pass: {args.sweep_dim} dim, {args.processes} processes")
     payload["sweep_engine"] = run_sweep_engine(args.processes, args.cache_scale, args.sweep_dim)
+    print(f"Concurrent-sweep pass: {args.sweep_dim} dim, 4 submitting threads")
+    payload["concurrent_sweep"] = run_concurrent_sweep(args.cache_scale, args.sweep_dim)
     print("Facade-overhead pass: 512 dim (Session vs direct runner)")
     payload["facade_overhead"] = run_facade_overhead(args.cache_scale)
     # The RSS probe forks children whose peak-RSS baseline includes the

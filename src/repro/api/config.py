@@ -3,8 +3,10 @@
 Every runtime knob that used to live in a scattered ``os.environ`` read —
 the worker-process count (``SMASH_REPRO_PROCESSES``), the trace chunk budget
 (``SMASH_REPRO_TRACE_CHUNK``), the report-cache location/enablement
-(``SMASH_REPRO_CACHE_DIR`` / ``SMASH_REPRO_CACHE``), and the replay backend
-(``SMASH_REPRO_REPLAY_BACKEND``) — is a field of the frozen
+(``SMASH_REPRO_CACHE_DIR`` / ``SMASH_REPRO_CACHE``), the replay backend
+(``SMASH_REPRO_REPLAY_BACKEND``), and the sweep-service bind address
+(``SMASH_REPRO_SERVICE_HOST`` / ``SMASH_REPRO_SERVICE_PORT``) — is a field
+of the frozen
 :class:`RuntimeConfig`. :meth:`RuntimeConfig.from_env` is the *only* code in
 the library that reads ``os.environ``; everything else (the sweep runner,
 the trace engine, the CLI) receives an explicit, validated value.
@@ -56,6 +58,19 @@ REPLAY_BATCH_ENV_VAR = "SMASH_REPRO_REPLAY_BATCH"
 #: Environment variable enabling per-phase replay profiling.
 REPLAY_PROFILE_ENV_VAR = "SMASH_REPRO_REPLAY_PROFILE"
 
+#: Environment variable setting the sweep-service bind address.
+SERVICE_HOST_ENV_VAR = "SMASH_REPRO_SERVICE_HOST"
+
+#: Environment variable setting the sweep-service port (0 = ephemeral).
+SERVICE_PORT_ENV_VAR = "SMASH_REPRO_SERVICE_PORT"
+
+#: Default bind address of ``smash-repro serve`` (loopback only; fronting
+#: a daemon to other hosts is an explicit opt-in via --host/env).
+DEFAULT_SERVICE_HOST = "127.0.0.1"
+
+#: Default port of ``smash-repro serve``.
+DEFAULT_SERVICE_PORT = 8377
+
 _UNSET = object()
 _FALSY = ("0", "false", "no", "off")
 
@@ -81,7 +96,10 @@ class RuntimeConfig:
     canonical name). ``replay_batch`` groups up to that many kernel jobs'
     trace segments into one backend invocation during serial sweeps (1 =
     unbatched). ``replay_profile`` collects per-phase replay wall-clock
-    into ``SweepResult.stats``.
+    into ``SweepResult.stats``. ``service_host``/``service_port`` are where
+    the ``repro.service`` daemon binds (``smash-repro serve``; port 0 asks
+    the OS for an ephemeral port) — like every other knob here they say
+    *how* work is served, never what it computes.
     """
 
     processes: int = 1
@@ -90,6 +108,8 @@ class RuntimeConfig:
     replay_backend: str = DEFAULT_REPLAY_BACKEND
     replay_batch: int = 1
     replay_profile: bool = False
+    service_host: str = DEFAULT_SERVICE_HOST
+    service_port: int = DEFAULT_SERVICE_PORT
 
     def __post_init__(self) -> None:
         if isinstance(self.processes, bool) or not isinstance(self.processes, int):
@@ -130,6 +150,19 @@ class RuntimeConfig:
             raise ValueError(
                 f"replay profile flag must be a bool, got {self.replay_profile!r}"
             )
+        if not isinstance(self.service_host, str) or not self.service_host:
+            raise ValueError(
+                f"service host must be a non-empty string, got {self.service_host!r}"
+            )
+        if isinstance(self.service_port, bool) or not isinstance(self.service_port, int):
+            raise ValueError(
+                f"service port must be an integer, got {self.service_port!r}"
+            )
+        if not 0 <= self.service_port <= 65535:
+            raise ValueError(
+                f"service port must be in [0, 65535] (0 = ephemeral), "
+                f"got {self.service_port}"
+            )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -143,6 +176,8 @@ class RuntimeConfig:
         replay_backend: Optional[str] = None,
         replay_batch: Optional[int] = None,
         replay_profile: Optional[bool] = None,
+        service_host: Optional[str] = None,
+        service_port: Optional[int] = None,
     ) -> "RuntimeConfig":
         """Build a config from the environment, explicit arguments winning.
 
@@ -174,6 +209,15 @@ class RuntimeConfig:
         if replay_profile is None:
             raw = os.environ.get(REPLAY_PROFILE_ENV_VAR, "").strip().lower()
             replay_profile = bool(raw) and raw not in _FALSY
+        if service_host is None:
+            service_host = (
+                os.environ.get(SERVICE_HOST_ENV_VAR, "").strip() or DEFAULT_SERVICE_HOST
+            )
+        if service_port is None:
+            raw = os.environ.get(SERVICE_PORT_ENV_VAR, "").strip()
+            service_port = (
+                _parse_int(raw, SERVICE_PORT_ENV_VAR) if raw else DEFAULT_SERVICE_PORT
+            )
         try:
             # The _UNSET sentinels force ``object``-typed parameters; by
             # here both have been resolved to real field values.
@@ -184,6 +228,8 @@ class RuntimeConfig:
                 replay_backend=replay_backend,
                 replay_batch=replay_batch,
                 replay_profile=replay_profile,
+                service_host=service_host,
+                service_port=service_port,
             )
         except ValueError as error:
             if backend_from_env and "replay backend" in str(error):

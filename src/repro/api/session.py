@@ -11,8 +11,10 @@ A :class:`Session` binds the three configuration axes together —
 on-disk report cache and its job statistics. Work is described
 declaratively as :class:`~repro.api.specs.JobSpec` /
 :class:`~repro.api.specs.SweepSpec` and submitted through :meth:`run` /
-:meth:`sweep`; ad-hoc in-memory matrices (not content-addressable, hence
-uncacheable) run through :meth:`run_kernel`.
+:meth:`sweep` (blocking) or :meth:`submit` (a future per spec, safe from
+any thread — the seam the ``repro.service`` daemon is built on); ad-hoc
+in-memory matrices (not content-addressable, hence uncacheable) run
+through :meth:`run_kernel`.
 
 Typical use::
 
@@ -33,7 +35,11 @@ cache (DESIGN.md sections 9-11).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union, cast
+import atexit
+import threading
+from concurrent.futures import Future
+from concurrent.futures import as_completed as _as_completed
+from typing import Iterable, Iterator, Optional, Union, cast
 
 from repro.api.config import RuntimeConfig
 from repro.api.registry import UnknownNameError, suggestion
@@ -67,6 +73,12 @@ class Session:
     ) -> None:
         self.sim = sim if sim is not None else SimConfig.default()
         self.smash = smash
+        # Lifecycle lock: guards the closed flag so close() is idempotent
+        # and thread-safe. Construction itself touches no shared state —
+        # each Session owns its runner — so building Sessions from several
+        # threads needs no coordination.
+        self._lock = threading.Lock()
+        self._closed = False
         if runner is not None:
             if runtime is not None:
                 raise ValueError("pass either runtime or runner, not both")
@@ -107,6 +119,36 @@ class Session:
     def run(self, spec: JobSpec) -> CostReport:
         """Execute one spec (cached, dedupable) and return its report."""
         return self.sweep((spec,)).reports[0]
+
+    def submit(self, spec: JobSpec, sim: Optional[SimConfig] = None) -> "Future[CostReport]":
+        """Schedule one spec; the returned future resolves to its report.
+
+        Safe to call from any thread: the sweep engine's single-flight
+        scheduler guarantees that concurrent submissions of an identical
+        job — from this Session's threads or any mix of :meth:`sweep`
+        calls — share one execution, and every caller's future yields a
+        report bit-identical to a blocking :meth:`run`. With a serial
+        runtime (``processes=1``) the job executes synchronously in the
+        calling thread and the future is already resolved on return;
+        with a worker pool, ``submit`` returns immediately. Raises
+        ``RuntimeError`` once the Session is closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed Session")
+        sim = sim if sim is not None else self.sim
+        return self._runner.submit(spec.to_job(sim=sim, smash=self.smash))
+
+    @staticmethod
+    def as_completed(
+        futures: Iterable["Future[CostReport]"], timeout: Optional[float] = None
+    ) -> Iterator["Future[CostReport]"]:
+        """Yield :meth:`submit` futures as they finish (completion order).
+
+        A re-export of :func:`concurrent.futures.as_completed`, so service
+        code needs only the Session surface.
+        """
+        return _as_completed(futures, timeout=timeout)
 
     def sweep(
         self,
@@ -174,8 +216,21 @@ class Session:
         """Job counters of the owned sweep engine (submitted/executed/cached)."""
         return self._runner.stats
 
+    def stats_snapshot(self) -> SweepStats:
+        """A consistent copy of the counters (taken under the engine lock)."""
+        return self._runner.stats_snapshot()
+
     def close(self) -> None:
-        """Release the executor (idempotent). The report cache persists."""
+        """Drain in-flight futures and release the executor (idempotent).
+
+        Thread-safe: concurrent closers race benignly (one drains, the
+        rest return once it is done), and every job in flight at the time
+        of the call resolves before the pool is torn down — a future
+        obtained from :meth:`submit` never dangles. Subsequent
+        :meth:`submit` calls are refused; the report cache persists.
+        """
+        with self._lock:
+            self._closed = True
         self._runner.close()
 
     def __enter__(self) -> "Session":
@@ -189,15 +244,30 @@ class Session:
 
 
 _default_session: Optional[Session] = None
+_default_session_lock = threading.Lock()
 
 
 def default_session() -> Session:
     """The process-wide Session backing the deprecated module-level runners.
 
     Created on first use with environment-derived runtime configuration and
-    the default simulated machine.
+    the default simulated machine. Creation is guarded by a lock (two
+    threads racing through the deprecation shims get one Session, not a
+    leaked pool each) and registers an ``atexit`` hook, so the shim pool is
+    drained and shut down at interpreter exit instead of leaking.
     """
     global _default_session
-    if _default_session is None:
-        _default_session = Session()
-    return _default_session
+    with _default_session_lock:
+        if _default_session is None:
+            _default_session = Session()
+            atexit.register(_close_default_session)
+        return _default_session
+
+
+def _close_default_session() -> None:
+    """Close and forget the shim Session (atexit hook; safe to call twice)."""
+    global _default_session
+    with _default_session_lock:
+        session, _default_session = _default_session, None
+    if session is not None:
+        session.close()

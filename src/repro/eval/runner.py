@@ -10,7 +10,7 @@ content-keyed on-disk cache, so re-running an experiment (or a different
 experiment sharing jobs, e.g. the ``taco_csr`` baselines) re-executes
 nothing.
 
-Design invariants (see DESIGN.md section 9):
+Design invariants (see DESIGN.md sections 9 and 15):
 
 * **Jobs are pure.** A job carries a *description* of its workload (a
   ``source`` tuple naming the generator and its seed), never the matrix
@@ -24,6 +24,11 @@ Design invariants (see DESIGN.md section 9):
   computed in a worker process, or loaded from cache — and Python floats
   round-trip exactly through JSON, so the three paths return identical
   reports.
+* **Submission is concurrent, execution single-flight.** Any thread may
+  call :meth:`SweepRunner.submit`; an in-flight table keyed by ``job_key``
+  guarantees that concurrent submissions of the same job share one future
+  (the job executes once), and all scheduler state — statistics, the
+  in-flight table, cache loads and stores — is guarded by one lock.
 """
 
 from __future__ import annotations
@@ -31,13 +36,16 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import pathlib
+import threading
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.config import (
     DEFAULT_CACHE_DIR,
@@ -237,15 +245,22 @@ def _execute_job_payload(job: Job) -> Dict:
 # --------------------------------------------------------------------------- #
 # Persistent report cache
 # --------------------------------------------------------------------------- #
+#: Per-process atomic counter distinguishing temporary cache files written
+#: by different threads of one process (the pid alone is not enough once
+#: Session.submit allows concurrent in-process writers of the same key).
+_TMP_COUNTER = itertools.count()
+
+
 class ReportCache:
     """Content-keyed on-disk cache of serialized cost reports.
 
     Layout: ``<root>/<key[:2]>/<key>.json``, one JSON document per job
     holding the canonical job payload (for hash-collision and staleness
     guards, and debuggability) plus the serialized report. Writes go
-    through a per-process temporary file and ``os.replace`` so concurrent
-    writers — several pool workers, or several CLI invocations — can never
-    leave a torn entry behind.
+    through a per-process, per-write temporary file and ``os.replace`` so
+    concurrent writers — several pool workers, several threads of one
+    process, or several CLI invocations — can never leave a torn entry
+    behind.
     """
 
     def __init__(self, root: Union[str, pathlib.Path] = DEFAULT_CACHE_DIR) -> None:
@@ -280,7 +295,7 @@ class ReportCache:
             "job": job.payload(),
             "report": report_payload,
         }
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
         tmp.write_text(json.dumps(document, sort_keys=True, indent=1) + "\n", encoding="utf-8")
         os.replace(tmp, path)
 
@@ -335,16 +350,16 @@ def _init_worker_overrides(
 
 
 class SweepRunner:
-    """Executes job batches with deduplication, caching and fan-out.
+    """Futures-based job scheduler with dedup, caching and fan-out.
 
     ``processes=1`` (the default) runs everything in-process — no pool, no
     pickling — so debugging with pdb or print stays trivial; ``processes>1``
     fans cache misses out over a ``ProcessPoolExecutor`` that persists
-    across :meth:`run` calls (one pool for a whole multi-experiment sweep)
-    until :meth:`close`. ``cache_dir=None`` disables the on-disk cache
-    (in-batch deduplication still applies). ``trace_chunk`` pins the
-    bounded-memory replay budget and ``replay_backend`` the replay engine
-    for this runner's jobs — serial execution wraps process-local
+    across :meth:`run`/:meth:`submit` calls (one pool for a whole
+    multi-experiment sweep) until :meth:`close`. ``cache_dir=None`` disables
+    the on-disk cache (in-batch deduplication still applies). ``trace_chunk``
+    pins the bounded-memory replay budget and ``replay_backend`` the replay
+    engine for this runner's jobs — serial execution wraps process-local
     overrides, pool workers are initialized with them — while the
     :data:`USE_ENV_CHUNK` / :data:`USE_ENV_BACKEND` defaults defer to the
     environment knobs. ``replay_batch`` groups up to that many consecutive
@@ -354,6 +369,19 @@ class SweepRunner:
     per-phase replay wall-clock of serial execution into
     :attr:`last_profile`. Results are independent of all six knobs —
     ``None`` defers the last two to their environment variables.
+
+    The runner is safe for concurrent use from multiple threads
+    (DESIGN.md section 15). Scheduling is *single-flight*: an in-flight
+    table keyed by :func:`job_key` ensures that while a job executes, any
+    other submission of the same job — from any thread — joins the
+    existing future instead of executing again. All scheduler state (the
+    statistics, the in-flight table, cache loads/stores and pool creation)
+    is guarded by one scheduler lock; serial in-process execution is
+    additionally serialized by an execution lock, because the process-local
+    trace-chunk/replay-backend overrides are module-level state that must
+    not be entered concurrently. The scheduler lock is never held while a
+    job executes, and the execution lock is never acquired while the
+    scheduler lock is held.
     """
 
     def __init__(
@@ -387,41 +415,63 @@ class SweepRunner:
         self.last_profile: Optional[Dict[str, float]] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._finalizer: Optional[weakref.finalize] = None
+        #: Scheduler lock: guards stats, the in-flight table, cache
+        #: loads/stores and pool creation. Never held while a job executes.
+        self._lock = threading.Lock()
+        #: Execution lock: serializes in-process job execution, because the
+        #: process-local chunk/backend override contexts are module-level
+        #: state. Acquired only while the scheduler lock is NOT held.
+        self._exec_lock = threading.Lock()
+        #: Single-flight table: job key -> future resolving to the job's
+        #: serialized report payload. Entries exist only while the job is
+        #: being executed; completion stores to the cache and removes the
+        #: entry under the scheduler lock, so at every instant a job is
+        #: either in flight or (with a cache) loadable from disk.
+        self._inflight: Dict[str, "Future[Dict]"] = {}
 
     # ------------------------------------------------------------------ #
     # Executor lifecycle
     # ------------------------------------------------------------------ #
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            has_chunk = self.trace_chunk is not USE_ENV_CHUNK
-            has_backend = self.replay_backend is not USE_ENV_BACKEND
-            if not has_chunk and not has_backend:
-                pool = ProcessPoolExecutor(max_workers=self.processes)
-            else:
-                pool = ProcessPoolExecutor(
-                    max_workers=self.processes,
-                    initializer=_init_worker_overrides,
-                    initargs=(
-                        has_chunk,
-                        self.trace_chunk if has_chunk else None,
-                        has_backend,
-                        self.replay_backend if has_backend else None,
-                    ),
-                )
-            self._pool = pool
-            # Shut the workers down when the runner is garbage collected,
-            # not only on explicit close().
-            self._finalizer = weakref.finalize(self, pool.shutdown, wait=False)
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                has_chunk = self.trace_chunk is not USE_ENV_CHUNK
+                has_backend = self.replay_backend is not USE_ENV_BACKEND
+                if not has_chunk and not has_backend:
+                    pool = ProcessPoolExecutor(max_workers=self.processes)
+                else:
+                    pool = ProcessPoolExecutor(
+                        max_workers=self.processes,
+                        initializer=_init_worker_overrides,
+                        initargs=(
+                            has_chunk,
+                            self.trace_chunk if has_chunk else None,
+                            has_backend,
+                            self.replay_backend if has_backend else None,
+                        ),
+                    )
+                self._pool = pool
+                # Shut the workers down when the runner is garbage collected,
+                # not only on explicit close().
+                self._finalizer = weakref.finalize(self, pool.shutdown, wait=False)
+            return self._pool
+
+    def drain(self) -> None:
+        """Block until every currently in-flight job has resolved."""
+        with self._lock:
+            pending = list(self._inflight.values())
+        _futures_wait(pending)
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; serial runners are no-ops)."""
-        if self._pool is not None:
-            if self._finalizer is not None:
-                self._finalizer.detach()
-                self._finalizer = None
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Drain in-flight jobs and shut down the worker pool (idempotent)."""
+        self.drain()
+        with self._lock:
+            pool, self._pool = self._pool, None
+            finalizer, self._finalizer = self._finalizer, None
+        if pool is not None:
+            if finalizer is not None:
+                finalizer.detach()
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "SweepRunner":
         return self
@@ -429,38 +479,72 @@ class SweepRunner:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def run(self, jobs: Sequence[Job]) -> List[CostReport]:
-        """Execute ``jobs`` and return their reports in submission order.
+    # ------------------------------------------------------------------ #
+    # The scheduler
+    # ------------------------------------------------------------------ #
+    def stats_snapshot(self) -> SweepStats:
+        """A consistent copy of the job counters (taken under the lock)."""
+        with self._lock:
+            return dataclasses.replace(self.stats)
 
-        Jobs with identical keys are executed once; cached jobs are not
-        executed at all. Every report — fresh or cached — is delivered
-        through the JSON round trip, so repeated calls return equal reports
-        regardless of where each one came from.
+    def _lookup_or_create(self, key: str, job: Job) -> Tuple["Future[Dict]", bool]:
+        """The payload future for ``job``, creating it on a scheduling miss.
+
+        Returns ``(future, owned)``. ``owned=False`` futures are either
+        already completed (disk-cache hit) or owned by another caller
+        (single-flight join); ``owned=True`` futures were registered in the
+        in-flight table by this call and MUST be resolved by the caller via
+        :meth:`_resolve` / :meth:`_resolve_error` on every code path —
+        an unresolved owned future hangs every joiner forever.
         """
-        jobs = list(jobs)
-        self.stats.submitted += len(jobs)
-        keys = [job_key(job) for job in jobs]
-        unique: Dict[str, Job] = {}
-        for key, job in zip(keys, jobs):
-            unique.setdefault(key, job)
-        self.stats.unique += len(unique)
-
-        payloads: Dict[str, Dict] = {}
-        misses: List[Tuple[str, Job]] = []
-        for key, job in unique.items():
+        with self._lock:
+            self.stats.unique += 1
+            existing = self._inflight.get(key)
+            if existing is not None:
+                return existing, False
             cached = self.cache.load(key, job) if self.cache is not None else None
             if cached is not None:
-                payloads[key] = cached
                 self.stats.cache_hits += 1
-            else:
-                misses.append((key, job))
+                done: "Future[Dict]" = Future()
+                done.set_result(cached)
+                return done, False
+            self.stats.executed += 1
+            future: "Future[Dict]" = Future()
+            self._inflight[key] = future
+            return future, True
 
-        if misses:
-            self.stats.executed += len(misses)
-            miss_jobs = [job for _, job in misses]
-            if self.processes > 1 and len(miss_jobs) > 1:
-                fresh = list(self._ensure_pool().map(_execute_job_payload, miss_jobs))
-            else:
+    def _resolve(self, key: str, job: Job, future: "Future[Dict]", payload: Dict) -> None:
+        """Store ``payload``, retire the in-flight entry, wake the waiters.
+
+        The cache store and the table removal happen under one lock
+        acquisition, so a concurrent :meth:`_lookup_or_create` observes the
+        job either still in flight or already on disk — never neither —
+        which is what makes ``executed`` exactly the number of distinct
+        jobs when a cache is configured.
+        """
+        with self._lock:
+            if self.cache is not None:
+                self.cache.store(key, job, payload)
+            self._inflight.pop(key, None)
+        future.set_result(payload)
+
+    def _resolve_error(self, key: str, future: "Future[Dict]", error: BaseException) -> None:
+        with self._lock:
+            self._inflight.pop(key, None)
+        if not future.done():
+            future.set_exception(error)
+
+    def _execute_owned_serial(self, owned: List[Tuple[str, Job, "Future[Dict]"]]) -> None:
+        """Execute owned misses in this thread, resolving their futures.
+
+        Execution order, override handling, replay batching and profiling
+        are exactly the historical serial path, so payloads stay
+        bit-identical; the execution lock keeps the module-level override
+        contexts from interleaving between threads.
+        """
+        pending = dict((key, future) for key, _, future in owned)
+        try:
+            with self._exec_lock:
                 with contextlib.ExitStack() as overrides:
                     if self.trace_chunk is not USE_ENV_CHUNK:
                         overrides.enter_context(_trace.chunk_override(self.trace_chunk))
@@ -473,18 +557,113 @@ class SweepRunner:
                         profile = overrides.enter_context(
                             _replay_core.profile_collection()
                         )
+                    jobs = [job for _, job, _ in owned]
                     if self.replay_batch > 1:
-                        fresh = self._execute_serial_batched(miss_jobs)
+                        fresh = self._execute_serial_batched(jobs)
                     else:
-                        fresh = [_execute_job_payload(job) for job in miss_jobs]
+                        fresh = [_execute_job_payload(job) for job in jobs]
                     if profile is not None:
                         self.last_profile = dict(profile)
-            for (key, job), payload in zip(misses, fresh):
-                if self.cache is not None:
-                    self.cache.store(key, job, payload)
-                payloads[key] = payload
+            for (key, job, future), payload in zip(owned, fresh):
+                self._resolve(key, job, future, payload)
+                del pending[key]
+        except BaseException as error:
+            # Resolve every future this call still owns before propagating:
+            # a joiner blocked on an owned future must see the failure, not
+            # hang on a future nobody will complete.
+            for key, future in pending.items():
+                self._resolve_error(key, future, error)
+            raise
 
-        return [CostReport.from_dict(payloads[key]) for key in keys]
+    def _execute_owned_pool(self, owned: List[Tuple[str, Job, "Future[Dict]"]]) -> None:
+        """Fan owned misses out to the worker pool, resolving via callbacks."""
+        pool = self._ensure_pool()
+        for index, (key, job, future) in enumerate(owned):
+            try:
+                task = pool.submit(_execute_job_payload, job)
+            except BaseException as error:
+                # A failed pool submission (e.g. pool already shut down)
+                # must still resolve every owned future — this one and the
+                # not-yet-submitted rest — or joiners hang forever.
+                for failed_key, _, failed_future in owned[index:]:
+                    self._resolve_error(failed_key, failed_future, error)
+                raise
+            task.add_done_callback(self._pool_callback(key, job, future))
+
+    def _pool_callback(
+        self, key: str, job: Job, future: "Future[Dict]"
+    ) -> Callable[["Future[Dict]"], None]:
+        def done(task: "Future[Dict]") -> None:
+            error = task.exception()
+            if error is not None:
+                self._resolve_error(key, future, error)
+                return
+            try:
+                self._resolve(key, job, future, task.result())
+            except BaseException as store_error:  # e.g. cache store failed
+                self._resolve_error(key, future, store_error)
+
+        return done
+
+    def submit(self, job: Job) -> "Future[CostReport]":
+        """Schedule one job; the returned future resolves to its report.
+
+        Concurrent submissions of an identical job share one execution
+        (single-flight); a cached job resolves through an already-completed
+        future without executing. With ``processes=1`` the job executes
+        synchronously in the calling thread — the future is already
+        resolved when ``submit`` returns — while ``processes>1`` schedules
+        it on the worker pool and returns immediately. Every caller gets
+        its own :class:`CostReport` built from the shared JSON payload, so
+        reports are bit-identical to :meth:`run`'s on every path.
+        Submission-time batching (``replay_batch``) applies only to
+        :meth:`run` batches, never across independent ``submit`` calls.
+        """
+        key = job_key(job)
+        with self._lock:
+            self.stats.submitted += 1
+        future, owned = self._lookup_or_create(key, job)
+        if owned:
+            if self.processes > 1:
+                self._execute_owned_pool([(key, job, future)])
+            else:
+                self._execute_owned_serial([(key, job, future)])
+        return _report_future(future)
+
+    def run(self, jobs: Sequence[Job]) -> List[CostReport]:
+        """Execute ``jobs`` and return their reports in submission order.
+
+        Jobs with identical keys are executed once; cached jobs are not
+        executed at all. Every report — fresh or cached — is delivered
+        through the JSON round trip, so repeated calls return equal reports
+        regardless of where each one came from. A blocking wrapper over the
+        futures scheduler: the batch is deduplicated up front, misses this
+        call owns execute serially in this thread or fan out to the pool,
+        and jobs another thread already has in flight are simply awaited.
+        """
+        jobs = list(jobs)
+        keys = [job_key(job) for job in jobs]
+        with self._lock:
+            self.stats.submitted += len(jobs)
+        unique: Dict[str, Job] = {}
+        for key, job in zip(keys, jobs):
+            unique.setdefault(key, job)
+
+        futures: Dict[str, "Future[Dict]"] = {}
+        owned: List[Tuple[str, Job, "Future[Dict]"]] = []
+        for key, job in unique.items():
+            future, is_owned = self._lookup_or_create(key, job)
+            futures[key] = future
+            if is_owned:
+                owned.append((key, job, future))
+
+        if owned:
+            if self.processes > 1 and len(owned) > 1:
+                self._execute_owned_pool(owned)
+            else:
+                self._execute_owned_serial(owned)
+
+        return [CostReport.from_dict(futures[key].result()) for key in keys]
 
     def _execute_serial_batched(self, jobs: Sequence[Job]) -> List[Dict]:
         """Serial miss execution with kernel jobs' replays batched.
@@ -543,6 +722,31 @@ class SweepRunner:
     def run_one(self, job: Job) -> CostReport:
         """Convenience wrapper for a single job."""
         return self.run([job])[0]
+
+
+def _report_future(payload_future: "Future[Dict]") -> "Future[CostReport]":
+    """A future yielding a fresh CostReport built from the shared payload.
+
+    The payload future is shared by every single-flight joiner; chaining
+    through ``from_dict`` per caller preserves the historical contract that
+    each submission gets its own report object (reports are mutable
+    dataclasses — sharing one across callers would let them corrupt each
+    other), while the payload itself stays byte-identical for everyone.
+    """
+    report_future: "Future[CostReport]" = Future()
+
+    def chain(done: "Future[Dict]") -> None:
+        error = done.exception()
+        if error is not None:
+            report_future.set_exception(error)
+            return
+        try:
+            report_future.set_result(CostReport.from_dict(done.result()))
+        except BaseException as build_error:
+            report_future.set_exception(build_error)
+
+    payload_future.add_done_callback(chain)
+    return report_future
 
 
 def _patch_memory_fields(report: CostReport, stats) -> CostReport:

@@ -19,8 +19,9 @@ rank  group
  9    ``repro.api.specs``
 10    ``repro.api.session``
 11    ``repro.api``  (the facade ``__init__``)
-12    ``repro.eval``  (experiments, figures, CLI, reporting)
-13    ``repro``  (the top-level package)
+12    ``repro.service``  (the sweep daemon, strictly above the facade)
+13    ``repro.eval``  (experiments, figures, CLI, reporting)
+14    ``repro``  (the top-level package)
 ====  =====================================================================
 
 Only *import-time* imports are constrained — statements executed when the
@@ -56,8 +57,9 @@ LAYER_RANKS: Tuple[Tuple[str, int], ...] = (
     ("repro.api.specs", 9),
     ("repro.api.session", 10),
     ("repro.api", 11),
-    ("repro.eval", 12),
-    ("repro", 13),
+    ("repro.service", 12),
+    ("repro.eval", 13),
+    ("repro", 14),
 )
 
 

@@ -1,0 +1,250 @@
+"""Tests for the sweep daemon: wire schema, HTTP round trip, error mapping.
+
+The daemon's contract (DESIGN.md section 15): reports fetched over HTTP
+are byte-identical to an in-process ``Session.sweep`` of the same specs, a
+warm re-POST executes nothing, and malformed requests come back as clean
+JSON errors (400/404) instead of tracebacks. The servers under test bind
+an ephemeral loopback port via :func:`repro.service.server.running_server`.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.config import RuntimeConfig
+from repro.api.session import Session
+from repro.api.specs import JobSpec, SweepSpec, Workload, sim_from_payload, sim_to_payload
+from repro.service.server import running_server
+from repro.sim.config import SimConfig
+
+SIM = SimConfig.scaled(16)
+
+
+def _sweep_spec(dim=48):
+    return SweepSpec.product(
+        kernels="spmv", schemes=("taco_csr", "smash_hw"), matrices=("M5", "M8"), dim=dim
+    )
+
+
+def _request(method, url, payload=None):
+    """(status, decoded JSON body) for one request; HTTP errors decode too."""
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        with error:
+            return error.code, json.load(error)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A daemon over a caching serial Session, on an ephemeral port."""
+    session = Session(sim=SIM, runtime=RuntimeConfig(processes=1, cache_dir=tmp_path))
+    with running_server(session) as server:
+        yield f"http://127.0.0.1:{server.bound_port}", session
+    session.close()
+
+
+class TestSpecWire:
+    def test_job_spec_round_trip_preserves_job_key(self):
+        from repro.eval.runner import job_key
+
+        spec = JobSpec(
+            "spmv", "smash_hw", Workload.suite("M8", 48),
+            sim=SIM, params={"seed": 7},
+        )
+        decoded = JobSpec.from_payload(json.loads(json.dumps(spec.to_payload())))
+        assert decoded == spec
+        assert job_key(decoded.to_job()) == job_key(spec.to_job())
+
+    def test_sweep_spec_round_trip(self):
+        spec = _sweep_spec()
+        decoded = SweepSpec.from_payload(json.loads(json.dumps(spec.to_payload())))
+        assert decoded == spec
+
+    def test_sim_payload_round_trip_is_exact(self):
+        payload = json.loads(json.dumps(sim_to_payload(SIM)))
+        assert sim_from_payload(payload) == SIM
+
+    def test_malformed_spec_payloads_raise_value_error(self):
+        with pytest.raises(ValueError, match="missing required field"):
+            JobSpec.from_payload({"kernel": "spmv"})
+        with pytest.raises(ValueError, match="unknown job spec fields"):
+            JobSpec.from_payload(
+                {"kernel": "spmv", "scheme": "taco_csr",
+                 "workload": ["suite", "M8", None, None], "extra": 1}
+            )
+        with pytest.raises(ValueError, match=r"specs\[1\]"):
+            SweepSpec.from_payload(
+                {"specs": [
+                    {"kernel": "spmv", "scheme": "taco_csr",
+                     "workload": ["suite", "M8", None, None]},
+                    {"kernel": "spmv"},
+                ]}
+            )
+
+
+class TestServiceRoundTrip:
+    def test_reports_byte_identical_to_in_process_sweep(self, service):
+        base, session = service
+        spec = _sweep_spec()
+        with Session(sim=SIM, runtime=RuntimeConfig(processes=1, cache_dir=None)) as ref:
+            expected = [json.dumps(r.to_dict(), sort_keys=True) for r in ref.sweep(spec).reports]
+
+        status, created = _request("POST", f"{base}/sweeps", spec.to_payload())
+        assert status == 201
+        assert created["jobs"] == len(spec.specs)
+        assert created["stats"]["executed"] == len(spec.specs)
+
+        status, reports = _request("GET", f"{base}/sweeps/{created['id']}/reports")
+        assert status == 200
+        got = [json.dumps(report, sort_keys=True) for report in reports["reports"]]
+        assert got == expected
+
+    def test_warm_repost_executes_nothing(self, service):
+        base, _ = service
+        payload = _sweep_spec().to_payload()
+        _request("POST", f"{base}/sweeps", payload)
+        status, warm = _request("POST", f"{base}/sweeps", payload)
+        assert status == 201
+        assert warm["stats"]["executed"] == 0
+        assert warm["stats"]["cache_hits"] == warm["jobs"]
+        status, cold_reports = _request("GET", f"{base}/sweeps/1/reports")
+        assert status == 200
+        status, warm_reports = _request("GET", f"{base}/sweeps/{warm['id']}/reports")
+        assert status == 200
+        assert warm_reports["reports"] == cold_reports["reports"]
+
+    def test_status_endpoint_reports_sweep_and_session_stats(self, service):
+        base, session = service
+        spec = _sweep_spec()
+        _, created = _request("POST", f"{base}/sweeps", spec.to_payload())
+        status, body = _request("GET", f"{base}/sweeps/{created['id']}")
+        assert status == 200
+        assert body["status"] == "completed"
+        assert body["done"] == body["jobs"] == len(spec.specs)
+        snapshot = session.stats_snapshot()
+        assert body["session_stats"] == {
+            "submitted": snapshot.submitted,
+            "unique": snapshot.unique,
+            "executed": snapshot.executed,
+            "cache_hits": snapshot.cache_hits,
+        }
+
+    def test_top_level_sim_default_applies_to_specs(self, service, tmp_path):
+        base, _ = service
+        sim = SimConfig.scaled(32)
+        spec = SweepSpec(
+            (JobSpec("spmv", "taco_csr", Workload.suite("M8", 48)),)
+        )
+        with Session(sim=sim, runtime=RuntimeConfig(processes=1, cache_dir=None)) as ref:
+            expected = json.dumps(ref.sweep(spec).reports[0].to_dict(), sort_keys=True)
+        payload = spec.to_payload()
+        payload["sim"] = sim_to_payload(sim)
+        _, created = _request("POST", f"{base}/sweeps", payload)
+        _, reports = _request("GET", f"{base}/sweeps/{created['id']}/reports")
+        assert json.dumps(reports["reports"][0], sort_keys=True) == expected
+
+    def test_healthz(self, service):
+        base, _ = service
+        assert _request("GET", f"{base}/healthz") == (200, {"status": "ok"})
+
+
+class TestServiceErrors:
+    def test_unknown_sweep_id_is_404(self, service):
+        base, _ = service
+        status, body = _request("GET", f"{base}/sweeps/999")
+        assert status == 404
+        assert "unknown sweep id" in body["error"]
+        status, body = _request("GET", f"{base}/sweeps/999/reports")
+        assert status == 404
+
+    def test_unknown_path_is_404(self, service):
+        base, _ = service
+        status, body = _request("GET", f"{base}/nope")
+        assert status == 404
+        status, body = _request("POST", f"{base}/nope", {"specs": []})
+        assert status == 404
+
+    def test_invalid_json_body_is_400(self, service):
+        base, _ = service
+        request = urllib.request.Request(
+            f"{base}/sweeps", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        with excinfo.value as error:
+            assert error.code == 400
+            assert "not valid JSON" in json.load(error)["error"]
+
+    def test_unknown_scheme_is_400_with_suggestion(self, service):
+        base, _ = service
+        payload = {"specs": [
+            {"kernel": "spmv", "scheme": "smash_hww",
+             "workload": ["suite", "M8", None, None]},
+        ]}
+        status, body = _request("POST", f"{base}/sweeps", payload)
+        assert status == 400
+        assert "smash_hww" in body["error"]
+        assert "did you mean" in body["error"]
+
+    def test_empty_and_malformed_sweeps_are_400(self, service):
+        base, _ = service
+        status, body = _request("POST", f"{base}/sweeps", {"specs": []})
+        assert status == 400
+        assert "no specs" in body["error"]
+        status, body = _request("POST", f"{base}/sweeps", {"wrong": 1})
+        assert status == 400
+        assert "unknown sweep fields" in body["error"]
+        status, body = _request("POST", f"{base}/sweeps", {"specs": "nope"})
+        assert status == 400
+
+    def test_closed_session_is_503(self, tmp_path):
+        session = Session(sim=SIM, runtime=RuntimeConfig(processes=1, cache_dir=tmp_path))
+        with running_server(session) as server:
+            base = f"http://127.0.0.1:{server.bound_port}"
+            session.close()
+            status, body = _request(
+                "POST", f"{base}/sweeps", _sweep_spec().to_payload()
+            )
+            assert status == 503
+            assert "closed Session" in body["error"]
+
+
+class TestConcurrentClients:
+    def test_two_clients_posting_overlapping_sweeps_share_executions(self, service):
+        import threading
+
+        base, session = service
+        payload = _sweep_spec().to_payload()
+        results, errors = [], []
+
+        def client():
+            try:
+                results.append(_request("POST", f"{base}/sweeps", payload))
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=client) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        assert [status for status, _ in results] == [201, 201, 201]
+        # Single-flight across handler threads: each distinct job executed
+        # exactly once no matter how the three POSTs interleaved.
+        assert session.stats_snapshot().executed == len(_sweep_spec().specs)
+        bodies = []
+        for _, created in results:
+            status, reports = _request("GET", f"{base}/sweeps/{created['id']}/reports")
+            assert status == 200
+            bodies.append(json.dumps(reports["reports"], sort_keys=True))
+        assert len(set(bodies)) == 1
