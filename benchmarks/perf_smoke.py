@@ -391,6 +391,71 @@ def run_replay_phases(cache_scale: int, dim: int = 512) -> dict:
     }
 
 
+def run_store_query(cache_scale: int, dim: int = 1024) -> dict:
+    """Index build time and warm query latency over the 36-job sweep.
+
+    Runs the fig10-style job matrix (six matrices x all schemes) through a
+    caching Session — the incremental ingest hook indexes every report as
+    it lands — then times a cold full ``reindex`` of the same tree and a
+    set of warm queries (filtered select, aggregate mean, paper table)
+    against the sqlite index, best of three each. The record tracks the
+    read side's overhead trajectory; correctness (reindex == incremental)
+    is asserted, not timed.
+    """
+    import tempfile
+
+    from repro.api.specs import SweepSpec
+    from repro.store import Query, ResultStore
+    from repro.store.tables import render_tables
+
+    sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
+    keys = ("M2", "M5", "M8", "M11", "M13", "M15")
+    spec = SweepSpec.product(kernels="spmv", schemes=tuple(SCHEMES), matrices=keys, dim=dim)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with Session(sim=sim, runtime=RuntimeConfig(cache_dir=cache_dir)) as session:
+            start = time.perf_counter()
+            session.sweep(spec)
+            sweep_seconds = time.perf_counter() - start
+
+        store = ResultStore(cache_dir)
+        incremental = store.canonical_dump()
+        start = time.perf_counter()
+        store.reindex()
+        reindex_seconds = time.perf_counter() - start
+        assert store.canonical_dump() == incremental, "reindex diverged from ingest"
+
+        def timed(fn) -> float:
+            fn()  # warm sqlite page cache
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        query_seconds = timed(lambda: store.query(Query(kernel="spmv", scheme="smash_hw")))
+        mean_seconds = timed(lambda: store.query(Query(kernel="spmv", mean_by="scheme")))
+        tables_seconds = timed(lambda: render_tables(store, ("spmv_speedup",), fmt="csv"))
+
+    print(
+        f"  store[{len(spec.specs)} jobs] sweep+ingest {sweep_seconds:8.3f}s  "
+        f"reindex {reindex_seconds:.4f}s  query {query_seconds * 1e3:.2f}ms  "
+        f"mean {mean_seconds * 1e3:.2f}ms  table {tables_seconds * 1e3:.2f}ms",
+        flush=True,
+    )
+    return {
+        "jobs": len(spec.specs),
+        "dim": dim,
+        "matrices": list(keys),
+        "sweep_ingest_seconds": round(sweep_seconds, 4),
+        "reindex_seconds": round(reindex_seconds, 4),
+        "query_filter_seconds": round(query_seconds, 5),
+        "query_mean_seconds": round(mean_seconds, 5),
+        "tables_seconds": round(tables_seconds, 5),
+    }
+
+
 def _rss_probe_child(dim: int, density: float, seed: int, cache_scale: int) -> dict:
     """Run one taco_csr SpMV and report this process's peak RSS.
 
@@ -491,6 +556,8 @@ def main(argv=None) -> int:
     payload["concurrent_sweep"] = run_concurrent_sweep(args.cache_scale, args.sweep_dim)
     print("Facade-overhead pass: 512 dim (Session vs direct runner)")
     payload["facade_overhead"] = run_facade_overhead(args.cache_scale)
+    print(f"Store-query pass: {args.sweep_dim} dim, 36-job sweep -> index -> queries")
+    payload["store_query"] = run_store_query(args.cache_scale, args.sweep_dim)
     # The RSS probe forks children whose peak-RSS baseline includes the
     # parent's resident set, so it runs before the trace-hungry passes.
     print(f"Replay-memory probe: {args.rss_dim} dim, density {args.rss_density}")

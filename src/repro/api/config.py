@@ -64,6 +64,15 @@ SERVICE_HOST_ENV_VAR = "SMASH_REPRO_SERVICE_HOST"
 #: Environment variable setting the sweep-service port (0 = ephemeral).
 SERVICE_PORT_ENV_VAR = "SMASH_REPRO_SERVICE_PORT"
 
+#: Environment variable disabling incremental result-store indexing
+#: (``0``/``false``/``off``); the sqlite index can always be rebuilt later
+#: with ``smash-repro cache reindex``.
+STORE_ENV_VAR = "SMASH_REPRO_STORE"
+
+#: Environment variable relocating the result-store index file (default:
+#: ``index.sqlite`` directly under the report-cache root).
+STORE_INDEX_ENV_VAR = "SMASH_REPRO_STORE_INDEX"
+
 #: Default bind address of ``smash-repro serve`` (loopback only; fronting
 #: a daemon to other hosts is an explicit opt-in via --host/env).
 DEFAULT_SERVICE_HOST = "127.0.0.1"
@@ -98,8 +107,12 @@ class RuntimeConfig:
     unbatched). ``replay_profile`` collects per-phase replay wall-clock
     into ``SweepResult.stats``. ``service_host``/``service_port`` are where
     the ``repro.service`` daemon binds (``smash-repro serve``; port 0 asks
-    the OS for an ephemeral port) — like every other knob here they say
-    *how* work is served, never what it computes.
+    the OS for an ephemeral port). ``store_ingest`` enables the incremental
+    result-store index (``repro.store``) on cached sweeps; ``store_index``
+    relocates the sqlite index file (``None`` = ``index.sqlite`` under the
+    cache root). Like every other knob here they say *how* work is
+    executed, stored and served, never what it computes — which is why none
+    participate in the report-cache job key.
     """
 
     processes: int = 1
@@ -110,6 +123,8 @@ class RuntimeConfig:
     replay_profile: bool = False
     service_host: str = DEFAULT_SERVICE_HOST
     service_port: int = DEFAULT_SERVICE_PORT
+    store_ingest: bool = True
+    store_index: Optional[Union[str, pathlib.Path]] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.processes, bool) or not isinstance(self.processes, int):
@@ -163,6 +178,16 @@ class RuntimeConfig:
                 f"service port must be in [0, 65535] (0 = ephemeral), "
                 f"got {self.service_port}"
             )
+        if not isinstance(self.store_ingest, bool):
+            raise ValueError(
+                f"store ingest flag must be a bool, got {self.store_ingest!r}"
+            )
+        if self.store_index is not None and not isinstance(
+            self.store_index, (str, pathlib.Path)
+        ):
+            raise ValueError(
+                f"store index path must be a string or Path, got {self.store_index!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -178,6 +203,8 @@ class RuntimeConfig:
         replay_profile: Optional[bool] = None,
         service_host: Optional[str] = None,
         service_port: Optional[int] = None,
+        store_ingest: Optional[bool] = None,
+        store_index: object = _UNSET,
     ) -> "RuntimeConfig":
         """Build a config from the environment, explicit arguments winning.
 
@@ -218,6 +245,11 @@ class RuntimeConfig:
             service_port = (
                 _parse_int(raw, SERVICE_PORT_ENV_VAR) if raw else DEFAULT_SERVICE_PORT
             )
+        if store_ingest is None:
+            raw = os.environ.get(STORE_ENV_VAR, "").strip().lower()
+            store_ingest = raw not in _FALSY if raw else True
+        if store_index is _UNSET:
+            store_index = os.environ.get(STORE_INDEX_ENV_VAR, "").strip() or None
         try:
             # The _UNSET sentinels force ``object``-typed parameters; by
             # here both have been resolved to real field values.
@@ -230,6 +262,8 @@ class RuntimeConfig:
                 replay_profile=replay_profile,
                 service_host=service_host,
                 service_port=service_port,
+                store_ingest=store_ingest,
+                store_index=cast(Optional[Union[str, pathlib.Path]], store_index),
             )
         except ValueError as error:
             if backend_from_env and "replay backend" in str(error):
@@ -260,4 +294,8 @@ class RuntimeConfig:
             summary += f", replay_batch={self.replay_batch}"
         if self.replay_profile:
             summary += ", replay_profile=on"
+        if not self.store_ingest:
+            summary += ", store=off"
+        elif self.store_index is not None:
+            summary += f", store_index={self.store_index}"
         return summary

@@ -50,6 +50,7 @@ from repro.sim import _replay_core
 from repro.sim import trace as _trace
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport
+from repro.store import attach_indexer
 
 
 class Session:
@@ -112,6 +113,22 @@ class Session:
                 replay_batch=self.runtime.replay_batch,
                 replay_profile=self.runtime.replay_profile,
             )
+        # Keep the result-store index warm: every report the cache persists
+        # is ingested into the sqlite index as it lands (repro.store;
+        # DESIGN.md section 16). Derived data only — queries and the
+        # service's GET /query read it, results never do — and wrapped
+        # runners keep whatever indexer they already carry.
+        if (
+            self.runtime.store_ingest
+            and self._runner.cache is not None
+            and self._runner.cache.indexer is None
+        ):
+            attach_indexer(self._runner.cache, index_path=self.runtime.store_index)
+
+    @property
+    def cache(self):
+        """The owned engine's report cache (None when caching is disabled)."""
+        return self._runner.cache
 
     # ------------------------------------------------------------------ #
     # Declarative execution

@@ -45,7 +45,7 @@ import inspect
 import json
 import pathlib
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.api.config import (
     DEFAULT_CACHE_DIR,
@@ -214,7 +214,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="...",
         help="arguments forwarded to repro.lint (paths, --json, --select, --list-rules)",
     )
+
+    # The result-store subcommands (query/tables/bench/cache) live in
+    # repro.store.cli; mounting them here keeps one `smash-repro` surface.
+    from repro.store.cli import add_store_subcommands
+
+    add_store_subcommands(subparsers)
     return parser
+
+
+#: Store subcommands dispatched to repro.store.cli rather than handled here.
+_STORE_COMMANDS = ("query", "tables", "bench", "cache")
+
+
+def _experiment_job_keys(identifier: str, quick: bool) -> Tuple[str, ...]:
+    """Lower a registered experiment to its sweep's job keys.
+
+    The resolver injected into ``smash-repro query --experiment``: the
+    store cannot know which jobs belong to which figure (jobs are shared
+    across experiments by design), so the filter is resolved here, at the
+    layer that owns the experiment registry.
+    """
+    from repro.eval.runner import job_key
+    from repro.store import StoreError
+
+    try:
+        experiment = get_experiment(identifier)
+    except KeyError as error:
+        raise StoreError(error.args[0] if error.args else str(error)) from None
+    if experiment.spec_builder is None:
+        raise StoreError(
+            f"experiment {experiment.identifier!r} ({experiment.kind}) runs no "
+            "cacheable sweep; --experiment works for the kernel-sweep "
+            "experiments (figure10, figure12, spadd)"
+        )
+    sweep, sim = experiment.spec_builder(quick)
+    return tuple(job_key(spec.to_job(sim=sim, smash=None)) for spec in sweep.specs)
 
 
 def _build_session(args: argparse.Namespace) -> Session:
@@ -315,6 +350,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             ready=_ready,
         )
         return 0
+
+    if args.command in _STORE_COMMANDS:
+        from repro.store.cli import run_store_command
+
+        return run_store_command(args, resolve_experiment=_experiment_job_keys)
 
     if args.command == "lint":
         # Deferred so the heavy experiment imports above stay untouched by

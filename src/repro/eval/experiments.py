@@ -259,6 +259,26 @@ def experiment_fig9(
 # --------------------------------------------------------------------------- #
 # Figures 10-13 — main SpMV / SpMM / SpAdd results
 # --------------------------------------------------------------------------- #
+def kernel_sweep_specs(
+    kernel: str,
+    keys: Optional[Sequence[str]] = None,
+    dim: Optional[int] = None,
+    cache_scale: int = DEFAULT_CACHE_SCALE,
+    schemes: Sequence[str] = MAIN_SCHEMES,
+):
+    """The exact ``(SweepSpec, SimConfig)`` a kernel-sweep experiment runs.
+
+    Factored out of :func:`_kernel_sweep` so other layers (the result
+    store's ``--experiment`` query filter) can lower an experiment to its
+    job keys without executing anything — by construction the keys match
+    what the driver submits.
+    """
+    sweep = SweepSpec.product(
+        kernels=kernel, schemes=schemes, matrices=keys or ALL_MATRICES, dim=dim
+    )
+    return sweep, _sim_config(cache_scale)
+
+
 def _kernel_sweep(
     kernel: str,
     keys: Optional[Sequence[str]],
@@ -272,10 +292,10 @@ def _kernel_sweep(
     if "taco_csr" not in schemes:
         raise ValueError("the scheme sweep needs the 'taco_csr' baseline")
     engine = _session(session, runner)
-    sweep = SweepSpec.product(
-        kernels=kernel, schemes=schemes, matrices=keys or ALL_MATRICES, dim=dim
+    sweep, sim = kernel_sweep_specs(
+        kernel, keys=keys, dim=dim, cache_scale=cache_scale, schemes=schemes
     )
-    result = engine.sweep(sweep, sim=_sim_config(cache_scale))
+    result = engine.sweep(sweep, sim=sim)
     per_matrix: Dict[str, Dict[str, Dict[str, float]]] = {}
     for key in sweep.workload_keys:
         reports = result.select(key=key).by_scheme()

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.api.registry import Registry
 from repro.eval import experiments
@@ -21,13 +21,39 @@ from repro.eval import experiments
 
 @dataclass(frozen=True)
 class Experiment:
-    """One reproducible table or figure."""
+    """One reproducible table or figure.
+
+    ``spec_builder``, when set, maps ``quick`` (bool) to the exact
+    ``(SweepSpec, SimConfig)`` pair the driver submits — the hook the
+    result store's ``smash-repro query --experiment`` filter lowers to job
+    keys. Tables and structural figures that run no cacheable sweep leave
+    it ``None``.
+    """
 
     identifier: str
     kind: str
     description: str
     driver: Callable[..., dict]
     quick_kwargs: dict
+    spec_builder: Optional[Callable[[bool], tuple]] = None
+
+
+def _kernel_spec_builder(
+    kernel: str,
+    dim: Optional[int],
+    quick_dim: int,
+    schemes: Sequence[str] = experiments.MAIN_SCHEMES,
+) -> Callable[[bool], tuple]:
+    """A spec builder mirroring one registered kernel-sweep experiment."""
+
+    def build(quick: bool = False) -> tuple:
+        if quick:
+            return experiments.kernel_sweep_specs(
+                kernel, keys=_QUICK_MATRICES, dim=quick_dim, schemes=schemes
+            )
+        return experiments.kernel_sweep_specs(kernel, dim=dim, schemes=schemes)
+
+    return build
 
 
 #: The unified registry of experiments, in paper order.
@@ -75,6 +101,7 @@ register_experiment(
     Experiment(
         "figure10", "figure", "SpMV speedup and instructions", experiments.experiment_fig10_11,
         {"keys": _QUICK_MATRICES, "dim": 96},
+        spec_builder=_kernel_spec_builder("spmv", experiments.DEFAULT_SPMV_DIM, 96),
     ),
     aliases=("figure11", "10", "11"),
 )
@@ -82,6 +109,7 @@ register_experiment(
     Experiment(
         "figure12", "figure", "SpMM speedup and instructions", experiments.experiment_fig12_13,
         {"keys": _QUICK_MATRICES, "dim": 48},
+        spec_builder=_kernel_spec_builder("spmm", experiments.DEFAULT_SPMM_DIM, 48),
     ),
     aliases=("figure13", "12", "13"),
 )
@@ -90,6 +118,9 @@ register_experiment(
         "spadd", "extra", "SpAdd scheme sweep (main-figure style)",
         experiments.experiment_spadd,
         {"keys": _QUICK_MATRICES, "dim": 96},
+        spec_builder=_kernel_spec_builder(
+            "spadd", experiments.DEFAULT_SPMV_DIM, 96, schemes=experiments.SPADD_SCHEMES
+        ),
     ),
 )
 register_experiment(

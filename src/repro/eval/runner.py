@@ -45,7 +45,7 @@ import weakref
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import wait as _futures_wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.api.config import (
     DEFAULT_CACHE_DIR,
@@ -265,10 +265,38 @@ class ReportCache:
 
     def __init__(self, root: Union[str, pathlib.Path] = DEFAULT_CACHE_DIR) -> None:
         self.root = pathlib.Path(root)
+        #: Optional post-store hook ``(key, document) -> None`` used by
+        #: :mod:`repro.store` to keep its sqlite index warm incrementally.
+        #: Kept as a plain callback so this layer never imports the store
+        #: (RL006: ``repro.store`` sits strictly above ``repro.eval.runner``).
+        self.indexer: Optional[Callable[[str, Dict], None]] = None
 
     def path_for(self, key: str) -> pathlib.Path:
         """Where the entry for ``key`` lives on disk."""
         return self.root / key[:2] / f"{key}.json"
+
+    def iter_entries(self) -> Iterator[Tuple[str, pathlib.Path]]:
+        """Every ``(key, path)`` in the cache tree, in sorted key order.
+
+        Only the documented ``<xx>/<key>.json`` shard layout is visited, so
+        foreign files at the root (the sqlite index, editor droppings) are
+        never mistaken for entries.
+        """
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path.stem, path
+
+    def stats(self) -> Dict[str, object]:
+        """The cache's identity card: root, writing schema, report count."""
+        return {
+            "root": str(self.root),
+            "schema": CACHE_SCHEMA_VERSION,
+            "reports": sum(1 for _ in self.iter_entries()),
+        }
 
     def load(self, key: str, job: Job) -> Optional[Dict]:
         """The cached report payload for ``job``, or None on miss."""
@@ -298,6 +326,8 @@ class ReportCache:
         tmp = path.with_name(f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
         tmp.write_text(json.dumps(document, sort_keys=True, indent=1) + "\n", encoding="utf-8")
         os.replace(tmp, path)
+        if self.indexer is not None:
+            self.indexer(key, document)
 
 
 # --------------------------------------------------------------------------- #

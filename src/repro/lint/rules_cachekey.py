@@ -40,6 +40,8 @@ RUNTIME_ONLY_NAMES = frozenset(
         "USE_ENV_CHUNK",
         "USE_ENV_BACKEND",
         "from_env",
+        "store_ingest",
+        "store_index",
     }
 )
 

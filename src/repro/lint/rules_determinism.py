@@ -22,7 +22,7 @@ from typing import Iterable, Optional, Tuple
 from repro.lint.core import Rule, SourceFile, Violation, _module_in
 
 #: Packages whose outputs feed reports, cache keys, or figures.
-SCOPED_PACKAGES = ("repro.eval", "repro.sim", "repro.api", "repro.service")
+SCOPED_PACKAGES = ("repro.eval", "repro.sim", "repro.api", "repro.service", "repro.store")
 
 #: Call patterns that depend on process state, as (base name, attribute)
 #: pairs; an attribute of ``None`` matches any attribute of the base.

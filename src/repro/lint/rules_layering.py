@@ -55,6 +55,7 @@ LAYER_RANKS: Tuple[Tuple[str, int], ...] = (
     ("repro.solvers", 7),
     ("repro.eval.runner", 8),
     ("repro.api.specs", 9),
+    ("repro.store", 9),
     ("repro.api.session", 10),
     ("repro.api", 11),
     ("repro.service", 12),

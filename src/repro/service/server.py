@@ -27,16 +27,19 @@ import dataclasses
 import itertools
 import json
 import threading
+import urllib.parse
 from concurrent.futures import Future
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.api.session import Session
 from repro.api.specs import SweepSpec, sim_from_payload
 from repro.eval.runner import SweepStats
 from repro.sim.config import SimConfig
 from repro.sim.instrumentation import CostReport
+from repro.store import ResultStore, StoreError, query_from_mapping
+from repro.store.query import inflate_rows
 
 #: Top-level fields a ``POST /sweeps`` body may carry.
 _SWEEP_FIELDS = frozenset({"specs", "sim"})
@@ -145,6 +148,27 @@ class ServiceState:
     def session_stats(self) -> Dict[str, int]:
         return _stats_to_dict(self.session.stats_snapshot())
 
+    def cache_stats(self) -> Optional[Dict[str, object]]:
+        """The shared cache's identity card for ``/healthz`` (None = uncached)."""
+        cache = self.session.cache
+        return cache.stats() if cache is not None else None
+
+    def query(self, params: Mapping[str, str]) -> List[Dict[str, object]]:
+        """Run one read-only store query against the shared cache's index.
+
+        Raises :class:`~repro.store.StoreError` on bad parameters (the
+        handler's 400) or when the daemon runs without a cache. The index
+        is built on first use and kept warm by the Session's ingest hook,
+        so queries see every report the daemon has stored.
+        """
+        cache = self.session.cache
+        if cache is None:
+            raise StoreError("the daemon runs without a report cache; nothing to query")
+        query = query_from_mapping(dict(params))
+        store = ResultStore(cache.root, self.session.runtime.store_index)
+        store.ensure()
+        return store.query(query)
+
 
 class SweepHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the :class:`ServiceState`."""
@@ -165,7 +189,7 @@ class SweepHTTPServer(ThreadingHTTPServer):
 
 
 class _SweepRequestHandler(BaseHTTPRequestHandler):
-    """Routes the four endpoints; every response body is a JSON object."""
+    """Routes the endpoints; every response body is a JSON object."""
 
     protocol_version = "HTTP/1.1"
     server: SweepHTTPServer  # narrowed from BaseServer for .state/.quiet
@@ -174,8 +198,12 @@ class _SweepRequestHandler(BaseHTTPRequestHandler):
     # Routing
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/healthz":
-            self._send(200, {"status": "ok"})
+        url = urllib.parse.urlsplit(self.path)
+        if url.path == "/healthz":
+            self._send(200, {"status": "ok", "cache": self.server.state.cache_stats()})
+            return
+        if url.path == "/query":
+            self._query(url.query)
             return
         parts = [part for part in self.path.split("/") if part]
         if len(parts) == 2 and parts[0] == "sweeps":
@@ -222,6 +250,26 @@ class _SweepRequestHandler(BaseHTTPRequestHandler):
         body = record.describe()
         body["session_stats"] = self.server.state.session_stats()
         self._send(200, body)
+
+    def _query(self, query_string: str) -> None:
+        """``GET /query?...`` — read-only rows from the result store.
+
+        Parameters mirror the ``smash-repro query`` flags (kernel, scheme,
+        matrix, workload_kind, dim, sort, descending, limit, mean_by);
+        repeated parameters are rejected rather than silently last-wins.
+        """
+        params: Dict[str, str] = {}
+        for name, value in urllib.parse.parse_qsl(query_string, keep_blank_values=True):
+            if name in params:
+                self._send(400, {"error": f"duplicate query parameter {name!r}"})
+                return
+            params[name] = value
+        try:
+            rows = self.server.state.query(params)
+        except StoreError as error:
+            self._send(400, {"error": str(error)})
+            return
+        self._send(200, {"rows": inflate_rows(rows), "count": len(rows)})
 
     def _sweep_reports(self, sweep_id: str) -> None:
         record = self.server.state.get(sweep_id)

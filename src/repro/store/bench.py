@@ -1,0 +1,179 @@
+"""BENCH history and the performance-regression gate.
+
+``benchmarks/perf_smoke.py`` emits ``BENCH_*.json`` — nested dicts of
+wall-clock timings (``*_seconds``) and modelled machine metrics
+(``modelled_cycles`` et al). This module flattens such a document into
+dot-path metrics, records runs in the store's ``bench_runs`` /
+``bench_metrics`` tables, and implements ``smash-repro bench --check``:
+compare the current file against a recorded baseline and fail (exit
+non-zero) when a gated metric regresses beyond its tolerance.
+
+Gate semantics (DESIGN.md section 16): only two metric kinds are gated —
+
+* ``seconds``  — any numeric leaf whose name ends in ``seconds``; noisy
+  wall-clock, so the default tolerance is generous (+50 %).
+* ``cycles``   — any leaf named ``modelled_cycles``; these come from the
+  deterministic cost model and must not move at all by default
+  (tolerance 0, with a 1e-9 relative epsilon for float formatting).
+
+Everything else (counts, rates, ratios) is recorded but never gated. A
+metric present in only one of baseline/current is reported as informational
+skew, not a failure — benchmarks legitimately gain and lose passes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.store.index import ResultStore, StoreError
+
+#: Default tolerances per gated metric kind (fraction of the baseline).
+DEFAULT_TOLERANCE_SECONDS = 0.5
+DEFAULT_TOLERANCE_CYCLES = 0.0
+
+#: Relative slack applied on top of any tolerance, absorbing float noise.
+_EPSILON = 1e-9
+
+
+def metric_kind(path: str) -> str:
+    """The gate class of one flattened metric path."""
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf == "modelled_cycles":
+        return "cycles"
+    if leaf.endswith("seconds"):
+        return "seconds"
+    return "other"
+
+
+def flatten(payload: object, prefix: str = "") -> Dict[str, Tuple[float, str]]:
+    """Numeric leaves of a BENCH document as ``path -> (value, kind)``.
+
+    Paths join nested dict keys with ``.``; list elements use their index.
+    Booleans and non-numeric leaves are skipped.
+    """
+    metrics: Dict[str, Tuple[float, str]] = {}
+    if isinstance(payload, dict):
+        items = [(str(key), value) for key, value in payload.items()]
+    elif isinstance(payload, list):
+        items = [(str(index), value) for index, value in enumerate(payload)]
+    else:
+        return metrics
+    for name, value in items:
+        path = f"{prefix}.{name}" if prefix else name
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            metrics[path] = (float(value), metric_kind(path))
+        elif isinstance(value, (dict, list)):
+            metrics.update(flatten(value, path))
+    return metrics
+
+
+def load_bench_file(path: Union[str, pathlib.Path]) -> Tuple[Dict, Dict[str, Tuple[float, str]], str]:
+    """Parse one BENCH file: ``(payload, flattened metrics, sha256)``."""
+    path = pathlib.Path(path)
+    try:
+        raw = path.read_bytes()
+        payload = json.loads(raw.decode("utf-8"))
+    except (OSError, ValueError) as error:
+        raise StoreError(f"cannot read BENCH file {path}: {error}") from None
+    if not isinstance(payload, dict):
+        raise StoreError(f"BENCH file {path} is not a JSON object")
+    return payload, flatten(payload), hashlib.sha256(raw).hexdigest()
+
+
+def ingest_file(
+    store: ResultStore,
+    path: Union[str, pathlib.Path],
+    label: Optional[str] = None,
+) -> int:
+    """Record one BENCH file as a run in the history; returns the run id."""
+    payload, metrics, sha = load_bench_file(path)
+    return store.ingest_bench(
+        payload, metrics, source=str(path), sha256=sha, label=label
+    )
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric that moved past its tolerance."""
+
+    metric: str
+    kind: str
+    baseline: float
+    current: float
+    tolerance: float
+
+    def describe(self) -> str:
+        ratio = self.current / self.baseline if self.baseline else float("inf")
+        return (
+            f"{self.metric} [{self.kind}]: {self.baseline:.6g} -> "
+            f"{self.current:.6g} ({ratio:.3f}x, tolerance +{self.tolerance:.0%})"
+        )
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a ``bench --check`` comparison."""
+
+    baseline_run: int
+    compared: int
+    regressions: Tuple[Regression, ...]
+    only_in_baseline: Tuple[str, ...]
+    only_in_current: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def check_against_baseline(
+    store: ResultStore,
+    path: Union[str, pathlib.Path],
+    baseline: Optional[str] = None,
+    tolerance_seconds: float = DEFAULT_TOLERANCE_SECONDS,
+    tolerance_cycles: float = DEFAULT_TOLERANCE_CYCLES,
+) -> CheckResult:
+    """Gate ``path`` against a recorded baseline run (never ingests).
+
+    ``baseline`` selects the run: ``None``/"latest" for the newest, else a
+    run label or numeric id. Raises :class:`StoreError` when no baseline
+    has been recorded yet.
+    """
+    run_id = store.resolve_bench_run(baseline)
+    if run_id is None:
+        raise StoreError(
+            "no BENCH baseline recorded; ingest one first with "
+            "`smash-repro bench ingest BENCH_spmv_smoke.json`"
+        )
+    base_metrics = store.bench_metrics(run_id)
+    _, current_metrics, _ = load_bench_file(path)
+    tolerances = {"seconds": tolerance_seconds, "cycles": tolerance_cycles}
+    regressions: List[Regression] = []
+    compared = 0
+    for metric in sorted(set(base_metrics) & set(current_metrics)):
+        base_value, kind = base_metrics[metric]
+        current_value, _ = current_metrics[metric]
+        if kind not in tolerances:
+            continue
+        compared += 1
+        tolerance = tolerances[kind]
+        limit = base_value * (1.0 + tolerance) + abs(base_value) * _EPSILON
+        if current_value > limit:
+            regressions.append(
+                Regression(metric, kind, base_value, current_value, tolerance)
+            )
+    def gated(names: set, source: Dict[str, Tuple[float, str]]) -> Tuple[str, ...]:
+        return tuple(m for m in sorted(names) if source[m][1] in tolerances)
+
+    return CheckResult(
+        baseline_run=run_id,
+        compared=compared,
+        regressions=tuple(regressions),
+        only_in_baseline=gated(set(base_metrics) - set(current_metrics), base_metrics),
+        only_in_current=gated(set(current_metrics) - set(base_metrics), current_metrics),
+    )

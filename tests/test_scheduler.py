@@ -202,6 +202,18 @@ class TestConcurrentSessions:
             assert keys == expected, f"{name} diverged from the serial baseline"
         session.close()
 
+        # The result-store index survived the concurrent store() traffic:
+        # one row per unique job, and the incrementally built index is
+        # exactly what a cold rebuild of the same cache tree produces.
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        assert store.exists()
+        assert store.report_count() == unique_jobs
+        incremental = store.canonical_dump()
+        store.reindex()
+        assert store.canonical_dump() == incremental
+
     def test_mixed_sweep_and_submit_share_cache(self, tmp_path):
         spec = _sweep_spec()
         with Session(runtime=RuntimeConfig(processes=1, cache_dir=tmp_path)) as session:

@@ -153,8 +153,70 @@ class TestServiceRoundTrip:
         assert json.dumps(reports["reports"][0], sort_keys=True) == expected
 
     def test_healthz(self, service):
+        base, session = service
+        status, body = _request("GET", f"{base}/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        # The cache identity card (satellite of the result store): root,
+        # writing schema version, and current report count.
+        assert body["cache"] == session.cache.stats()
+        assert body["cache"]["schema"] == 1
+
+    def test_healthz_counts_stored_reports(self, service):
         base, _ = service
-        assert _request("GET", f"{base}/healthz") == (200, {"status": "ok"})
+        _request("POST", f"{base}/sweeps", _sweep_spec().to_payload())
+        _, body = _request("GET", f"{base}/healthz")
+        assert body["cache"]["reports"] == len(_sweep_spec().specs)
+
+
+class TestQueryEndpoint:
+    def test_query_rows_bit_consistent_with_reports(self, service):
+        base, _ = service
+        spec = _sweep_spec()
+        _, created = _request("POST", f"{base}/sweeps", spec.to_payload())
+        _, reports = _request("GET", f"{base}/sweeps/{created['id']}/reports")
+        status, body = _request("GET", f"{base}/query?kernel=spmv")
+        assert status == 200
+        assert body["count"] == len(spec.specs)
+        # Every row's report payload is byte-for-byte one of the sweep's
+        # reports (the store serves CostReport.to_dict verbatim).
+        served = {json.dumps(r, sort_keys=True) for r in reports["reports"]}
+        for row in body["rows"]:
+            assert json.dumps(row["report"], sort_keys=True) in served
+
+    def test_query_filters_sort_and_aggregate(self, service):
+        base, _ = service
+        _request("POST", f"{base}/sweeps", _sweep_spec().to_payload())
+        _, body = _request("GET", f"{base}/query?scheme=smash_hw&sort=cycles&descending=1")
+        assert [row["scheme"] for row in body["rows"]] == ["smash_hw", "smash_hw"]
+        cycles = [row["cycles"] for row in body["rows"]]
+        assert cycles == sorted(cycles, reverse=True)
+        _, body = _request("GET", f"{base}/query?mean_by=scheme")
+        assert {row["scheme"] for row in body["rows"]} == {"taco_csr", "smash_hw"}
+        assert all(row["count"] == 2 for row in body["rows"])
+
+    def test_query_rejects_unknown_and_duplicate_parameters(self, service):
+        base, _ = service
+        status, body = _request("GET", f"{base}/query?bogus=1")
+        assert status == 400
+        assert "unknown query parameters" in body["error"]
+        status, body = _request("GET", f"{base}/query?dim=48&dim=96")
+        assert status == 400
+        assert "duplicate query parameter" in body["error"]
+        status, body = _request("GET", f"{base}/query?dim=abc")
+        assert status == 400
+        assert "must be an integer" in body["error"]
+
+    def test_query_without_cache_is_clean_400(self):
+        session = Session(sim=SIM, runtime=RuntimeConfig(processes=1, cache_dir=None))
+        with running_server(session) as server:
+            base = f"http://127.0.0.1:{server.bound_port}"
+            status, body = _request("GET", f"{base}/query")
+            assert status == 400
+            assert "without a report cache" in body["error"]
+            _, health = _request("GET", f"{base}/healthz")
+            assert health["cache"] is None
+        session.close()
 
 
 class TestServiceErrors:
