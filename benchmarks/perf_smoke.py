@@ -123,7 +123,7 @@ def run_sweep_engine(processes: int, cache_scale: int, dim: int = 1024) -> dict:
         f"warm {timings['parallel_warm_seconds']:8.3f}s",
         flush=True,
     )
-    return {
+    record = {
         "jobs": len(jobs),
         "dim": dim,
         "matrices": list(keys),
@@ -131,6 +131,77 @@ def run_sweep_engine(processes: int, cache_scale: int, dim: int = 1024) -> dict:
         "cpu_count": os.cpu_count(),
         **timings,
     }
+    # The pool-beats-serial comparison is meaningful only with >= 2 cores;
+    # on a single-core host the marker says so explicitly instead of
+    # recording a comparison that is pure scheduling noise. Both fields are
+    # booleans, which the bench gate's flattener skips by design.
+    if (os.cpu_count() or 1) < 2:
+        record["skipped_single_core"] = True
+    else:
+        record["pool_beats_serial"] = (
+            timings["parallel_warm_seconds"] < timings["serial_seconds"]
+        )
+    return record
+
+
+def run_pool_scaling(processes: int, cache_scale: int, dim: int = 1024) -> dict:
+    """Chunked pool dispatch vs serial on the fig10-style job matrix.
+
+    The acceptance record of the chunked worker-pool path: the same 36-job
+    batch as :func:`run_sweep_engine` runs once serially and twice on a
+    pool with chunked dispatch and worker warm-up (the defaults) — *cold*
+    includes pool creation and per-worker warm-up, *warm* reuses the pool.
+    The cache is disabled, so every pass executes every job. On a >= 2-core
+    host the warm pool pass must beat serial (``pool_beats_serial``,
+    asserted by the CI multicore job); a single-core host records
+    ``skipped_single_core`` instead — there the pool can only add overhead.
+    """
+    sim = SimConfig.default() if cache_scale <= 1 else SimConfig.scaled(cache_scale)
+    keys = ("M2", "M5", "M8", "M11", "M13", "M15")
+    jobs = [
+        kernel_job("spmv", scheme, suite_source(key, dim), sim)
+        for key in keys
+        for scheme in SCHEMES
+    ]
+
+    with SweepRunner(processes=1) as serial:
+        start = time.perf_counter()
+        serial.run(jobs)
+        serial_seconds = time.perf_counter() - start
+    print(f"  pool_scaling[serial:1p] {serial_seconds:8.3f}s", flush=True)
+
+    with SweepRunner(processes=processes) as pool:
+        chunk = pool._effective_pool_chunk(len(jobs))
+        start = time.perf_counter()
+        pool.run(jobs)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        pool.run(jobs)
+        warm_seconds = time.perf_counter() - start
+    print(
+        f"  pool_scaling[{processes}p chunk {chunk}] cold {cold_seconds:8.3f}s  "
+        f"warm {warm_seconds:8.3f}s  ({serial_seconds / warm_seconds:.2f}x)",
+        flush=True,
+    )
+
+    cpu_count = os.cpu_count() or 1
+    record = {
+        "jobs": len(jobs),
+        "dim": dim,
+        "matrices": list(keys),
+        "workers": processes,
+        "pool_chunk": chunk,
+        "cpu_count": cpu_count,
+        "serial_seconds": round(serial_seconds, 4),
+        "pool_cold_seconds": round(cold_seconds, 4),
+        "pool_warm_seconds": round(warm_seconds, 4),
+        "speedup": round(serial_seconds / warm_seconds, 2),
+    }
+    if cpu_count < 2:
+        record["skipped_single_core"] = True
+    else:
+        record["pool_beats_serial"] = warm_seconds < serial_seconds
+    return record
 
 
 def run_concurrent_sweep(cache_scale: int, dim: int = 1024, threads: int = 4) -> dict:
@@ -537,6 +608,17 @@ def main(argv=None) -> int:
         help=argparse.SUPPRESS,  # internal: run one probe in this process and print JSON
     )
     parser.add_argument(
+        "--passes",
+        type=str,
+        default=None,
+        metavar="P1,P2,...",
+        help=(
+            "comma-separated pass selection (default: all): sweep, "
+            "sweep_engine, pool_scaling, concurrent_sweep, facade_overhead, "
+            "store_query, replay_memory, replay_core, replay_phases"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_spmv_smoke.json",
@@ -548,30 +630,60 @@ def main(argv=None) -> int:
         print(json.dumps(_rss_probe_child(args.rss_dim, args.rss_density, args.seed, args.cache_scale)))
         return 0
 
-    print(f"SpMV smoke sweep: {args.dim}x{args.dim}, density {args.density}")
-    payload = run_sweep(args.dim, args.density, args.seed, args.cache_scale)
-    print(f"Sweep-engine pass: {args.sweep_dim} dim, {args.processes} processes")
-    payload["sweep_engine"] = run_sweep_engine(args.processes, args.cache_scale, args.sweep_dim)
-    print(f"Concurrent-sweep pass: {args.sweep_dim} dim, 4 submitting threads")
-    payload["concurrent_sweep"] = run_concurrent_sweep(args.cache_scale, args.sweep_dim)
-    print("Facade-overhead pass: 512 dim (Session vs direct runner)")
-    payload["facade_overhead"] = run_facade_overhead(args.cache_scale)
-    print(f"Store-query pass: {args.sweep_dim} dim, 36-job sweep -> index -> queries")
-    payload["store_query"] = run_store_query(args.cache_scale, args.sweep_dim)
+    known_passes = (
+        "sweep", "sweep_engine", "pool_scaling", "concurrent_sweep",
+        "facade_overhead", "store_query", "replay_memory", "replay_core",
+        "replay_phases",
+    )
+    if args.passes is None:
+        selected = set(known_passes)
+    else:
+        selected = {name.strip() for name in args.passes.split(",") if name.strip()}
+        unknown = selected - set(known_passes)
+        if unknown:
+            parser.error(
+                f"unknown pass(es) {sorted(unknown)}; known: {', '.join(known_passes)}"
+            )
+
+    if "sweep" in selected:
+        print(f"SpMV smoke sweep: {args.dim}x{args.dim}, density {args.density}")
+        payload = run_sweep(args.dim, args.density, args.seed, args.cache_scale)
+    else:
+        payload = {"benchmark": "spmv_smoke", "python": platform.python_version()}
+    if "sweep_engine" in selected:
+        print(f"Sweep-engine pass: {args.sweep_dim} dim, {args.processes} processes")
+        payload["sweep_engine"] = run_sweep_engine(args.processes, args.cache_scale, args.sweep_dim)
+    if "pool_scaling" in selected:
+        print(f"Pool-scaling pass: {args.sweep_dim} dim, {args.processes} processes, chunked dispatch")
+        payload["pool_scaling"] = run_pool_scaling(args.processes, args.cache_scale, args.sweep_dim)
+    if "concurrent_sweep" in selected:
+        print(f"Concurrent-sweep pass: {args.sweep_dim} dim, 4 submitting threads")
+        payload["concurrent_sweep"] = run_concurrent_sweep(args.cache_scale, args.sweep_dim)
+    if "facade_overhead" in selected:
+        print("Facade-overhead pass: 512 dim (Session vs direct runner)")
+        payload["facade_overhead"] = run_facade_overhead(args.cache_scale)
+    if "store_query" in selected:
+        print(f"Store-query pass: {args.sweep_dim} dim, 36-job sweep -> index -> queries")
+        payload["store_query"] = run_store_query(args.cache_scale, args.sweep_dim)
     # The RSS probe forks children whose peak-RSS baseline includes the
     # parent's resident set, so it runs before the trace-hungry passes.
-    print(f"Replay-memory probe: {args.rss_dim} dim, density {args.rss_density}")
-    payload["replay_memory"] = run_rss_probe(
-        args.rss_dim, args.rss_density, args.seed, args.cache_scale
-    )
-    print(f"Replay-core pass: per-backend replay at dims {args.dim} and {2 * args.dim}")
-    payload["replay_core"] = run_replay_core(
-        (args.dim, 2 * args.dim), args.density, args.seed, args.cache_scale
-    )
-    print("Replay-phases pass: per-phase wall-clock per backend")
-    payload["replay_phases"] = run_replay_phases(args.cache_scale)
+    if "replay_memory" in selected:
+        print(f"Replay-memory probe: {args.rss_dim} dim, density {args.rss_density}")
+        payload["replay_memory"] = run_rss_probe(
+            args.rss_dim, args.rss_density, args.seed, args.cache_scale
+        )
+    if "replay_core" in selected:
+        print(f"Replay-core pass: per-backend replay at dims {args.dim} and {2 * args.dim}")
+        payload["replay_core"] = run_replay_core(
+            (args.dim, 2 * args.dim), args.density, args.seed, args.cache_scale
+        )
+    if "replay_phases" in selected:
+        print("Replay-phases pass: per-phase wall-clock per backend")
+        payload["replay_phases"] = run_replay_phases(args.cache_scale)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"total {payload['total_kernel_seconds']}s -> {args.output}")
+    total = payload.get("total_kernel_seconds")
+    suffix = f"total {total}s -> " if total is not None else "-> "
+    print(f"{suffix}{args.output}")
     return 0
 
 

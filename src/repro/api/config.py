@@ -15,7 +15,10 @@ None of these knobs can change a result: processes and cache only affect
 where/whether a job executes, the chunk budget only bounds peak replay
 memory (DESIGN.md section 10), the replay backend only selects which of
 three bit-identical engines replays the trace (DESIGN.md sections 12–13),
-and the batching/profiling knobs only regroup or time those engines' calls.
+the batching/profiling knobs only regroup or time those engines' calls,
+and the pool-dispatch knobs (``SMASH_REPRO_POOL_CHUNK`` /
+``SMASH_REPRO_POOL_WARMUP``, DESIGN.md section 17) only change how many
+jobs ride one IPC round-trip and when workers pay one-time backend setup.
 That is why none of them participate in the report-cache job key.
 """
 
@@ -54,6 +57,15 @@ BACKEND_ENV_VAR = REPLAY_BACKEND_ENV_VAR
 
 #: Environment variable setting the replay batch size (jobs per flush).
 REPLAY_BATCH_ENV_VAR = "SMASH_REPRO_REPLAY_BATCH"
+
+#: Environment variable setting the worker-pool dispatch chunk (jobs per
+#: pool task; ``0`` = auto-sized from the batch and worker count).
+POOL_CHUNK_ENV_VAR = "SMASH_REPRO_POOL_CHUNK"
+
+#: Environment variable disabling worker warm-up (``0``/``false``/``off``);
+#: warm workers pre-pay the replay backend's one-time cost (numba JIT for
+#: the compiled tier) at pool start instead of on their first real job.
+POOL_WARMUP_ENV_VAR = "SMASH_REPRO_POOL_WARMUP"
 
 #: Environment variable enabling per-phase replay profiling.
 REPLAY_PROFILE_ENV_VAR = "SMASH_REPRO_REPLAY_PROFILE"
@@ -105,7 +117,14 @@ class RuntimeConfig:
     canonical name). ``replay_batch`` groups up to that many kernel jobs'
     trace segments into one backend invocation during serial sweeps (1 =
     unbatched). ``replay_profile`` collects per-phase replay wall-clock
-    into ``SweepResult.stats``. ``service_host``/``service_port`` are where
+    into ``SweepResult.stats``. ``pool_chunk`` is the worker-pool dispatch
+    granularity — up to that many cache-miss jobs travel in one pool task,
+    so one IPC round-trip carries a whole batch (0 = auto: each batch is
+    split evenly over the workers; 1 = the historical one-job-per-future
+    dispatch). ``pool_warmup`` pre-pays the replay backend's one-time setup
+    cost (numba JIT compilation for the compiled tier) in every worker at
+    pool start instead of on its first real job.
+    ``service_host``/``service_port`` are where
     the ``repro.service`` daemon binds (``smash-repro serve``; port 0 asks
     the OS for an ephemeral port). ``store_ingest`` enables the incremental
     result-store index (``repro.store``) on cached sweeps; ``store_index``
@@ -121,6 +140,8 @@ class RuntimeConfig:
     replay_backend: str = DEFAULT_REPLAY_BACKEND
     replay_batch: int = 1
     replay_profile: bool = False
+    pool_chunk: int = 0
+    pool_warmup: bool = True
     service_host: str = DEFAULT_SERVICE_HOST
     service_port: int = DEFAULT_SERVICE_PORT
     store_ingest: bool = True
@@ -165,6 +186,19 @@ class RuntimeConfig:
             raise ValueError(
                 f"replay profile flag must be a bool, got {self.replay_profile!r}"
             )
+        if isinstance(self.pool_chunk, bool) or not isinstance(self.pool_chunk, int):
+            raise ValueError(
+                f"pool chunk size must be a non-negative integer (0 = auto), "
+                f"got {self.pool_chunk!r}"
+            )
+        if self.pool_chunk < 0:
+            raise ValueError(
+                f"pool chunk size must be non-negative (0 = auto), got {self.pool_chunk}"
+            )
+        if not isinstance(self.pool_warmup, bool):
+            raise ValueError(
+                f"pool warm-up flag must be a bool, got {self.pool_warmup!r}"
+            )
         if not isinstance(self.service_host, str) or not self.service_host:
             raise ValueError(
                 f"service host must be a non-empty string, got {self.service_host!r}"
@@ -201,6 +235,8 @@ class RuntimeConfig:
         replay_backend: Optional[str] = None,
         replay_batch: Optional[int] = None,
         replay_profile: Optional[bool] = None,
+        pool_chunk: Optional[int] = None,
+        pool_warmup: Optional[bool] = None,
         service_host: Optional[str] = None,
         service_port: Optional[int] = None,
         store_ingest: Optional[bool] = None,
@@ -236,6 +272,12 @@ class RuntimeConfig:
         if replay_profile is None:
             raw = os.environ.get(REPLAY_PROFILE_ENV_VAR, "").strip().lower()
             replay_profile = bool(raw) and raw not in _FALSY
+        if pool_chunk is None:
+            raw = os.environ.get(POOL_CHUNK_ENV_VAR, "").strip()
+            pool_chunk = _parse_int(raw, POOL_CHUNK_ENV_VAR) if raw else 0
+        if pool_warmup is None:
+            raw = os.environ.get(POOL_WARMUP_ENV_VAR, "").strip().lower()
+            pool_warmup = raw not in _FALSY if raw else True
         if service_host is None:
             service_host = (
                 os.environ.get(SERVICE_HOST_ENV_VAR, "").strip() or DEFAULT_SERVICE_HOST
@@ -260,6 +302,8 @@ class RuntimeConfig:
                 replay_backend=replay_backend,
                 replay_batch=replay_batch,
                 replay_profile=replay_profile,
+                pool_chunk=pool_chunk,
+                pool_warmup=pool_warmup,
                 service_host=service_host,
                 service_port=service_port,
                 store_ingest=store_ingest,
@@ -294,6 +338,11 @@ class RuntimeConfig:
             summary += f", replay_batch={self.replay_batch}"
         if self.replay_profile:
             summary += ", replay_profile=on"
+        if self.processes > 1:
+            chunk = self.pool_chunk if self.pool_chunk else "auto"
+            summary += f", pool_chunk={chunk}"
+            if not self.pool_warmup:
+                summary += ", pool_warmup=off"
         if not self.store_ingest:
             summary += ", store=off"
         elif self.store_index is not None:

@@ -101,6 +101,8 @@ class Session:
                 ),
                 replay_batch=runner.replay_batch,
                 replay_profile=runner.replay_profile,
+                pool_chunk=runner.pool_chunk,
+                pool_warmup=runner.pool_warmup,
             )
             self._runner = runner
         else:
@@ -112,6 +114,8 @@ class Session:
                 replay_backend=self.runtime.replay_backend,
                 replay_batch=self.runtime.replay_batch,
                 replay_profile=self.runtime.replay_profile,
+                pool_chunk=self.runtime.pool_chunk,
+                pool_warmup=self.runtime.pool_warmup,
             )
         # Keep the result-store index warm: every report the cache persists
         # is ingested into the sqlite index as it lands (repro.store;

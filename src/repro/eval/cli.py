@@ -29,6 +29,7 @@ documented environment knobs (``SMASH_REPRO_PROCESSES``,
 ``SMASH_REPRO_TRACE_CHUNK``, ``SMASH_REPRO_CACHE_DIR``,
 ``SMASH_REPRO_CACHE``, ``SMASH_REPRO_REPLAY_BACKEND``,
 ``SMASH_REPRO_REPLAY_BATCH``, ``SMASH_REPRO_REPLAY_PROFILE``,
+``SMASH_REPRO_POOL_CHUNK``, ``SMASH_REPRO_POOL_WARMUP``,
 ``SMASH_REPRO_SERVICE_HOST``, ``SMASH_REPRO_SERVICE_PORT``) are folded
 into one validated
 :class:`~repro.api.config.RuntimeConfig` — explicit flags win — and every
@@ -120,6 +121,26 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "collect per-phase replay wall-clock during serial sweeps "
             "(also via $SMASH_REPRO_REPLAY_PROFILE)"
+        ),
+    )
+    parser.add_argument(
+        "--pool-chunk",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "jobs dispatched per worker-pool task: 0 = auto-split across "
+            "workers (default), 1 = one job per task, N = fixed chunks "
+            "(also via $SMASH_REPRO_POOL_CHUNK); results are bit-identical "
+            "either way"
+        ),
+    )
+    parser.add_argument(
+        "--no-pool-warmup",
+        action="store_true",
+        help=(
+            "skip pre-JIT warm-up of the replay backend in pool workers "
+            "(also via $SMASH_REPRO_POOL_WARMUP=0)"
         ),
     )
 
@@ -265,6 +286,8 @@ def _build_session(args: argparse.Namespace) -> Session:
         "replay_backend": args.replay_backend,
         "replay_batch": args.replay_batch,
         "replay_profile": args.replay_profile,
+        "pool_chunk": args.pool_chunk,
+        "pool_warmup": False if args.no_pool_warmup else None,
         # Only the serve subcommand defines the bind flags; the service
         # knobs are harmless defaults everywhere else.
         "service_host": getattr(args, "host", None),

@@ -242,6 +242,76 @@ def _execute_job_payload(job: Job) -> Dict:
     return execute_job(job).to_dict()
 
 
+def _execute_jobs_batched(jobs: Sequence[Job], batch: int) -> List[Dict]:
+    """Execute jobs in order, batching kernel jobs' replays up to ``batch``.
+
+    Runs of consecutive kernel-kind jobs are grouped up to ``batch``; each
+    group's trace segments defer through one
+    :class:`~repro.sim.memory.ReplayBatcher` and replay in a single merged
+    backend invocation per hierarchy at the end of the group, after which
+    the memory-derived report fields are rebuilt from the hierarchy's final
+    statistics (everything else in a kernel report is trace-independent).
+    Application jobs merge several phase reports mid-run, so they execute
+    unbatched, in order. Payloads are bit-identical to unbatched execution:
+    per-job hierarchies are independent, and merging one hierarchy's
+    segments is exact by the chunk-boundary contract.
+
+    Shared by the serial miss path (``replay_batch > 1``) and the chunked
+    worker-pool entry point :func:`_execute_chunk_payloads`.
+    """
+    from repro.sim.memory import ReplayBatcher, replay_batching
+
+    payloads: List[Optional[Dict]] = [None] * len(jobs)
+    group: List[int] = []
+
+    def flush_group() -> None:
+        if not group:
+            return
+        batcher = ReplayBatcher()
+        pending: List[Tuple[int, CostReport, List]] = []
+        for idx in group:
+            with replay_batching(batcher):
+                report = execute_job(jobs[idx])
+            pending.append((idx, report, batcher.take_new_hierarchies()))
+        batcher.flush()
+        for idx, report, hierarchies in pending:
+            if len(hierarchies) > 1:
+                raise RuntimeError(
+                    "replay batching expects one memory hierarchy per "
+                    f"kernel job, found {len(hierarchies)}"
+                )
+            if hierarchies:
+                report = _patch_memory_fields(
+                    report, hierarchies[0].snapshot_stats()
+                )
+            payloads[idx] = report.to_dict()
+        group.clear()
+
+    for i, job in enumerate(jobs):
+        if job.kind in KERNEL_KINDS:
+            group.append(i)
+            if len(group) >= batch:
+                flush_group()
+        else:
+            flush_group()
+            payloads[i] = _execute_job_payload(job)
+    flush_group()
+    return payloads  # type: ignore[return-value]
+
+
+def _execute_chunk_payloads(jobs: List[Job], batch: int) -> List[Dict]:
+    """Worker entry point for chunked dispatch: one pool task, many jobs.
+
+    Executes a whole dispatch chunk inside the worker with the per-worker
+    replay batcher: the chunk's kernel jobs defer their trace segments and
+    flush through one merged backend call per hierarchy. An explicit
+    ``replay_batch > 1`` bounds the group size as on the serial path;
+    otherwise the whole chunk batches as one group (result-neutral either
+    way by the chunk-boundary contract). Payload order matches job order.
+    """
+    return _execute_jobs_batched(jobs, batch if batch > 1 else max(1, len(jobs)))
+
+
 # --------------------------------------------------------------------------- #
 # Persistent report cache
 # --------------------------------------------------------------------------- #
@@ -366,17 +436,27 @@ def _init_worker_overrides(
     chunk: Optional[int],
     has_backend: bool,
     backend: Optional[str],
+    warmup: bool = False,
 ) -> None:
-    """Worker-pool initializer pinning explicit runtime overrides.
+    """Worker-pool initializer: pin runtime overrides, pre-warm the backend.
 
     The "no override" sentinels cannot cross the process boundary (pickling
     creates fresh objects that no longer compare identical), so presence is
-    carried as explicit booleans.
+    carried as explicit booleans. With ``warmup`` the worker pays the
+    effective replay backend's one-time setup cost — numba JIT for
+    ``"compiled"`` — at pool start via
+    :func:`repro.sim.memory.prime_replay_backend`, so the first real job is
+    never the one that compiles. Overrides are pinned first, so the warm-up
+    primes the backend the jobs will actually use.
     """
     if has_chunk:
         _trace.set_chunk_override(chunk)
     if has_backend:
         _replay_core.set_backend_override(backend)
+    if warmup:
+        from repro.sim.memory import prime_replay_backend
+
+        prime_replay_backend()
 
 
 class SweepRunner:
@@ -397,8 +477,15 @@ class SweepRunner:
     into one merged backend invocation each (see
     :class:`repro.sim.memory.ReplayBatcher`); ``replay_profile`` collects
     per-phase replay wall-clock of serial execution into
-    :attr:`last_profile`. Results are independent of all six knobs —
-    ``None`` defers the last two to their environment variables.
+    :attr:`last_profile`. ``pool_chunk`` sets how many cache misses one
+    worker-pool task carries (0 = auto-split across ``processes * 4``
+    tasks, 1 = the historical one-job-per-task dispatch) — inside a worker
+    a chunk's kernel jobs batch their replays through one merged backend
+    call per hierarchy, exactly as the serial batcher does — and
+    ``pool_warmup`` (default on) pre-JITs the replay backend in each worker
+    at pool start. Results are independent of all eight knobs — ``None``
+    defers ``replay_batch``/``replay_profile``/``pool_chunk``/
+    ``pool_warmup`` to their environment variables.
 
     The runner is safe for concurrent use from multiple threads
     (DESIGN.md section 15). Scheduling is *single-flight*: an in-flight
@@ -422,6 +509,8 @@ class SweepRunner:
         replay_backend: object = USE_ENV_BACKEND,
         replay_batch: Optional[int] = None,
         replay_profile: Optional[bool] = None,
+        pool_chunk: Optional[int] = None,
+        pool_warmup: Optional[bool] = None,
     ) -> None:
         self.processes = resolve_processes(processes)
         self.cache = ReportCache(cache_dir) if cache_dir is not None else None
@@ -437,9 +526,13 @@ class SweepRunner:
             replay_backend=DEFAULT_REPLAY_BACKEND,
             replay_batch=replay_batch,
             replay_profile=replay_profile,
+            pool_chunk=pool_chunk,
+            pool_warmup=pool_warmup,
         )
         self.replay_batch = resolved.replay_batch
         self.replay_profile = resolved.replay_profile
+        self.pool_chunk = resolved.pool_chunk
+        self.pool_warmup = resolved.pool_warmup
         #: Per-phase replay seconds of the last :meth:`run` call's serial
         #: execution (``None`` until a profiled run happens).
         self.last_profile: Optional[Dict[str, float]] = None
@@ -467,7 +560,7 @@ class SweepRunner:
             if self._pool is None:
                 has_chunk = self.trace_chunk is not USE_ENV_CHUNK
                 has_backend = self.replay_backend is not USE_ENV_BACKEND
-                if not has_chunk and not has_backend:
+                if not has_chunk and not has_backend and not self.pool_warmup:
                     pool = ProcessPoolExecutor(max_workers=self.processes)
                 else:
                     pool = ProcessPoolExecutor(
@@ -478,6 +571,7 @@ class SweepRunner:
                             self.trace_chunk if has_chunk else None,
                             has_backend,
                             self.replay_backend if has_backend else None,
+                            self.pool_warmup,
                         ),
                     )
                 self._pool = pool
@@ -605,20 +699,47 @@ class SweepRunner:
                 self._resolve_error(key, future, error)
             raise
 
+    def _effective_pool_chunk(self, n_owned: int) -> int:
+        """Jobs carried per pool task: the explicit knob, else an auto split.
+
+        Auto (``pool_chunk=0``) divides the misses over ``processes * 4``
+        tasks — the oversubscription factor keeps workers busy when chunks
+        finish unevenly — with a floor of one job per task.
+        """
+        if self.pool_chunk:
+            return self.pool_chunk
+        return max(1, -(-n_owned // (self.processes * 4)))
+
     def _execute_owned_pool(self, owned: List[Tuple[str, Job, "Future[Dict]"]]) -> None:
-        """Fan owned misses out to the worker pool, resolving via callbacks."""
+        """Fan owned misses out to the pool in chunks, resolving via callbacks.
+
+        One pool task carries :meth:`_effective_pool_chunk` jobs, so a
+        single IPC round-trip (one pickle each way) amortizes over the
+        whole chunk and the worker batches the chunk's replays. The
+        single-flight futures this call owns are fanned back out per job by
+        the chunk callback; single-job chunks take the historical
+        one-job-per-task entry point.
+        """
         pool = self._ensure_pool()
-        for index, (key, job, future) in enumerate(owned):
+        chunk_size = self._effective_pool_chunk(len(owned))
+        for start in range(0, len(owned), chunk_size):
+            chunk = owned[start : start + chunk_size]
             try:
-                task = pool.submit(_execute_job_payload, job)
+                if len(chunk) == 1:
+                    key, job, future = chunk[0]
+                    task = pool.submit(_execute_job_payload, job)
+                    task.add_done_callback(self._pool_callback(key, job, future))
+                else:
+                    jobs = [job for _, job, _ in chunk]
+                    task = pool.submit(_execute_chunk_payloads, jobs, self.replay_batch)
+                    task.add_done_callback(self._pool_chunk_callback(chunk))
             except BaseException as error:
                 # A failed pool submission (e.g. pool already shut down)
-                # must still resolve every owned future — this one and the
+                # must still resolve every owned future — this chunk and the
                 # not-yet-submitted rest — or joiners hang forever.
-                for failed_key, _, failed_future in owned[index:]:
+                for failed_key, _, failed_future in owned[start:]:
                     self._resolve_error(failed_key, failed_future, error)
                 raise
-            task.add_done_callback(self._pool_callback(key, job, future))
 
     def _pool_callback(
         self, key: str, job: Job, future: "Future[Dict]"
@@ -632,6 +753,40 @@ class SweepRunner:
                 self._resolve(key, job, future, task.result())
             except BaseException as store_error:  # e.g. cache store failed
                 self._resolve_error(key, future, store_error)
+
+        return done
+
+    def _pool_chunk_callback(
+        self, chunk: List[Tuple[str, Job, "Future[Dict]"]]
+    ) -> Callable[["Future[List[Dict]]"], None]:
+        """Fan one chunk task's payload list back out to its job futures.
+
+        A failing job fails its whole chunk: none of the chunk's payloads
+        exist (the worker raised before returning), so every joiner sees
+        the error, nothing is cached, and a retry re-executes the chunk's
+        jobs — the same retry semantics as per-job dispatch, at chunk
+        granularity.
+        """
+
+        def done(task: "Future[List[Dict]]") -> None:
+            error = task.exception()
+            payloads: List[Dict] = []
+            if error is None:
+                payloads = task.result()
+                if len(payloads) != len(chunk):
+                    error = RuntimeError(
+                        f"pool chunk returned {len(payloads)} payloads "
+                        f"for {len(chunk)} jobs"
+                    )
+            if error is not None:
+                for key, _, future in chunk:
+                    self._resolve_error(key, future, error)
+                return
+            for (key, job, future), payload in zip(chunk, payloads):
+                try:
+                    self._resolve(key, job, future, payload)
+                except BaseException as store_error:  # e.g. cache store failed
+                    self._resolve_error(key, future, store_error)
 
         return done
 
@@ -698,56 +853,11 @@ class SweepRunner:
     def _execute_serial_batched(self, jobs: Sequence[Job]) -> List[Dict]:
         """Serial miss execution with kernel jobs' replays batched.
 
-        Runs of consecutive kernel-kind jobs are grouped up to
-        ``replay_batch``; each group's trace segments defer through one
-        :class:`~repro.sim.memory.ReplayBatcher` and replay in a single
-        merged backend invocation per hierarchy at the end of the group,
-        after which the memory-derived report fields are rebuilt from the
-        hierarchy's final statistics (everything else in a kernel report is
-        trace-independent). Application jobs merge several phase reports
-        mid-run, so they execute unbatched, in order. Payloads are
-        bit-identical to unbatched execution: per-job hierarchies are
-        independent, and merging one hierarchy's segments is exact by the
-        chunk-boundary contract.
+        Delegates to :func:`_execute_jobs_batched` (shared with the chunked
+        worker-pool entry point) with this runner's ``replay_batch`` as the
+        group bound.
         """
-        from repro.sim.memory import ReplayBatcher, replay_batching
-
-        payloads: List[Optional[Dict]] = [None] * len(jobs)
-        group: List[int] = []
-
-        def flush_group() -> None:
-            if not group:
-                return
-            batcher = ReplayBatcher()
-            pending: List[Tuple[int, CostReport, List]] = []
-            for idx in group:
-                with replay_batching(batcher):
-                    report = execute_job(jobs[idx])
-                pending.append((idx, report, batcher.take_new_hierarchies()))
-            batcher.flush()
-            for idx, report, hierarchies in pending:
-                if len(hierarchies) > 1:
-                    raise RuntimeError(
-                        "replay batching expects one memory hierarchy per "
-                        f"kernel job, found {len(hierarchies)}"
-                    )
-                if hierarchies:
-                    report = _patch_memory_fields(
-                        report, hierarchies[0].snapshot_stats()
-                    )
-                payloads[idx] = report.to_dict()
-            group.clear()
-
-        for i, job in enumerate(jobs):
-            if job.kind in KERNEL_KINDS:
-                group.append(i)
-                if len(group) >= self.replay_batch:
-                    flush_group()
-            else:
-                flush_group()
-                payloads[i] = _execute_job_payload(job)
-        flush_group()
-        return payloads  # type: ignore[return-value]
+        return _execute_jobs_batched(jobs, self.replay_batch)
 
     def run_one(self, job: Job) -> CostReport:
         """Convenience wrapper for a single job."""

@@ -34,6 +34,8 @@ RUNTIME_ONLY_NAMES = frozenset(
         "replay_backend",
         "replay_batch",
         "replay_profile",
+        "pool_chunk",
+        "pool_warmup",
         "processes",
         "cache_dir",
         "RuntimeConfig",

@@ -153,6 +153,23 @@ class ServiceState:
         cache = self.session.cache
         return cache.stats() if cache is not None else None
 
+    def runtime_info(self) -> Dict[str, object]:
+        """The shared runtime's execution knobs for ``/healthz``.
+
+        All of these are result-neutral (DESIGN.md sections 9-13, 17) —
+        the card tells an operator how the daemon executes, never what it
+        computes.
+        """
+        runtime = self.session.runtime
+        return {
+            "processes": runtime.processes,
+            "trace_chunk": runtime.trace_chunk,
+            "replay_backend": runtime.replay_backend,
+            "replay_batch": runtime.replay_batch,
+            "pool_chunk": runtime.pool_chunk,
+            "pool_warmup": runtime.pool_warmup,
+        }
+
     def query(self, params: Mapping[str, str]) -> List[Dict[str, object]]:
         """Run one read-only store query against the shared cache's index.
 
@@ -200,7 +217,14 @@ class _SweepRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         url = urllib.parse.urlsplit(self.path)
         if url.path == "/healthz":
-            self._send(200, {"status": "ok", "cache": self.server.state.cache_stats()})
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "cache": self.server.state.cache_stats(),
+                    "runtime": self.server.state.runtime_info(),
+                },
+            )
             return
         if url.path == "/query":
             self._query(url.query)

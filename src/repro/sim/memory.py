@@ -427,6 +427,51 @@ def _merge_segments(segments: List[_Segment]) -> _Segment:
     )
 
 
+# --------------------------------------------------------------------------- #
+# Replay-backend warm-up (pool workers pre-pay one-time setup costs)
+# --------------------------------------------------------------------------- #
+#: Backend names already primed in this process (idempotence guard).
+_PRIMED_BACKENDS: set = set()
+
+
+def primed_backends() -> frozenset:
+    """Backend names :func:`prime_replay_backend` has warmed in this process."""
+    return frozenset(_PRIMED_BACKENDS)
+
+
+def prime_replay_backend(backend: Optional[str] = None) -> str:
+    """Pay the replay backend's one-time setup cost now; return its name.
+
+    Replays a small synthetic trace through a throwaway hierarchy so any
+    lazy per-process initialization the effective backend performs — numba
+    JIT compilation for ``"compiled"``, first-call numpy machinery for the
+    array engines — happens at a controlled moment (pool-worker start, see
+    ``repro.eval.runner._init_worker_overrides``) rather than inside the
+    first real job. The trace exceeds the engines' delegate-to-reference
+    head thresholds and mixes all three access kinds, so every phase of the
+    chosen engine actually runs. Idempotent per backend per process, and the
+    hierarchy is discarded, so priming can never affect a result.
+    """
+    global _ACTIVE_BATCHER
+    name = _replay_core.effective_backend(backend)
+    if name in _PRIMED_BACKENDS:
+        return name
+    hierarchy = MemoryHierarchy(SimConfig.default(), replay_backend=name)
+    line_bytes = hierarchy.config.l1.line_bytes
+    n = 2048  # > MIN_VECTORIZED_HEADS / MIN_COMPILED_HEADS, still sub-second
+    addresses = np.arange(n, dtype=np.int64) * line_bytes  # one line per access
+    kinds = np.zeros(n, dtype=np.uint8)  # KIND_STREAM
+    kinds[1::3] = KIND_DEPENDENT
+    kinds[2::3] = KIND_WRITE
+    previous, _ACTIVE_BATCHER = _ACTIVE_BATCHER, None  # replay for real
+    try:
+        hierarchy.replay(("warmup",), np.zeros(n, dtype=np.int64), addresses, kinds)
+    finally:
+        _ACTIVE_BATCHER = previous
+    _PRIMED_BACKENDS.add(name)
+    return name
+
+
 @contextlib.contextmanager
 def replay_batching(batcher: ReplayBatcher) -> Iterator[ReplayBatcher]:
     """Route every hierarchy's replay through ``batcher`` inside the context.

@@ -183,6 +183,17 @@ def add_store_subcommands(subparsers) -> None:
         help="baseline run: 'latest' (default), a --label, or a run id",
     )
     check_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help=(
+            "allowed wall-clock growth as a percentage (e.g. 25 = +25%%); "
+            "overrides --tolerance-seconds; modelled_cycles stays exact "
+            f"(default: {100 * DEFAULT_TOLERANCE_SECONDS:.0f})"
+        ),
+    )
+    check_parser.add_argument(
         "--tolerance-seconds",
         type=float,
         default=DEFAULT_TOLERANCE_SECONDS,
@@ -329,11 +340,18 @@ def _dispatch(
             sys.stdout.write(render_rows(rows, args.format, columns=columns))
             return 0
         if args.bench_command == "check":
+            tolerance_seconds = args.tolerance_seconds
+            if args.tolerance is not None:
+                if args.tolerance < 0:
+                    raise StoreError(
+                        f"--tolerance must be a non-negative percentage, got {args.tolerance}"
+                    )
+                tolerance_seconds = args.tolerance / 100.0
             result = check_against_baseline(
                 store,
                 args.file,
                 baseline=args.baseline,
-                tolerance_seconds=args.tolerance_seconds,
+                tolerance_seconds=tolerance_seconds,
                 tolerance_cycles=args.tolerance_cycles,
             )
             for name in result.only_in_baseline:

@@ -1,0 +1,240 @@
+"""Tests for the chunked worker-pool path: dispatch, batching, warm-up.
+
+The pool-dispatch contract (DESIGN.md section 17):
+
+* chunked dispatch is byte-identical to serial execution and to the
+  historical one-job-per-task dispatch, at any chunk size and any trace
+  chunk budget — one pool task carries many jobs, the worker batches their
+  replays, and the single-flight futures fan back out per job;
+* ``executed`` counts distinct jobs exactly, chunked or not, and warm
+  (cache-hit) runs execute nothing;
+* a failing job fails its whole chunk — every joiner sees the error,
+  nothing from the chunk is cached, and a retry re-executes;
+* ``_init_worker_overrides`` pins the trace-chunk/backend overrides inside
+  each worker and (with ``warmup``) pre-primes the replay backend.
+"""
+
+import json
+
+import pytest
+
+from repro.api.config import RuntimeConfig
+from repro.eval.cli import build_parser, _build_session
+from repro.eval.runner import SweepRunner, kernel_job, suite_source
+from repro.sim.config import SimConfig
+
+SIM = SimConfig.scaled(16)
+
+
+def _job(key="M8", scheme="taco_csr", dim=48):
+    return kernel_job("spmv", scheme, suite_source(key, dim), SIM)
+
+
+def _jobs(dim=48):
+    return [
+        _job(key, scheme, dim)
+        for key in ("M5", "M8")
+        for scheme in ("taco_csr", "smash_hw", "mkl_csr")
+    ]
+
+
+def _report_keys(reports):
+    return [json.dumps(report.to_dict(), sort_keys=True) for report in reports]
+
+
+def _worker_knobs():
+    """Probe executed inside a pool worker: its effective runtime knobs."""
+    from repro.sim import _replay_core
+    from repro.sim import trace as _trace
+    from repro.sim.memory import primed_backends
+
+    override = _trace._chunk_override
+    return {
+        "chunk_override": None if override is _trace._NO_OVERRIDE else override,
+        "backend": _replay_core.effective_backend(None),
+        "primed": sorted(primed_backends()),
+    }
+
+
+class TestChunkedByteIdentity:
+    def test_chunked_auto_and_unchunked_match_serial(self, tmp_path):
+        jobs = _jobs()
+        with SweepRunner(processes=1, cache_dir=None) as serial:
+            expected = _report_keys(serial.run(jobs))
+        for label, pool_chunk in (("auto", 0), ("chunked", 3), ("per-job", 1)):
+            with SweepRunner(processes=2, cache_dir=None, pool_chunk=pool_chunk) as pooled:
+                got = _report_keys(pooled.run(jobs))
+                assert got == expected, f"{label} dispatch diverged from serial"
+                # Cache disabled: every distinct job executed exactly once.
+                assert pooled.stats.executed == len(jobs)
+
+    def test_warm_chunked_runs_execute_nothing(self, tmp_path):
+        jobs = _jobs()
+        with SweepRunner(processes=2, cache_dir=tmp_path, pool_chunk=4) as cold:
+            first = _report_keys(cold.run(jobs))
+            assert cold.stats.executed == len(jobs)
+        with SweepRunner(processes=2, cache_dir=tmp_path, pool_chunk=4) as warm:
+            second = _report_keys(warm.run(jobs))
+            assert second == first
+            assert warm.stats.executed == 0
+            assert warm.stats.cache_hits == len(jobs)
+
+    @pytest.mark.parametrize("trace_chunk", [7, 4096])
+    def test_pool_chunked_dispatch_at_trace_chunks(self, trace_chunk):
+        """Batching exactness across process boundaries at tiny/large chunks.
+
+        The replay-backend equivalence contract under pool-chunked
+        dispatch: workers pin the trace-chunk override, batch the chunk's
+        replays through one merged backend call per hierarchy, and the
+        payloads must still be byte-identical to plain serial execution —
+        the chunk-boundary contract composed with segment merging.
+        """
+        jobs = _jobs()
+        with SweepRunner(processes=1, cache_dir=None) as serial:
+            expected = _report_keys(serial.run(jobs))
+        with SweepRunner(
+            processes=2, cache_dir=None, pool_chunk=2, trace_chunk=trace_chunk
+        ) as pooled:
+            assert _report_keys(pooled.run(jobs)) == expected
+
+
+class TestChunkFailure:
+    def test_failing_job_fails_its_chunk_and_nothing_is_cached(self, tmp_path):
+        good, bad = _job("M5"), _job("NOPE")
+        with SweepRunner(processes=2, cache_dir=tmp_path, pool_chunk=2) as runner:
+            with pytest.raises(Exception):
+                runner.run([good, bad])
+            assert not runner._inflight  # every owned future was resolved
+            assert runner.stats.executed == 2
+            # The good job rode the failed chunk: it was never cached, so a
+            # retry re-executes it (and succeeds).
+            report = runner.run([good])[0]
+            assert report.kernel == "spmv"
+            assert runner.stats.executed == 3
+            assert runner.stats.cache_hits == 0
+
+
+class TestEffectivePoolChunk:
+    def test_explicit_chunk_wins(self):
+        with SweepRunner(processes=4, cache_dir=None, pool_chunk=9) as runner:
+            assert runner._effective_pool_chunk(100) == 9
+            assert runner._effective_pool_chunk(2) == 9
+
+    def test_auto_chunk_splits_with_oversubscription(self):
+        with SweepRunner(processes=4, cache_dir=None, pool_chunk=0) as runner:
+            # ceil(n / (processes * 4)), floored at one job per task.
+            assert runner._effective_pool_chunk(100) == 7
+            assert runner._effective_pool_chunk(16) == 1
+            assert runner._effective_pool_chunk(1) == 1
+        with SweepRunner(processes=2, cache_dir=None) as runner:  # default auto
+            assert runner._effective_pool_chunk(36) == 5
+
+
+class TestWorkerInitializer:
+    def test_worker_sees_pinned_overrides_and_primed_backend(self):
+        """Satellite: a 1-worker pool probe reports its effective knobs."""
+        with SweepRunner(
+            processes=1,
+            cache_dir=None,
+            trace_chunk=1234,
+            replay_backend="reference",
+            pool_warmup=True,
+        ) as runner:
+            pool = runner._ensure_pool()
+            knobs = pool.submit(_worker_knobs).result(timeout=300)
+        assert knobs["chunk_override"] == 1234
+        assert knobs["backend"] == "reference"
+        assert "reference" in knobs["primed"]
+
+    def test_no_warmup_worker_has_no_primed_backend(self):
+        with SweepRunner(
+            processes=1, cache_dir=None, replay_backend="reference", pool_warmup=False
+        ) as runner:
+            pool = runner._ensure_pool()
+            knobs = pool.submit(_worker_knobs).result(timeout=300)
+        assert knobs["backend"] == "reference"
+        assert knobs["primed"] == []
+
+    def test_default_worker_primes_default_backend(self):
+        with SweepRunner(processes=1, cache_dir=None) as runner:
+            pool = runner._ensure_pool()
+            knobs = pool.submit(_worker_knobs).result(timeout=300)
+        assert knobs["chunk_override"] is None  # no override pinned
+        assert knobs["backend"] in knobs["primed"]
+
+
+class TestPrimeReplayBackend:
+    def test_prime_is_idempotent_and_result_neutral(self):
+        from repro.sim.memory import prime_replay_backend, primed_backends
+
+        name = prime_replay_backend("reference")
+        assert name == "reference"
+        assert "reference" in primed_backends()
+        assert prime_replay_backend("reference") == "reference"
+        # Priming is invisible to results: a primed backend still replays
+        # bit-identically (the throwaway hierarchy is discarded).
+        jobs = [_job("M5")]
+        with SweepRunner(processes=1, cache_dir=None, replay_backend="reference") as r:
+            primed = _report_keys(r.run(jobs))
+        with SweepRunner(processes=1, cache_dir=None, replay_backend="vectorized") as r:
+            assert _report_keys(r.run(jobs)) == primed
+
+
+class TestKnobSurface:
+    def test_pool_chunk_validation(self):
+        with pytest.raises(ValueError, match="pool chunk"):
+            RuntimeConfig(pool_chunk=-1)
+        with pytest.raises(ValueError, match="pool chunk"):
+            RuntimeConfig(pool_chunk=True)
+        with pytest.raises(ValueError, match="pool warm-up"):
+            RuntimeConfig(pool_warmup=1)
+        assert RuntimeConfig(pool_chunk=0).pool_chunk == 0
+        assert RuntimeConfig(pool_chunk=8, pool_warmup=False).pool_warmup is False
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("SMASH_REPRO_POOL_CHUNK", "6")
+        monkeypatch.setenv("SMASH_REPRO_POOL_WARMUP", "0")
+        runtime = RuntimeConfig.from_env(processes=2, cache_dir=None)
+        assert runtime.pool_chunk == 6
+        assert runtime.pool_warmup is False
+        # Explicit values win over the environment.
+        runtime = RuntimeConfig.from_env(
+            processes=2, cache_dir=None, pool_chunk=3, pool_warmup=True
+        )
+        assert runtime.pool_chunk == 3
+        assert runtime.pool_warmup is True
+        monkeypatch.setenv("SMASH_REPRO_POOL_CHUNK", "nope")
+        with pytest.raises(ValueError, match="SMASH_REPRO_POOL_CHUNK"):
+            RuntimeConfig.from_env(processes=2, cache_dir=None)
+
+    def test_describe_mentions_pool_knobs_only_when_pooled(self):
+        serial = RuntimeConfig(processes=1)
+        assert "pool_chunk" not in serial.describe()
+        pooled = RuntimeConfig(processes=2, pool_chunk=5, pool_warmup=False)
+        assert "pool_chunk=5" in pooled.describe()
+        assert "pool_warmup=off" in pooled.describe()
+        auto = RuntimeConfig(processes=2)
+        assert "pool_chunk=auto" in auto.describe()
+        assert "pool_warmup" not in auto.describe()
+
+    def test_cli_flags_reach_the_session(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "figure10", "--no-cache", "--pool-chunk", "5", "--no-pool-warmup"]
+        )
+        session = _build_session(args)
+        try:
+            assert session.runtime.pool_chunk == 5
+            assert session.runtime.pool_warmup is False
+            assert session._runner.pool_chunk == 5
+            assert session._runner.pool_warmup is False
+        finally:
+            session.close()
+
+    def test_session_wrapping_runner_reflects_pool_knobs(self):
+        from repro.api.session import Session
+
+        with SweepRunner(processes=2, cache_dir=None, pool_chunk=7, pool_warmup=False) as runner:
+            session = Session(runner=runner)
+            assert session.runtime.pool_chunk == 7
+            assert session.runtime.pool_warmup is False

@@ -409,6 +409,28 @@ class TestStoreCli:
         assert cli_main(["bench", "check", str(bad), "--cache-dir", cache]) == 1
         capsys.readouterr()
 
+    def test_bench_check_tolerance_percent_flag(self, tmp_path, capsys):
+        """--tolerance is the percent form of the wall-clock gate."""
+        base = tmp_path / "BENCH_base.json"
+        base.write_text(json.dumps({"total_kernel_seconds": 1.0, "modelled_cycles": 10.0}))
+        slow = tmp_path / "BENCH_slow.json"
+        slow.write_text(json.dumps({"total_kernel_seconds": 1.9, "modelled_cycles": 10.0}))
+        cache = str(tmp_path / "cache")
+        assert cli_main(["bench", "ingest", str(base), "--cache-dir", cache]) == 0
+        # +90% fails the default +50% gate, passes a widened one.
+        check = ["bench", "check", str(slow), "--cache-dir", cache]
+        assert cli_main(check) == 1
+        assert cli_main(check + ["--tolerance", "100"]) == 0
+        # --tolerance wins over --tolerance-seconds when both are given.
+        assert cli_main(check + ["--tolerance", "100", "--tolerance-seconds", "0.1"]) == 0
+        # modelled_cycles stays exact regardless of the wall-clock gate.
+        drift = tmp_path / "BENCH_drift.json"
+        drift.write_text(json.dumps({"total_kernel_seconds": 1.0, "modelled_cycles": 11.0}))
+        assert cli_main(["bench", "check", str(drift), "--cache-dir", cache, "--tolerance", "500"]) == 1
+        # A negative percentage is a usage error, not a silent gate.
+        assert cli_main(check + ["--tolerance", "-5"]) == 2
+        capsys.readouterr()
+
     def test_cache_stats_and_reindex_cli(self, tmp_path, capsys):
         _run_sweep(tmp_path)
         assert cli_main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
